@@ -1,0 +1,133 @@
+// Microbenchmarks of the bit-true BCH codec (google-benchmark): field
+// arithmetic, encode, syndrome computation, Berlekamp-Massey, Chien
+// search and the full decode, at the paper's corner capabilities.
+// These quantify the *software* cost of the models; hardware latency
+// comes from ecc_hw::LatencyModel.
+#include <benchmark/benchmark.h>
+
+#include "src/bch/codec.hpp"
+#include "src/bch/decoder.hpp"
+#include "src/bch/encoder.hpp"
+#include "src/bch/error_injection.hpp"
+#include "src/bch/generator.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace xlf;
+
+BitVec random_message(std::uint32_t k, Rng& rng) {
+  BitVec msg(k);
+  for (std::uint32_t i = 0; i < k; ++i) msg.set(i, rng.chance(0.5));
+  return msg;
+}
+
+void BM_GfMultiply(benchmark::State& state) {
+  const gf::Gf2m field(16);
+  Rng rng(1);
+  gf::Element a = 0x1234, b = 0x5678;
+  for (auto _ : state) {
+    a = field.mul(a, b);
+    b ^= a;
+    if (b == 0) b = 1;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_GfMultiply);
+
+void BM_GeneratorConstruction(benchmark::State& state) {
+  const gf::Gf2m field(16);
+  const unsigned t = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bch::generator_polynomial(field, t));
+  }
+}
+BENCHMARK(BM_GeneratorConstruction)->Arg(3)->Arg(14)->Arg(65);
+
+struct CodecFixture {
+  gf::Gf2m field{16};
+  unsigned t;
+  bch::CodeParams params;
+  bch::Encoder encoder;
+  bch::Decoder decoder;
+  explicit CodecFixture(unsigned t_in)
+      : t(t_in),
+        params{16, 32768, t_in},
+        encoder(params, bch::generator_polynomial(field, t_in)),
+        decoder(field, params) {}
+};
+
+void BM_Encode(benchmark::State& state) {
+  CodecFixture fx(static_cast<unsigned>(state.range(0)));
+  Rng rng(2);
+  const BitVec msg = random_message(32768, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.encoder.encode(msg));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Encode)->Arg(3)->Arg(14)->Arg(65);
+
+void BM_SyndromesDense(benchmark::State& state) {
+  CodecFixture fx(static_cast<unsigned>(state.range(0)));
+  Rng rng(3);
+  BitVec cw = fx.encoder.encode(random_message(32768, rng));
+  bch::inject_exact(cw, fx.t, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.decoder.syndromes(cw));
+  }
+}
+BENCHMARK(BM_SyndromesDense)->Arg(3)->Arg(14)->Arg(65);
+
+void BM_SyndromesSparse(benchmark::State& state) {
+  CodecFixture fx(static_cast<unsigned>(state.range(0)));
+  Rng rng(4);
+  BitVec cw = fx.encoder.encode(random_message(32768, rng));
+  const auto positions = bch::inject_exact(cw, fx.t, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.decoder.syndromes_from_errors(positions));
+  }
+}
+BENCHMARK(BM_SyndromesSparse)->Arg(3)->Arg(14)->Arg(65);
+
+void BM_BerlekampMassey(benchmark::State& state) {
+  CodecFixture fx(static_cast<unsigned>(state.range(0)));
+  Rng rng(5);
+  BitVec cw = fx.encoder.encode(random_message(32768, rng));
+  const auto positions = bch::inject_exact(cw, fx.t, rng);
+  const auto syndromes = fx.decoder.syndromes_from_errors(positions);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.decoder.berlekamp_massey(syndromes));
+  }
+}
+BENCHMARK(BM_BerlekampMassey)->Arg(3)->Arg(14)->Arg(65);
+
+void BM_ChienSearch(benchmark::State& state) {
+  CodecFixture fx(static_cast<unsigned>(state.range(0)));
+  Rng rng(6);
+  BitVec cw = fx.encoder.encode(random_message(32768, rng));
+  const auto positions = bch::inject_exact(cw, fx.t, rng);
+  const auto lambda = fx.decoder.berlekamp_massey(
+      fx.decoder.syndromes_from_errors(positions));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.decoder.chien_search(lambda));
+  }
+}
+BENCHMARK(BM_ChienSearch)->Arg(3)->Arg(14)->Arg(65);
+
+void BM_FullDecodeWithReference(benchmark::State& state) {
+  CodecFixture fx(static_cast<unsigned>(state.range(0)));
+  Rng rng(7);
+  const BitVec clean = fx.encoder.encode(random_message(32768, rng));
+  BitVec corrupted = clean;
+  bch::inject_exact(corrupted, fx.t, rng);
+  for (auto _ : state) {
+    BitVec work = corrupted;
+    benchmark::DoNotOptimize(fx.decoder.decode_with_reference(work, clean));
+  }
+}
+BENCHMARK(BM_FullDecodeWithReference)->Arg(3)->Arg(14)->Arg(65);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Figure 7: UBER vs RBER for the ISPP-SV algorithm. Reproduces the
+// annotated operating points: with target UBER 1e-11, t = 3 suffices
+// at RBER 1e-6 and the requirement climbs to t = 65 at RBER 1e-3
+// (the end-of-life ISPP-SV error rate).
+#include <iostream>
+
+#include "src/bch/code_params.hpp"
+#include "src/core/paper.hpp"
+#include "src/util/series.hpp"
+
+using namespace xlf;
+
+int main() {
+  print_banner(std::cout, "Figure 7",
+               "UBER and RBER relation for the ISPP-SV algorithm");
+
+  const unsigned ts[] = {3, 4, 27, 30, 65};
+
+  SeriesTable table("RBER");
+  for (unsigned t : ts) table.add_series("UBER_t" + std::to_string(t));
+  table.add_series("required_t");
+
+  for (double rber : core::paper::kFig7RberGrid) {
+    std::vector<double> row;
+    for (unsigned t : ts) {
+      const bch::CodeParams params{16, 32768, t};
+      row.push_back(bch::uber(rber, params.n(), t));
+    }
+    const auto required = bch::min_t_for_uber(
+        rber, core::paper::kUberTarget, 32768, 16, 3, 100);
+    row.push_back(required.has_value() ? static_cast<double>(*required) : -1.0);
+    table.add_row(rber, row);
+  }
+
+  table.print(std::cout);
+  table.write_csv("fig07_uber_sv.csv");
+  std::cout << "\ntarget UBER = 1e-11; paper annotations: t=3 @ 1e-6, "
+               "t=4 @ 2.5e-6, t=27 @ 2.75e-4, t=30 @ 3.35e-4, t=65 @ 1e-3\n";
+  return 0;
+}

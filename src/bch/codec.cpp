@@ -1,0 +1,57 @@
+#include "src/bch/codec.hpp"
+
+#include "src/util/expect.hpp"
+
+namespace xlf::bch {
+
+AdaptiveBchCodec::AdaptiveBchCodec(const AdaptiveCodecConfig& config)
+    : config_(config),
+      field_(config.m),
+      generators_(field_),
+      t_(config.initial_t) {
+  XLF_EXPECT(config.t_min >= 1 && config.t_min <= config.t_max);
+  XLF_EXPECT(config.initial_t >= config.t_min &&
+             config.initial_t <= config.t_max);
+  const CodeParams worst{config.m, config.k, config.t_max};
+  XLF_EXPECT(worst.valid());
+}
+
+void AdaptiveBchCodec::set_correction_capability(unsigned t) {
+  XLF_EXPECT(t >= config_.t_min && t <= config_.t_max);
+  t_ = t;
+}
+
+CodeParams AdaptiveBchCodec::current_params() const {
+  return CodeParams{config_.m, config_.k, t_};
+}
+
+AdaptiveBchCodec::Stage& AdaptiveBchCodec::stage_for(unsigned t) {
+  auto it = stages_.find(t);
+  if (it == stages_.end()) {
+    const CodeParams params{config_.m, config_.k, t};
+    Stage stage;
+    stage.encoder = std::make_unique<Encoder>(params, generators_.get(t));
+    stage.decoder = std::make_unique<Decoder>(field_, params);
+    it = stages_.emplace(t, std::move(stage)).first;
+  }
+  return it->second;
+}
+
+BitVec AdaptiveBchCodec::encode(const BitVec& message) {
+  return stage_for(t_).encoder->encode(message);
+}
+
+DecodeResult AdaptiveBchCodec::decode(BitVec& codeword) {
+  return stage_for(t_).decoder->decode(codeword);
+}
+
+DecodeResult AdaptiveBchCodec::decode_with_reference(BitVec& codeword,
+                                                     const BitVec& reference) {
+  return stage_for(t_).decoder->decode_with_reference(codeword, reference);
+}
+
+BitVec AdaptiveBchCodec::extract_message(const BitVec& codeword) {
+  return stage_for(t_).encoder->extract_message(codeword);
+}
+
+}  // namespace xlf::bch

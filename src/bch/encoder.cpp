@@ -1,0 +1,145 @@
+#include "src/bch/encoder.hpp"
+
+#include <algorithm>
+
+#include "src/util/expect.hpp"
+
+namespace xlf::bch {
+namespace {
+
+// One bit of LFSR division over a byte register, MSB-first.
+void lfsr_step_bytes(std::vector<std::uint8_t>& reg,
+                     const std::vector<std::uint8_t>& gen_low, bool in_bit) {
+  const std::size_t bytes = reg.size();
+  const bool feedback = (((reg[bytes - 1] >> 7) & 1u) != 0) != in_bit;
+  for (std::size_t i = bytes; i-- > 1;) {
+    reg[i] = static_cast<std::uint8_t>((reg[i] << 1) | (reg[i - 1] >> 7));
+  }
+  reg[0] = static_cast<std::uint8_t>(reg[0] << 1);
+  if (feedback) {
+    for (std::size_t i = 0; i < bytes; ++i) reg[i] ^= gen_low[i];
+  }
+}
+
+}  // namespace
+
+Encoder::Encoder(CodeParams params, const gf::Gf2Poly& generator)
+    : params_(params), generator_(generator) {
+  XLF_EXPECT(params_.valid());
+  XLF_EXPECT(generator.degree() >= 1);
+  w_ = static_cast<std::uint32_t>(generator.degree());
+  XLF_EXPECT(w_ <= params_.parity_bits());
+
+  gen_low_words_.assign((w_ + 63) / 64, 0);
+  for (std::uint32_t i = 0; i < w_; ++i) {
+    if (generator.coeff(i)) gen_low_words_[i / 64] |= 1ull << (i % 64);
+  }
+
+  byte_fast_ =
+      params_.k % 8 == 0 && w_ % 8 == 0 && w_ == params_.parity_bits();
+  if (byte_fast_) {
+    gen_low_bytes_.assign(w_ / 8, 0);
+    for (std::uint32_t i = 0; i < w_; ++i) {
+      if (generator.coeff(i)) {
+        gen_low_bytes_[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+      }
+    }
+    build_byte_table();
+  }
+}
+
+void Encoder::build_byte_table() {
+  const std::size_t bytes = gen_low_bytes_.size();
+  table_.assign(256, std::vector<std::uint8_t>(bytes, 0));
+  for (unsigned v = 0; v < 256; ++v) {
+    std::vector<std::uint8_t> reg(bytes, 0);
+    reg[bytes - 1] = static_cast<std::uint8_t>(v);
+    for (int bit = 0; bit < 8; ++bit) lfsr_step_bytes(reg, gen_low_bytes_, false);
+    table_[v] = std::move(reg);
+  }
+}
+
+BitVec Encoder::parity_bytewise(const BitVec& message) const {
+  const std::size_t bytes = gen_low_bytes_.size();
+  std::vector<std::uint8_t> reg(bytes, 0);
+  // Message bytes MSB-first: the register's top byte XOR the incoming
+  // byte is the feedback selecting the table row.
+  for (std::size_t j = params_.k / 8; j-- > 0;) {
+    const std::uint8_t feedback =
+        static_cast<std::uint8_t>(reg[bytes - 1] ^ message.byte(j));
+    for (std::size_t i = bytes; i-- > 1;) reg[i] = reg[i - 1];
+    reg[0] = 0;
+    const auto& update = table_[feedback];
+    for (std::size_t i = 0; i < bytes; ++i) reg[i] ^= update[i];
+  }
+  BitVec out(params_.parity_bits());
+  for (std::size_t i = 0; i < bytes; ++i) out.set_byte(i, reg[i]);
+  return out;
+}
+
+BitVec Encoder::parity_bitserial(const BitVec& message) const {
+  // Word-packed register of w bits; top bit sits at index w-1.
+  std::vector<std::uint64_t> reg(gen_low_words_.size(), 0);
+  const std::uint32_t top_word = (w_ - 1) / 64;
+  const std::uint32_t top_bit = (w_ - 1) % 64;
+
+  const auto step = [&](bool in_bit) {
+    const bool feedback = (((reg[top_word] >> top_bit) & 1u) != 0) != in_bit;
+    for (std::size_t i = reg.size(); i-- > 1;) {
+      reg[i] = (reg[i] << 1) | (reg[i - 1] >> 63);
+    }
+    reg[0] <<= 1;
+    if (feedback) {
+      for (std::size_t i = 0; i < reg.size(); ++i) reg[i] ^= gen_low_words_[i];
+    }
+    // Bits above w-1 never influence the remainder; keep them clear.
+    if (top_bit == 63) return;
+    reg[top_word] &= (1ull << (top_bit + 1)) - 1;
+  };
+
+  for (std::size_t i = params_.k; i-- > 0;) step(message.get(i));
+  // Architected parity width beyond deg g: multiply the remainder by
+  // x^(r - w), i.e. feed trailing zeros.
+  for (std::uint32_t i = 0; i < params_.parity_bits() - w_; ++i) step(false);
+
+  BitVec out(params_.parity_bits());
+  for (std::uint32_t i = 0; i < w_; ++i) {
+    if ((reg[i / 64] >> (i % 64)) & 1u) out.set(i, true);
+  }
+  return out;
+}
+
+BitVec Encoder::parity(const BitVec& message) const {
+  XLF_EXPECT(message.size() == params_.k);
+  return byte_fast_ ? parity_bytewise(message) : parity_bitserial(message);
+}
+
+BitVec Encoder::parity_reference(const BitVec& message) const {
+  XLF_EXPECT(message.size() == params_.k);
+  // Explicit polynomial arithmetic: p(x) = m(x) x^r mod g(x).
+  gf::Gf2Poly m;
+  m.reserve_degree(params_.n());
+  for (std::size_t i = 0; i < params_.k; ++i) {
+    if (message.get(i)) m.set_coeff(i + params_.parity_bits(), true);
+  }
+  const gf::Gf2Poly rem = m % generator_;
+  BitVec out(params_.parity_bits());
+  for (std::uint32_t i = 0; i < params_.parity_bits(); ++i) {
+    if (rem.coeff(i)) out.set(i, true);
+  }
+  return out;
+}
+
+BitVec Encoder::encode(const BitVec& message) const {
+  BitVec codeword(params_.n());
+  codeword.insert(0, parity(message));
+  codeword.insert(params_.parity_bits(), message);
+  return codeword;
+}
+
+BitVec Encoder::extract_message(const BitVec& codeword) const {
+  XLF_EXPECT(codeword.size() == params_.n());
+  return codeword.slice(params_.parity_bits(), params_.k);
+}
+
+}  // namespace xlf::bch

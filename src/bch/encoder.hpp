@@ -1,0 +1,63 @@
+// Systematic BCH encoder.
+//
+// The codeword is c(x) = m(x) x^r + p(x) with p(x) the remainder of
+// m(x) x^r divided by the generator g(x); bits [0, r) of the codeword
+// hold the parity (stored in the flash spare area), bits [r, n) hold
+// the message. The software model mirrors the hardware's LFSR
+// division. Two paths exist:
+//  * a byte-at-a-time table method (the software twin of the paper's
+//    parallel LFSR with parallelism p = 8), used when message and
+//    generator are byte-aligned — always true for the production
+//    GF(2^16) codes where deg g = 16 t;
+//  * a generic bit-serial path for arbitrary k/r (textbook codes over
+//    small fields used in tests and microbenches).
+// An independent polynomial-arithmetic reference (`parity_reference`)
+// backs both in tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/bch/code_params.hpp"
+#include "src/gf/gf2_poly.hpp"
+#include "src/util/bitvec.hpp"
+
+namespace xlf::bch {
+
+class Encoder {
+ public:
+  // `generator` is the generator for params.t; its degree must not
+  // exceed the architected parity width params.parity_bits().
+  Encoder(CodeParams params, const gf::Gf2Poly& generator);
+
+  const CodeParams& params() const { return params_; }
+  // True when the byte-table fast path is active.
+  bool byte_accelerated() const { return byte_fast_; }
+
+  // r parity bits for a k-bit message (LFSR division).
+  BitVec parity(const BitVec& message) const;
+  // Independent reference: explicit polynomial remainder via Gf2Poly.
+  BitVec parity_reference(const BitVec& message) const;
+
+  // Full systematic codeword of length n.
+  BitVec encode(const BitVec& message) const;
+
+  // Split a codeword back into its message part (bits [r, n)).
+  BitVec extract_message(const BitVec& codeword) const;
+
+ private:
+  void build_byte_table();
+  BitVec parity_bitserial(const BitVec& message) const;
+  BitVec parity_bytewise(const BitVec& message) const;
+
+  CodeParams params_;
+  gf::Gf2Poly generator_;
+  std::uint32_t w_ = 0;  // generator degree (LFSR register width)
+  bool byte_fast_ = false;
+  std::vector<std::uint64_t> gen_low_words_;  // g minus x^w, packed bits
+  std::vector<std::uint8_t> gen_low_bytes_;   // same, byte view (fast path)
+  // table_[v] = remainder update for feedback byte v, w/8 bytes each.
+  std::vector<std::vector<std::uint8_t>> table_;
+};
+
+}  // namespace xlf::bch

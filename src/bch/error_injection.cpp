@@ -1,0 +1,57 @@
+#include "src/bch/error_injection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/util/expect.hpp"
+
+namespace xlf::bch {
+
+std::vector<std::size_t> inject_exact(BitVec& word, std::size_t count, Rng& rng) {
+  XLF_EXPECT(count <= word.size());
+  std::set<std::size_t> positions;
+  while (positions.size() < count) {
+    positions.insert(static_cast<std::size_t>(rng.below(word.size())));
+  }
+  std::vector<std::size_t> out(positions.begin(), positions.end());
+  for (std::size_t pos : out) word.flip(pos);
+  return out;
+}
+
+std::vector<std::size_t> inject_iid(BitVec& word, double rber, Rng& rng) {
+  XLF_EXPECT(rber >= 0.0 && rber <= 1.0);
+  std::vector<std::size_t> out;
+  if (rber == 0.0) return out;
+  // Geometric skipping: draw the gap to the next flipped bit rather
+  // than testing every bit — pages are 3.3e4 bits and RBER is ~1e-5,
+  // so this saves four orders of magnitude of RNG draws.
+  const double log1m_p = std::log1p(-rber);
+  double position = 0.0;
+  for (;;) {
+    double u = rng.uniform();
+    while (u <= 0.0) u = rng.uniform();
+    position += std::floor(std::log(u) / log1m_p);
+    if (position >= static_cast<double>(word.size())) break;
+    const auto idx = static_cast<std::size_t>(position);
+    word.flip(idx);
+    out.push_back(idx);
+    position += 1.0;
+  }
+  return out;
+}
+
+std::vector<std::size_t> inject_burst(BitVec& word, std::size_t length, Rng& rng) {
+  XLF_EXPECT(length >= 1 && length <= word.size());
+  const std::size_t start =
+      static_cast<std::size_t>(rng.below(word.size() - length + 1));
+  std::vector<std::size_t> out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    word.flip(start + i);
+    out.push_back(start + i);
+  }
+  return out;
+}
+
+}  // namespace xlf::bch

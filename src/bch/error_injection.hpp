@@ -1,0 +1,26 @@
+// Error-pattern generation for codec validation and Monte-Carlo UBER
+// measurement: exactly-w patterns, iid bit flips at a given RBER, and
+// burst errors (the paper notes flash errors are largely uncorrelated,
+// which is why BCH suits them; bursts exercise the same decoder on the
+// pattern it is *not* optimised for).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/bitvec.hpp"
+#include "src/util/rng.hpp"
+
+namespace xlf::bch {
+
+// Flip exactly `count` distinct random positions; returns them sorted.
+std::vector<std::size_t> inject_exact(BitVec& word, std::size_t count, Rng& rng);
+
+// Flip each bit independently with probability rber; returns flipped
+// positions sorted.
+std::vector<std::size_t> inject_iid(BitVec& word, double rber, Rng& rng);
+
+// Flip `length` consecutive bits starting at a random offset.
+std::vector<std::size_t> inject_burst(BitVec& word, std::size_t length, Rng& rng);
+
+}  // namespace xlf::bch

@@ -1,0 +1,45 @@
+#include "src/bch/generator.hpp"
+
+#include <set>
+
+#include "src/gf/minpoly.hpp"
+#include "src/util/expect.hpp"
+
+namespace xlf::bch {
+
+std::vector<gf::Gf2Poly> generator_factors(const gf::Gf2m& field, unsigned t) {
+  XLF_EXPECT(t >= 1);
+  XLF_EXPECT(2 * t < field.order());
+  std::set<std::uint32_t> seen_leaders;
+  std::vector<gf::Gf2Poly> factors;
+  for (std::uint32_t i = 1; i <= 2 * t; ++i) {
+    const auto coset = gf::cyclotomic_coset(field, i);
+    const std::uint32_t leader = coset.front();
+    if (seen_leaders.insert(leader).second) {
+      factors.push_back(gf::minimal_polynomial(field, leader));
+    }
+  }
+  return factors;
+}
+
+gf::Gf2Poly generator_polynomial(const gf::Gf2m& field, unsigned t) {
+  gf::Gf2Poly g = gf::Gf2Poly::one();
+  for (const auto& factor : generator_factors(field, t)) {
+    g = g * factor;
+  }
+  // Designed distance requires alpha^1..alpha^(2t) to be roots.
+  for (std::uint32_t i = 1; i <= 2 * t; ++i) {
+    XLF_ENSURE(g.eval(field, field.alpha_pow(i)) == 0);
+  }
+  return g;
+}
+
+const gf::Gf2Poly& GeneratorCache::get(unsigned t) {
+  auto it = cache_.find(t);
+  if (it == cache_.end()) {
+    it = cache_.emplace(t, generator_polynomial(*field_, t)).first;
+  }
+  return it->second;
+}
+
+}  // namespace xlf::bch

@@ -1,0 +1,43 @@
+// BCH generator polynomial construction.
+//
+// g(x) = lcm of the minimal polynomials of alpha, alpha^2, ...,
+// alpha^(2t). Conjugate exponents (cosets under doubling) share a
+// minimal polynomial, so the LCM is the product over distinct cosets —
+// in practice the cosets led by odd exponents 1, 3, ..., 2t-1.
+//
+// The adaptive codec needs one generator per correction capability;
+// GeneratorCache builds them lazily and also exposes the psi_i
+// factors the hardware syndrome block divides by (Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/gf/gf2_poly.hpp"
+#include "src/gf/gf2m.hpp"
+
+namespace xlf::bch {
+
+// Generator polynomial for correction capability t over `field`.
+// Degree equals m*t whenever all 2t cosets are full-size (true for
+// the parameter ranges used here); this is verified.
+gf::Gf2Poly generator_polynomial(const gf::Gf2m& field, unsigned t);
+
+// The distinct minimal polynomials psi_i(x) whose product is g(x),
+// keyed by coset-leader exponent; the hardware decoder instantiates
+// one syndrome LFSR per psi_i.
+std::vector<gf::Gf2Poly> generator_factors(const gf::Gf2m& field, unsigned t);
+
+class GeneratorCache {
+ public:
+  explicit GeneratorCache(const gf::Gf2m& field) : field_(&field) {}
+
+  const gf::Gf2Poly& get(unsigned t);
+
+ private:
+  const gf::Gf2m* field_;
+  std::map<unsigned, gf::Gf2Poly> cache_;
+};
+
+}  // namespace xlf::bch

@@ -1,0 +1,168 @@
+#include "src/controller/controller.hpp"
+
+#include "src/util/expect.hpp"
+#include "src/util/log.hpp"
+
+namespace xlf::controller {
+namespace {
+
+std::pair<std::uint32_t, std::uint32_t> key_of(nand::PageAddress addr) {
+  return {addr.block, addr.page};
+}
+
+}  // namespace
+
+MemoryController::MemoryController(const ControllerConfig& config,
+                                   nand::NandDevice& device,
+                                   const hv::HvConfig& hv_config)
+    : config_(config),
+      device_(&device),
+      ocp_(config.ocp),
+      buffer_(config.page_buffer),
+      ecc_(config.codec, config.ecc_hw),
+      reliability_(config.reliability, config.policy, device.config().array.aging),
+      nand_power_(hv_config, device.timing()) {
+  // The codeword for t_max must fit the device page.
+  const bch::CodeParams worst{config.codec.m, config.codec.k,
+                              config.codec.t_max};
+  XLF_EXPECT(worst.n() <= device.geometry().bits_per_page());
+  XLF_EXPECT(config.codec.k == device.geometry().data_bits_per_page());
+  registers_.set_ecc_capability(ecc_.correction_capability());
+  registers_.set_program_algorithm(device.program_algorithm());
+}
+
+void MemoryController::set_correction_capability(unsigned t) {
+  ecc_.set_correction_capability(t);
+  registers_.set_ecc_capability(t);
+}
+
+unsigned MemoryController::correction_capability() const {
+  return ecc_.correction_capability();
+}
+
+void MemoryController::set_program_algorithm(nand::ProgramAlgorithm algo) {
+  device_->select_program_algorithm(algo);
+  registers_.set_program_algorithm(algo);
+}
+
+nand::ProgramAlgorithm MemoryController::program_algorithm() const {
+  return device_->program_algorithm();
+}
+
+unsigned MemoryController::adapt_ecc(double pe_cycles) {
+  const unsigned t = reliability_.recommended_t(
+      program_algorithm(), pe_cycles, correction_capability());
+  if (t != correction_capability()) {
+    log_info() << "reliability manager: t " << correction_capability()
+               << " -> " << t << " at " << pe_cycles << " cycles";
+    set_correction_capability(t);
+  }
+  return t;
+}
+
+WriteResult MemoryController::write_page(nand::PageAddress addr,
+                                         const BitVec& data) {
+  XLF_EXPECT(data.size() == config_.codec.k);
+  WriteResult result;
+  registers_.set_busy(true);
+
+  // Host burst across the OCP socket into the page buffer.
+  const OcpRequest request{OcpCommand::kWrite, 0,
+                           static_cast<std::uint32_t>(data.size() / 8)};
+  ocp_.record(request);
+  result.latency += ocp_.transfer_time(request);
+  result.latency += buffer_.load(data);
+
+  // ECC encode.
+  const EncodeOutcome encoded = ecc_.encode(buffer_.unload());
+  result.latency += encoded.latency;
+  result.ecc_energy += encoded.energy;
+  result.t_used = ecc_.correction_capability();
+
+  // Pad the codeword to the physical page and program.
+  BitVec page_bits(device_->geometry().bits_per_page());
+  page_bits.insert(0, encoded.codeword);
+  const double wear = device_->wear(addr.block);
+  const nand::ProgramOutcome programmed =
+      device_->program_page(addr, page_bits, config_.load_strategy);
+  result.ok = programmed.ok;
+  result.latency += programmed.busy_time;
+  result.nand_energy += nand_power_.program_energy(program_algorithm(), wear);
+
+  page_meta_[key_of(addr)] = PageMeta{result.t_used, encoded.codeword};
+  registers_.set_busy(false);
+  registers_.set_error(!result.ok);
+  return result;
+}
+
+ReadResult MemoryController::read_page(nand::PageAddress addr) {
+  const auto meta_it = page_meta_.find(key_of(addr));
+  XLF_EXPECT(meta_it != page_meta_.end() && "reading an unwritten page");
+  const PageMeta& meta = meta_it->second;
+
+  ReadResult result;
+  registers_.set_busy(true);
+
+  // NAND sensing.
+  const nand::ReadOutcome raw = device_->read_page(addr);
+  result.latency += raw.busy_time;
+  result.nand_energy += nand_power_.read_energy();
+
+  // Decode with the capability the page was written at.
+  const unsigned current_t = ecc_.correction_capability();
+  ecc_.set_correction_capability(meta.t);
+  const bch::CodeParams params = ecc_.current_params();
+  BitVec codeword = raw.data.slice(0, params.n());
+  const DecodeOutcome decoded =
+      config_.simulation_fast_decode
+          ? ecc_.decode_with_reference(codeword, meta.reference)
+          : ecc_.decode(codeword);
+  result.latency += decoded.latency;
+  result.ecc_energy += decoded.energy;
+  result.corrected_bits = decoded.result.corrected;
+  result.uncorrectable =
+      decoded.result.status == bch::DecodeStatus::kUncorrectable;
+  result.ok = !result.uncorrectable;
+  result.data = ecc_.extract_message(codeword);
+  ecc_.set_correction_capability(current_t);
+
+  // Reliability feedback. An uncorrectable page carries no corrected
+  // count but is evidence of at least t+1 raw errors — feeding zero
+  // would bias the estimator down exactly when the error rate
+  // explodes.
+  const unsigned observed_errors =
+      result.uncorrectable ? meta.t + 1 : decoded.result.corrected;
+  reliability_.observe_decode(observed_errors, params.n());
+  registers_.record_decode(decoded.result.corrected, result.uncorrectable);
+
+  // Host burst out.
+  const OcpRequest request{OcpCommand::kRead, 0,
+                           static_cast<std::uint32_t>(result.data.size() / 8)};
+  ocp_.record(request);
+  result.latency += ocp_.transfer_time(request);
+
+  registers_.set_busy(false);
+  registers_.set_error(!result.ok);
+  return result;
+}
+
+Seconds MemoryController::erase_block(std::uint32_t block) {
+  const nand::EraseOutcome outcome = device_->erase_block(block);
+  // Invalidate metadata of the erased pages.
+  for (std::uint32_t p = 0; p < device_->geometry().pages_per_block; ++p) {
+    page_meta_.erase({block, p});
+  }
+  return outcome.busy_time;
+}
+
+Seconds MemoryController::worst_case_read_latency() const {
+  return device_->timing().read_time() +
+         ecc_.latency_model().decode_latency(ecc_.correction_capability());
+}
+
+Seconds MemoryController::write_latency(double pe_cycles) const {
+  return ecc_.latency_model().encode_latency() +
+         device_->timing().program_time(program_algorithm(), pe_cycles);
+}
+
+}  // namespace xlf::controller

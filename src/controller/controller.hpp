@@ -1,0 +1,109 @@
+// The memory controller of paper Fig. 1: OCP socket toward the
+// interconnect, page buffer, adaptive ECC unit, reliability manager,
+// and the NAND device interface. Every page write and read flows
+// through the full pipeline and returns latency + energy accounting,
+// which is what the throughput figures integrate.
+//
+// Per-page metadata: a page is decoded with the correction capability
+// it was encoded with, so the controller keeps the (t, algorithm)
+// used at write time per page — the model of the config metadata a
+// real controller stores in the spare area.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "src/controller/ecc_unit.hpp"
+#include "src/controller/ocp.hpp"
+#include "src/controller/page_buffer.hpp"
+#include "src/controller/registers.hpp"
+#include "src/controller/reliability_manager.hpp"
+#include "src/hv/power_model.hpp"
+#include "src/nand/device.hpp"
+
+namespace xlf::controller {
+
+struct ControllerConfig {
+  bch::AdaptiveCodecConfig codec;       // defaults: GF(2^16), 4 KB, t 3..65
+  ecc_hw::EccHwConfig ecc_hw;           // p = h = 8, 80 MHz
+  OcpConfig ocp;
+  PageBufferConfig page_buffer;
+  ReliabilityConfig reliability;
+  ReliabilityPolicy policy = ReliabilityPolicy::kModelBased;
+  nand::LoadStrategy load_strategy = nand::LoadStrategy::kFullSequence;
+  // Use the decoder's sparse-syndrome fast path with the known
+  // written codeword as reference (simulation accelerator; bit-exact
+  // per bch::Decoder's linearity, asserted in tests).
+  bool simulation_fast_decode = true;
+};
+
+struct WriteResult {
+  bool ok = true;
+  Seconds latency{0.0};       // host-visible busy time
+  Joules ecc_energy{0.0};
+  Joules nand_energy{0.0};
+  unsigned t_used = 0;
+};
+
+struct ReadResult {
+  bool ok = true;
+  BitVec data;
+  Seconds latency{0.0};
+  Joules ecc_energy{0.0};
+  Joules nand_energy{0.0};
+  unsigned corrected_bits = 0;
+  bool uncorrectable = false;
+};
+
+class MemoryController {
+ public:
+  MemoryController(const ControllerConfig& config, nand::NandDevice& device,
+                   const hv::HvConfig& hv_config);
+
+  // --- configuration plane (the two cross-layer knobs) ---------------
+  void set_correction_capability(unsigned t);
+  unsigned correction_capability() const;
+  void set_program_algorithm(nand::ProgramAlgorithm algo);
+  nand::ProgramAlgorithm program_algorithm() const;
+  // Let the reliability manager reconfigure t for the given wear
+  // state (call on epoch boundaries or after feedback warm-up).
+  unsigned adapt_ecc(double pe_cycles);
+
+  RegisterFile& registers() { return registers_; }
+  const RegisterFile& registers() const { return registers_; }
+  ReliabilityManager& reliability() { return reliability_; }
+  EccUnit& ecc() { return ecc_; }
+  const OcpSocket& ocp() const { return ocp_; }
+  nand::NandDevice& device() { return *device_; }
+
+  // --- data plane -----------------------------------------------------
+  // Write 4 KB of user data to a page. The data flows: OCP burst ->
+  // page buffer -> ECC encode -> NAND program.
+  WriteResult write_page(nand::PageAddress addr, const BitVec& data);
+  // Read it back: NAND read -> ECC decode (+ feedback) -> OCP burst.
+  ReadResult read_page(nand::PageAddress addr);
+  Seconds erase_block(std::uint32_t block);
+
+  // Worst-case (errors-present) read/write service times at the
+  // current configuration — the paper's throughput convention.
+  Seconds worst_case_read_latency() const;
+  Seconds write_latency(double pe_cycles) const;
+
+ private:
+  struct PageMeta {
+    unsigned t = 0;
+    BitVec reference;  // written codeword (simulation fast decode)
+  };
+
+  ControllerConfig config_;
+  nand::NandDevice* device_;
+  RegisterFile registers_;
+  OcpSocket ocp_;
+  PageBuffer buffer_;
+  EccUnit ecc_;
+  ReliabilityManager reliability_;
+  hv::NandPowerModel nand_power_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, PageMeta> page_meta_;
+};
+
+}  // namespace xlf::controller

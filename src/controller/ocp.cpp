@@ -1,0 +1,39 @@
+#include "src/controller/ocp.hpp"
+
+#include "src/util/expect.hpp"
+
+namespace xlf::controller {
+
+OcpSocket::OcpSocket(const OcpConfig& config) : config_(config) {
+  XLF_EXPECT(config_.data_width_bits >= 8 && config_.data_width_bits % 8 == 0);
+  XLF_EXPECT(config_.clock.value() > 0.0);
+}
+
+Seconds OcpSocket::burst_time(std::uint32_t bytes) const {
+  const double beats =
+      static_cast<double>(bytes) * 8.0 / config_.data_width_bits;
+  return config_.clock.period() * beats;
+}
+
+Seconds OcpSocket::transfer_time(const OcpRequest& request) const {
+  switch (request.command) {
+    case OcpCommand::kConfigRead:
+    case OcpCommand::kConfigWrite:
+      return config_.network_latency + config_.clock.period();
+    case OcpCommand::kRead:
+    case OcpCommand::kWrite:
+      return config_.network_latency + burst_time(request.bytes);
+  }
+  XLF_EXPECT(false && "unknown command");
+  return Seconds{0.0};
+}
+
+void OcpSocket::record(const OcpRequest& request) {
+  ++requests_;
+  if (request.command == OcpCommand::kRead ||
+      request.command == OcpCommand::kWrite) {
+    bytes_ += request.bytes;
+  }
+}
+
+}  // namespace xlf::controller

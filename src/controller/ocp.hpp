@@ -1,0 +1,57 @@
+// OCP-style socket between the on-chip interconnect and the memory
+// controller (paper Fig. 1). The network is much faster than the
+// flash device, so requests are modelled at the transaction level:
+// a fixed network traversal latency plus a burst transfer time into
+// or out of the controller's page buffer.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/units.hpp"
+
+namespace xlf::controller {
+
+enum class OcpCommand {
+  kRead,         // page read request
+  kWrite,        // page write request (with data burst)
+  kConfigRead,   // register read
+  kConfigWrite,  // register write
+};
+
+struct OcpRequest {
+  OcpCommand command = OcpCommand::kRead;
+  std::uint64_t address = 0;
+  std::uint32_t bytes = 0;  // burst size; 4 for config accesses
+};
+
+struct OcpConfig {
+  // One-way network traversal (router hops + arbitration).
+  Seconds network_latency = Seconds::micros(0.5);
+  // Socket data width and clock: 32-bit OCP at 200 MHz.
+  unsigned data_width_bits = 32;
+  Hertz clock = Hertz::megahertz(200.0);
+};
+
+class OcpSocket {
+ public:
+  explicit OcpSocket(const OcpConfig& config);
+
+  const OcpConfig& config() const { return config_; }
+
+  // Time for the request (and its data phase) to cross the socket.
+  Seconds transfer_time(const OcpRequest& request) const;
+  // Burst-only component.
+  Seconds burst_time(std::uint32_t bytes) const;
+
+  // Traffic accounting.
+  std::uint64_t requests_served() const { return requests_; }
+  std::uint64_t bytes_moved() const { return bytes_; }
+  void record(const OcpRequest& request);
+
+ private:
+  OcpConfig config_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace xlf::controller

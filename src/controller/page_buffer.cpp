@@ -1,0 +1,35 @@
+#include "src/controller/page_buffer.hpp"
+
+#include "src/util/expect.hpp"
+
+namespace xlf::controller {
+
+PageBuffer::PageBuffer(const PageBufferConfig& config) : config_(config) {
+  XLF_EXPECT(config_.capacity_bits > 0);
+  XLF_EXPECT(config_.bandwidth.value() > 0.0);
+}
+
+Seconds PageBuffer::load(const BitVec& data) {
+  XLF_EXPECT(!occupied() && "page buffer hand-off violation");
+  XLF_EXPECT(data.size() <= config_.capacity_bits);
+  content_ = data;
+  return stream_time(data.size());
+}
+
+const BitVec& PageBuffer::content() const {
+  XLF_EXPECT(occupied());
+  return *content_;
+}
+
+BitVec PageBuffer::unload() {
+  XLF_EXPECT(occupied());
+  BitVec out = std::move(*content_);
+  content_.reset();
+  return out;
+}
+
+Seconds PageBuffer::stream_time(std::size_t bits) const {
+  return Seconds{static_cast<double>(bits) / 8.0 / config_.bandwidth.value()};
+}
+
+}  // namespace xlf::controller

@@ -1,0 +1,42 @@
+// The controller's page buffer (paper Fig. 1): an embedded RAM block,
+// one page deep, decoupling the fast interconnect from the slow flash
+// device. All data between host and ECC stages flows through here;
+// the model tracks occupancy and hand-off validity so pipeline-order
+// bugs surface as contract violations rather than silent corruption.
+#pragma once
+
+#include <optional>
+
+#include "src/util/bitvec.hpp"
+#include "src/util/units.hpp"
+
+namespace xlf::controller {
+
+struct PageBufferConfig {
+  std::uint32_t capacity_bits = 34560;  // one page incl. spare
+  // Embedded-SRAM streaming bandwidth.
+  BytesPerSecond bandwidth = BytesPerSecond::mib(800.0);
+};
+
+class PageBuffer {
+ public:
+  explicit PageBuffer(const PageBufferConfig& config);
+
+  const PageBufferConfig& config() const { return config_; }
+  bool occupied() const { return content_.has_value(); }
+
+  // Load data into the buffer; fails if still occupied.
+  Seconds load(const BitVec& data);
+  // Peek without releasing.
+  const BitVec& content() const;
+  // Drain the buffer.
+  BitVec unload();
+  // Streaming time for `bits` through the SRAM.
+  Seconds stream_time(std::size_t bits) const;
+
+ private:
+  PageBufferConfig config_;
+  std::optional<BitVec> content_;
+};
+
+}  // namespace xlf::controller

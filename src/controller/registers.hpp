@@ -1,0 +1,63 @@
+// Command/status register file of the memory controller (paper
+// Fig. 1): configuration commands arriving over the OCP socket land
+// here and drive the core controller; status and reliability feedback
+// are read back the same way. The register map is the hardware-style
+// face of the controller's configuration state.
+#pragma once
+
+#include <cstdint>
+
+#include "src/nand/aging.hpp"
+
+namespace xlf::controller {
+
+enum class RegisterId : std::uint32_t {
+  kControl = 0x00,        // bit0: controller enable
+  kEccCapability = 0x04,  // correction capability t
+  kProgramAlgo = 0x08,    // 0 = ISPP-SV, 1 = ISPP-DV
+  kStatus = 0x0C,         // bit0: busy, bit1: last op error
+  kCorrectedBits = 0x10,  // running corrected-bit counter
+  kDecodedPages = 0x14,   // running decoded-page counter
+  kUncorrectable = 0x18,  // running uncorrectable-page counter
+  kUberTargetExp = 0x1C,  // UBER target as -log10 (e.g. 11 -> 1e-11)
+};
+
+class RegisterFile {
+ public:
+  RegisterFile();
+
+  // Raw bus access (configuration commands from the interconnect).
+  std::uint32_t read(RegisterId reg) const;
+  void write(RegisterId reg, std::uint32_t value);
+
+  // Typed views used by the core controller.
+  bool enabled() const;
+  unsigned ecc_capability() const;
+  void set_ecc_capability(unsigned t);
+  nand::ProgramAlgorithm program_algorithm() const;
+  void set_program_algorithm(nand::ProgramAlgorithm algo);
+  bool busy() const;
+  void set_busy(bool busy);
+  void set_error(bool error);
+  double uber_target() const;
+
+  // Reliability feedback counters (read by the reliability manager
+  // and the host).
+  void record_decode(unsigned corrected_bits, bool uncorrectable);
+  std::uint32_t corrected_bits() const;
+  std::uint32_t decoded_pages() const;
+  std::uint32_t uncorrectable_pages() const;
+  void clear_counters();
+
+ private:
+  std::uint32_t control_ = 1;
+  std::uint32_t ecc_capability_ = 3;
+  std::uint32_t program_algo_ = 0;
+  std::uint32_t status_ = 0;
+  std::uint32_t corrected_bits_ = 0;
+  std::uint32_t decoded_pages_ = 0;
+  std::uint32_t uncorrectable_ = 0;
+  std::uint32_t uber_target_exp_ = 11;
+};
+
+}  // namespace xlf::controller

@@ -1,0 +1,78 @@
+#include "src/controller/reliability_manager.hpp"
+
+#include <algorithm>
+
+#include "src/util/expect.hpp"
+
+namespace xlf::controller {
+
+ReliabilityManager::ReliabilityManager(const ReliabilityConfig& config,
+                                       ReliabilityPolicy policy,
+                                       const nand::AgingLaw& law)
+    : config_(config), policy_(policy), law_(law) {
+  XLF_EXPECT(config_.uber_target > 0.0 && config_.uber_target < 1.0);
+  XLF_EXPECT(config_.t_min >= 1 && config_.t_min <= config_.t_max);
+  XLF_EXPECT(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0);
+  XLF_EXPECT(config_.safety_factor >= 1.0);
+}
+
+unsigned ReliabilityManager::t_for_rber(double rber) const {
+  const auto t =
+      bch::min_t_for_uber(rber, config_.uber_target, config_.k, config_.m,
+                          config_.t_min, config_.t_max);
+  saturated_ = !t.has_value();
+  return t.value_or(config_.t_max);
+}
+
+unsigned ReliabilityManager::select_t(nand::ProgramAlgorithm algo,
+                                      double pe_cycles) const {
+  return t_for_rber(law_.rber(algo, pe_cycles));
+}
+
+double ReliabilityManager::predicted_uber(nand::ProgramAlgorithm algo,
+                                          double pe_cycles) const {
+  const double rber = law_.rber(algo, pe_cycles);
+  const unsigned t = t_for_rber(rber);
+  const bch::CodeParams params{config_.m, config_.k, t};
+  return bch::uber(rber, params.n(), t);
+}
+
+void ReliabilityManager::observe_decode(unsigned corrected_bits,
+                                        std::uint32_t codeword_bits) {
+  XLF_EXPECT(codeword_bits > 0);
+  const double sample =
+      static_cast<double>(corrected_bits) / codeword_bits;
+  if (pages_seen_ == 0) {
+    rber_estimate_ = sample;
+  } else {
+    rber_estimate_ = (1.0 - config_.ewma_alpha) * rber_estimate_ +
+                     config_.ewma_alpha * sample;
+  }
+  ++pages_seen_;
+}
+
+double ReliabilityManager::estimated_rber() const { return rber_estimate_; }
+
+unsigned ReliabilityManager::recommended_t(nand::ProgramAlgorithm algo,
+                                           double pe_cycles,
+                                           unsigned fallback_t) const {
+  switch (policy_) {
+    case ReliabilityPolicy::kStatic:
+      return fallback_t;
+    case ReliabilityPolicy::kModelBased:
+      return select_t(algo, pe_cycles);
+    case ReliabilityPolicy::kFeedback: {
+      if (!estimate_ready()) return fallback_t;
+      // Never trust an estimate of exactly zero: with no observed
+      // errors the best statement is "below one error per observed
+      // window"; fall back to the floor capability.
+      if (rber_estimate_ <= 0.0) return config_.t_min;
+      return t_for_rber(
+          std::min(0.5, rber_estimate_ * config_.safety_factor));
+    }
+  }
+  XLF_EXPECT(false && "unknown policy");
+  return fallback_t;
+}
+
+}  // namespace xlf::controller

@@ -1,0 +1,76 @@
+// The integrated reliability manager (paper Section 3): selects the
+// minimal BCH correction capability meeting the UBER target, either
+// from the device's known wear state and RBER law (model-based) or
+// from live corrected-bit feedback out of the ECC unit
+// (self-adaptive). Eq. (1) closes the loop in both cases.
+#pragma once
+
+#include <optional>
+
+#include "src/bch/code_params.hpp"
+#include "src/nand/aging.hpp"
+
+namespace xlf::controller {
+
+enum class ReliabilityPolicy {
+  kStatic,      // hold whatever t was configured
+  kModelBased,  // t from wear counter + RBER aging law
+  kFeedback,    // t from EWMA of observed corrected-bit density
+};
+
+struct ReliabilityConfig {
+  double uber_target = 1e-11;  // Section 6.2
+  unsigned m = 16;
+  std::uint32_t k = 32768;
+  unsigned t_min = 3;
+  unsigned t_max = 65;
+  // Feedback estimator: EWMA smoothing and a multiplicative safety
+  // margin on the estimated RBER (estimates from sparse error counts
+  // are noisy; undershooting t is the expensive direction).
+  double ewma_alpha = 0.05;
+  double safety_factor = 1.25;
+  // Pages to observe before trusting the feedback estimate.
+  unsigned warmup_pages = 32;
+};
+
+class ReliabilityManager {
+ public:
+  ReliabilityManager(const ReliabilityConfig& config,
+                     ReliabilityPolicy policy, const nand::AgingLaw& law);
+
+  ReliabilityPolicy policy() const { return policy_; }
+  void set_policy(ReliabilityPolicy policy) { policy_ = policy; }
+  const ReliabilityConfig& config() const { return config_; }
+
+  // --- model-based path ------------------------------------------------
+  // Minimal t meeting the UBER target for the given algorithm/wear.
+  // Saturates at t_max (and reports so via `saturated()`).
+  unsigned select_t(nand::ProgramAlgorithm algo, double pe_cycles) const;
+  // Eq. (1) evaluated at the configuration the manager would pick.
+  double predicted_uber(nand::ProgramAlgorithm algo, double pe_cycles) const;
+
+  // --- feedback path -----------------------------------------------------
+  // Feed one decode result: corrected bits over a codeword of n bits.
+  void observe_decode(unsigned corrected_bits, std::uint32_t codeword_bits);
+  double estimated_rber() const;
+  bool estimate_ready() const { return pages_seen_ >= config_.warmup_pages; }
+  // Recommended t given the policy and current state; `fallback_t` is
+  // returned by the static policy and by feedback before warm-up.
+  unsigned recommended_t(nand::ProgramAlgorithm algo, double pe_cycles,
+                         unsigned fallback_t) const;
+
+  // True when the last selection could not meet the target within t_max.
+  bool saturated() const { return saturated_; }
+
+ private:
+  unsigned t_for_rber(double rber) const;
+
+  ReliabilityConfig config_;
+  ReliabilityPolicy policy_;
+  nand::AgingLaw law_;
+  double rber_estimate_ = 0.0;
+  unsigned pages_seen_ = 0;
+  mutable bool saturated_ = false;
+};
+
+}  // namespace xlf::controller

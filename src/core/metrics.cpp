@@ -1,0 +1,41 @@
+#include "src/core/metrics.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace xlf::core {
+
+std::string Metrics::summary() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Metrics& metrics) {
+  os << "t=" << metrics.t << " rber=" << metrics.rber
+     << " log10(uber)=" << metrics.log10_uber
+     << " read=" << to_string(metrics.read_throughput)
+     << " write=" << to_string(metrics.write_throughput)
+     << " P_nand=" << to_string(metrics.nand_program_power)
+     << " P_ecc=" << to_string(metrics.ecc_decode_power);
+  return os;
+}
+
+MetricsDelta compare(const Metrics& candidate, const Metrics& reference) {
+  MetricsDelta delta;
+  if (reference.read_throughput.value() > 0.0) {
+    delta.read_throughput_gain_pct =
+        100.0 * (candidate.read_throughput / reference.read_throughput - 1.0);
+  }
+  if (reference.write_throughput.value() > 0.0) {
+    delta.write_throughput_loss_pct =
+        100.0 *
+        (1.0 - candidate.write_throughput / reference.write_throughput);
+  }
+  delta.uber_improvement_orders =
+      reference.log10_uber - candidate.log10_uber;
+  delta.power_delta = candidate.total_power() - reference.total_power();
+  return delta;
+}
+
+}  // namespace xlf::core

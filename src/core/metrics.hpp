@@ -1,0 +1,44 @@
+// The metric bundle every cross-layer evaluation produces: the
+// quantities the paper trades against each other.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/util/units.hpp"
+
+namespace xlf::core {
+
+struct Metrics {
+  double pe_cycles = 0.0;
+  unsigned t = 0;
+  double rber = 0.0;
+  double uber = 0.0;           // Eq. (1) at (rber, t)
+  double log10_uber = 0.0;     // exact even when uber underflows
+  Seconds read_latency{0.0};   // page read + worst-case decode
+  Seconds write_latency{0.0};  // encode + program
+  BytesPerSecond read_throughput{0.0};
+  BytesPerSecond write_throughput{0.0};
+  Watts nand_program_power{0.0};
+  Watts ecc_decode_power{0.0};
+  // NAND + ECC power while decoding (Section 6.3.2's budget).
+  Watts total_power() const { return nand_program_power + ecc_decode_power; }
+
+  std::string summary() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Metrics& metrics);
+
+// Relative changes versus a reference configuration (the paper always
+// reports deltas against the baseline).
+struct MetricsDelta {
+  double read_throughput_gain_pct = 0.0;
+  double write_throughput_loss_pct = 0.0;
+  // Orders of magnitude of UBER improvement (positive = better).
+  double uber_improvement_orders = 0.0;
+  Watts power_delta{0.0};
+};
+
+MetricsDelta compare(const Metrics& candidate, const Metrics& reference);
+
+}  // namespace xlf::core

@@ -1,0 +1,58 @@
+#include "src/core/operating_point.hpp"
+
+#include "src/util/expect.hpp"
+
+namespace xlf::core {
+
+OperatingPoint OperatingPoint::baseline() {
+  return {"baseline", nand::ProgramAlgorithm::kIsppSv, EccSchedule::kTrackSv,
+          3};
+}
+
+OperatingPoint OperatingPoint::min_uber() {
+  // Physical layer moves to DV, architecture keeps the SV-sized ECC:
+  // the whole RBER improvement becomes UBER margin.
+  return {"min-uber", nand::ProgramAlgorithm::kIsppDv, EccSchedule::kTrackSv,
+          3};
+}
+
+OperatingPoint OperatingPoint::max_read() {
+  // Physical layer moves to DV *and* the ECC relaxes to the DV
+  // schedule: same UBER, shorter decode, higher read throughput.
+  return {"max-read", nand::ProgramAlgorithm::kIsppDv, EccSchedule::kTrackDv,
+          3};
+}
+
+OperatingPoint OperatingPoint::custom(nand::ProgramAlgorithm algo,
+                                      unsigned t) {
+  XLF_EXPECT(t >= 1);
+  return {"custom", algo, EccSchedule::kFixed, t};
+}
+
+nand::ProgramAlgorithm OperatingPoint::schedule_algorithm() const {
+  switch (schedule) {
+    case EccSchedule::kTrackSv: return nand::ProgramAlgorithm::kIsppSv;
+    case EccSchedule::kTrackDv: return nand::ProgramAlgorithm::kIsppDv;
+    case EccSchedule::kFixed: return algorithm;
+  }
+  XLF_EXPECT(false && "invalid schedule");
+  return algorithm;
+}
+
+std::string OperatingPoint::describe() const {
+  std::string out = name;
+  out += " [";
+  out += to_string(algorithm);
+  out += ", ECC ";
+  switch (schedule) {
+    case EccSchedule::kTrackSv: out += "tracks SV schedule"; break;
+    case EccSchedule::kTrackDv: out += "tracks DV schedule"; break;
+    case EccSchedule::kFixed:
+      out += "fixed t=" + std::to_string(fixed_t);
+      break;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace xlf::core

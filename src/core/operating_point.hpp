@@ -1,0 +1,42 @@
+// Cross-layer operating points (paper Section 6.3): each point fixes
+// the physical-layer knob (program algorithm) and the ECC scheduling
+// rule. The three named points are the paper's:
+//
+//  * Baseline  — ISPP-SV; t tracks RBER_SV(c) against the UBER target.
+//  * MinUber   — ISPP-DV; t *keeps the SV schedule*, so the 10x RBER
+//                improvement falls through to UBER (Section 6.3.1).
+//  * MaxRead   — ISPP-DV; t relaxed to track RBER_DV(c), shrinking
+//                decode latency at unchanged UBER (Section 6.3.2).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/nand/aging.hpp"
+
+namespace xlf::core {
+
+enum class EccSchedule {
+  kTrackSv,  // t sized for the ISPP-SV RBER at the current age
+  kTrackDv,  // t sized for the ISPP-DV RBER at the current age
+  kFixed,    // t pinned by the user
+};
+
+struct OperatingPoint {
+  std::string name = "custom";
+  nand::ProgramAlgorithm algorithm = nand::ProgramAlgorithm::kIsppSv;
+  EccSchedule schedule = EccSchedule::kTrackSv;
+  // Only meaningful for kFixed.
+  unsigned fixed_t = 3;
+
+  static OperatingPoint baseline();
+  static OperatingPoint min_uber();
+  static OperatingPoint max_read();
+  static OperatingPoint custom(nand::ProgramAlgorithm algo, unsigned t);
+
+  // Which algorithm the ECC schedule is sized against.
+  nand::ProgramAlgorithm schedule_algorithm() const;
+  std::string describe() const;
+};
+
+}  // namespace xlf::core

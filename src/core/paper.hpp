@@ -1,0 +1,61 @@
+// Published anchor values from Zambelli et al., DATE 2012 — collected
+// in one place so tests and benches reference the paper rather than
+// magic numbers. Section/figure citations in the comments.
+#pragma once
+
+#include "src/util/units.hpp"
+
+namespace xlf::core::paper {
+
+// Section 4 / 6.2: BCH over GF(2^16) protecting a 4 KB page.
+inline constexpr unsigned kFieldDegree = 16;
+inline constexpr unsigned kPageBits = 32768;
+// Section 6.2: correction capability range t = 3..65.
+inline constexpr unsigned kTMin = 3;
+inline constexpr unsigned kTMaxSv = 65;   // ISPP-SV end of life (Fig. 7)
+inline constexpr unsigned kTMaxDv = 14;   // ISPP-DV end of life ("Fig. ??")
+// Section 6.2: manufacturers' UBER target.
+inline constexpr double kUberTarget = 1e-11;
+
+// Fig. 7 annotated operating points (RBER -> required t).
+inline constexpr double kFig7RberGrid[] = {1e-6,    2.5e-6,  5e-6,
+                                           2.75e-4, 3.35e-4, 1e-3};
+
+// Fig. 8: codec clock.
+inline constexpr double kEccClockMhz = 80.0;
+
+// Section 6.3.2: page read time vs decode latency.
+inline const Seconds kPageReadTime = Seconds::micros(75.0);   // [27]
+inline const Seconds kDecodeLatencyQuote = Seconds::micros(150.0);
+
+// Section 6.3.3: ISPP-SV program time scale.
+inline const Seconds kProgramTimeQuote = Seconds::millis(1.5);
+
+// Section 6.1 / Fig. 6: DV power penalty and program power window.
+inline const Watts kDvPowerPenalty = Watts::milliwatts(7.5);
+inline const Watts kProgramPowerLow{0.145};
+inline const Watts kProgramPowerHigh{0.185};
+
+// Section 6.3.2: ECC power relaxation 7 mW -> 1 mW.
+inline const Watts kEccPowerSvEol = Watts::milliwatts(7.0);
+inline const Watts kEccPowerDvEol = Watts::milliwatts(1.0);
+
+// Headline results: up to ~30% read-throughput gain (Fig. 11), write
+// throughput loss ~40% on average, 40-48% over life (Fig. 9), RBER
+// improvement of one order of magnitude (Fig. 5).
+inline constexpr double kReadGainEolPct = 30.0;
+inline constexpr double kWriteLossAvgPct = 40.0;
+inline constexpr double kWriteLossEolPct = 48.0;
+inline constexpr double kRberImprovementFactor = 10.0;
+
+// ISPP staircase (Section 5.1): 14 -> 19 V, 250 mV steps, VDD 1.8 V.
+inline const Volts kIsppStart{14.0};
+inline const Volts kIsppEnd{19.0};
+inline const Volts kIsppStep{0.25};
+inline const Volts kVdd{1.8};
+
+// Fig. 4 fit conditions: 7 us pulses, 1 V steps (41 nm device).
+inline const Seconds kFig4PulseTime = Seconds::micros(7.0);
+inline const Volts kFig4Step{1.0};
+
+}  // namespace xlf::core::paper

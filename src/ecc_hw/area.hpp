@@ -1,0 +1,48 @@
+// Gate-count area model of the adaptive codec.
+//
+// Unlike latency and power, area is fixed by the *worst-case*
+// configuration: the silicon instantiates 2*t_max syndrome LFSRs and
+// t_max x h Chien multipliers whether or not the runtime t uses them
+// (unused units are clock-gated — that is the power model's job).
+// Counts are expressed in 2-input-NAND gate equivalents (GE) and
+// converted to silicon area with a 45 nm standard-cell density.
+#pragma once
+
+#include "src/ecc_hw/arch_config.hpp"
+
+namespace xlf::ecc_hw {
+
+struct AreaBreakdown {
+  double encoder_ge = 0.0;
+  double syndrome_ge = 0.0;
+  double berlekamp_massey_ge = 0.0;
+  double chien_ge = 0.0;
+  double control_ge = 0.0;
+  double total_ge() const {
+    return encoder_ge + syndrome_ge + berlekamp_massey_ge + chien_ge +
+           control_ge;
+  }
+};
+
+class AreaModel {
+ public:
+  explicit AreaModel(const EccHwConfig& config);
+
+  // Gate-equivalent cost constants (45 nm class; documented defaults).
+  static constexpr double kGePerFlipFlop = 4.0;
+  static constexpr double kGePerXor2 = 2.0;
+  static constexpr double kGePerMux2 = 1.5;
+  // Standard-cell density at 45 nm, um^2 per GE.
+  static constexpr double kUm2PerGe = 0.71;
+
+  AreaBreakdown breakdown() const;
+  // GE of one constant GF(2^m) multiplier (~m^2/2 XORs).
+  double ge_per_constant_multiplier() const;
+  double total_ge() const { return breakdown().total_ge(); }
+  double area_mm2() const;
+
+ private:
+  EccHwConfig config_;
+};
+
+}  // namespace xlf::ecc_hw

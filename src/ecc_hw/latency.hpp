@@ -1,0 +1,58 @@
+// Cycle-accurate latency model of the adaptive codec (paper Fig. 8).
+//
+// Encoding: the parallel LFSR consumes the k-bit message p bits per
+// cycle — ceil(k/p) cycles regardless of t (the paper stresses that
+// encoding latency is *not* influenced by the correction capability).
+//
+// Decoding (Fig. 2 pipeline):
+//  * Syndrome: 2t parallel LFSRs stream the n(t)-bit codeword p bits
+//    per cycle, plus an alignment phase when the parity width does not
+//    fit the datapath parallelism.
+//  * Berlekamp-Massey: t iterations on a folded datapath whose work
+//    per iteration grows with the running locator degree — t(t+1)
+//    cycles in total.
+//  * Chien: n(t)/h cycles with h positions evaluated in parallel.
+//
+// With p = h = 8 at 80 MHz this lands on the paper's envelope:
+// encode ~51 us flat; decode ~103 us (t=3) to ~159 us (t=65), matching
+// the 40-160 us plot and the "150 us decode vs 75 us page read" text.
+#pragma once
+
+#include "src/ecc_hw/arch_config.hpp"
+#include "src/util/units.hpp"
+
+namespace xlf::ecc_hw {
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(const EccHwConfig& config);
+
+  const EccHwConfig& config() const { return config_; }
+
+  // --- cycle counts -----------------------------------------------
+  unsigned long long encode_cycles() const;
+  unsigned long long syndrome_cycles(unsigned t) const;
+  unsigned long long alignment_cycles(unsigned t) const;
+  unsigned long long berlekamp_massey_cycles(unsigned t) const;
+  unsigned long long chien_cycles(unsigned t) const;
+  // Full decode: syndrome + iBM + Chien + per-stage overhead. This is
+  // the worst-case (errors present) latency the paper's figures use.
+  unsigned long long decode_cycles(unsigned t) const;
+  // Clean-page fast path: syndromes all zero ends decoding early.
+  unsigned long long decode_cycles_clean(unsigned t) const;
+
+  // --- wall-clock -------------------------------------------------
+  Seconds encode_latency() const;
+  Seconds decode_latency(unsigned t) const;
+  Seconds decode_latency_clean(unsigned t) const;
+  // Expected decode latency at a given raw bit error rate: clean pages
+  // (probability (1-rber)^n) skip iBM and Chien. An extension beyond
+  // the paper, which dimensions for the worst case.
+  Seconds expected_decode_latency(unsigned t, double rber) const;
+
+ private:
+  void check_t(unsigned t) const;
+  EccHwConfig config_;
+};
+
+}  // namespace xlf::ecc_hw

@@ -1,0 +1,45 @@
+// Activity-based power model of the adaptive codec.
+//
+// Dynamic power follows switching activity: only the 2t syndrome
+// LFSRs enabled by the selected correction capability clock, the iBM
+// machine runs t iterations, and the Chien bank's constant multipliers
+// only toggle for the nonzero locator coefficients (deg lambda = actual
+// error count), the rest being clock-gated. Energy is gate-equivalents
+// x active cycles x a per-GE switching energy calibrated so that the
+// paper's Section 6.3.2 anchors hold: ~7 mW decoding at t = 65 under
+// end-of-life ISPP-SV error loads, relaxing to ~1 mW at the ISPP-DV
+// end-of-life point (t = 14).
+#pragma once
+
+#include "src/ecc_hw/area.hpp"
+#include "src/ecc_hw/latency.hpp"
+#include "src/util/units.hpp"
+
+namespace xlf::ecc_hw {
+
+class PowerModel {
+ public:
+  explicit PowerModel(const EccHwConfig& config);
+
+  // Switching energy per gate-equivalent per clock, 45 nm low-power
+  // class; calibrated against the paper's 7 mW @ t=65 anchor.
+  static constexpr double kJoulePerGeCycle = 2.3e-15;
+
+  // Energy of one page encode (t fixes the LFSR span).
+  Joules encode_energy(unsigned t) const;
+  // Energy of one page decode at correction capability t with
+  // `expected_errors` raised locator coefficients.
+  Joules decode_energy(unsigned t, double expected_errors) const;
+
+  // Average power while continuously decoding (the codec's duty in a
+  // read-saturated workload): energy over decode latency.
+  Watts decode_power(unsigned t, double expected_errors) const;
+  Watts encode_power(unsigned t) const;
+
+ private:
+  EccHwConfig config_;
+  LatencyModel latency_;
+  AreaModel area_;
+};
+
+}  // namespace xlf::ecc_hw

@@ -1,0 +1,50 @@
+// Configuration ROM of the adaptive decoder (Section 4).
+//
+// For every supported correction capability the hardware stores:
+//  * the generator-polynomial mux configuration for the programmable
+//    encoder LFSR (r = m*t bits),
+//  * the psi_i selection masks enabling 2t of the 2*t_max syndrome
+//    LFSRs,
+//  * the GF(2^m) element from which the Chien search must initiate
+//    (the shortened code skips the unused positions).
+// This model accounts those bits — the "small ROM" whose growth is
+// the main implementation cost of adaptivity (Section 6.4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ecc_hw/arch_config.hpp"
+
+namespace xlf::ecc_hw {
+
+struct RomEntry {
+  unsigned t = 0;
+  std::uint32_t generator_config_bits = 0;  // r bits of LFSR muxing
+  std::uint32_t syndrome_enable_bits = 0;   // 2*t_max enable mask width
+  std::uint32_t chien_start_bits = 0;       // one field element
+};
+
+class ConfigRom {
+ public:
+  explicit ConfigRom(const EccHwConfig& config);
+
+  const std::vector<RomEntry>& entries() const { return entries_; }
+  // Entry lookup; throws for unsupported t.
+  const RomEntry& entry(unsigned t) const;
+
+  // Total storage in bits / bytes.
+  std::uint64_t total_bits() const;
+  double total_kib() const;
+
+  // Chien start index for capability t: the first position of the
+  // full-length code that maps into the shortened codeword, i.e.
+  // 2^m - 1 - n(t) positions are skipped.
+  std::uint32_t chien_start_index(unsigned t) const;
+
+ private:
+  EccHwConfig config_;
+  std::vector<RomEntry> entries_;
+};
+
+}  // namespace xlf::ecc_hw

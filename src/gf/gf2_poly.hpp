@@ -1,0 +1,74 @@
+// Dense polynomials over GF(2), stored as packed 64-bit words.
+//
+// These represent codewords, messages and generator polynomials; the
+// generator for t = 65 over GF(2^16) has degree 1040 and codewords
+// have degree ~33807, so all bulk operations are word-parallel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/gf/gf2m.hpp"
+
+namespace xlf::gf {
+
+class Gf2Poly {
+ public:
+  Gf2Poly() = default;
+  // Polynomial from bit pattern: bit i of `bits` = coefficient of x^i.
+  explicit Gf2Poly(std::uint64_t bits);
+
+  static Gf2Poly zero() { return Gf2Poly(); }
+  static Gf2Poly one() { return Gf2Poly(1); }
+  // x^e
+  static Gf2Poly monomial(std::size_t e);
+
+  // Degree of the zero polynomial is reported as -1.
+  long long degree() const;
+  bool is_zero() const;
+  bool coeff(std::size_t i) const;
+  void set_coeff(std::size_t i, bool value);
+  // Number of nonzero coefficients.
+  std::size_t weight() const;
+
+  Gf2Poly operator+(const Gf2Poly& other) const;  // XOR; same as subtraction
+  Gf2Poly operator*(const Gf2Poly& other) const;
+  // Quotient and remainder of *this / divisor.
+  struct DivMod;
+  DivMod divmod(const Gf2Poly& divisor) const;
+  Gf2Poly operator%(const Gf2Poly& divisor) const;
+  bool operator==(const Gf2Poly& other) const;
+
+  // Multiply by x^e (shift left).
+  Gf2Poly shifted(std::size_t e) const;
+
+  // Evaluate at a field element via Horner's rule.
+  Element eval(const Gf2m& field, Element x) const;
+
+  // Formal derivative: over GF(2) only odd-degree terms survive.
+  Gf2Poly derivative() const;
+
+  // Greatest common divisor (Euclid).
+  static Gf2Poly gcd(Gf2Poly a, Gf2Poly b);
+
+  // Raw word access for bulk codeword manipulation.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  // Ensure capacity for degree `deg` (zero-filled).
+  void reserve_degree(std::size_t deg);
+
+  // "x^5 + x^2 + 1" style rendering, low-degree terms last.
+  std::string to_string() const;
+
+ private:
+  void trim();
+  std::vector<std::uint64_t> words_;
+};
+
+struct Gf2Poly::DivMod {
+  Gf2Poly quotient;
+  Gf2Poly remainder;
+};
+
+}  // namespace xlf::gf

@@ -1,0 +1,118 @@
+#include "src/gf/gfp_poly.hpp"
+
+#include <algorithm>
+
+#include "src/util/expect.hpp"
+
+namespace xlf::gf {
+
+GfpPoly::GfpPoly(std::vector<Element> coeffs) : coeffs_(std::move(coeffs)) {
+  trim();
+}
+
+long long GfpPoly::degree() const {
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    if (coeffs_[i] != 0) return static_cast<long long>(i);
+  }
+  return -1;
+}
+
+Element GfpPoly::coeff(std::size_t i) const {
+  return i < coeffs_.size() ? coeffs_[i] : 0;
+}
+
+void GfpPoly::set_coeff(std::size_t i, Element value) {
+  if (i >= coeffs_.size()) {
+    if (value == 0) return;
+    coeffs_.resize(i + 1, 0);
+  }
+  coeffs_[i] = value;
+}
+
+GfpPoly GfpPoly::add(const Gf2m&, const GfpPoly& other) const {
+  GfpPoly result = *this;
+  if (other.coeffs_.size() > result.coeffs_.size()) {
+    result.coeffs_.resize(other.coeffs_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.coeffs_.size(); ++i) {
+    result.coeffs_[i] ^= other.coeffs_[i];
+  }
+  result.trim();
+  return result;
+}
+
+GfpPoly GfpPoly::mul(const Gf2m& field, const GfpPoly& other) const {
+  if (is_zero() || other.is_zero()) return GfpPoly();
+  std::vector<Element> out(coeffs_.size() + other.coeffs_.size() - 1, 0);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    if (coeffs_[i] == 0) continue;
+    for (std::size_t j = 0; j < other.coeffs_.size(); ++j) {
+      out[i + j] ^= field.mul(coeffs_[i], other.coeffs_[j]);
+    }
+  }
+  return GfpPoly(std::move(out));
+}
+
+GfpPoly GfpPoly::scale(const Gf2m& field, Element factor) const {
+  if (factor == 0) return GfpPoly();
+  std::vector<Element> out(coeffs_.size());
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    out[i] = field.mul(coeffs_[i], factor);
+  }
+  return GfpPoly(std::move(out));
+}
+
+GfpPoly GfpPoly::shifted(std::size_t e) const {
+  if (is_zero()) return GfpPoly();
+  std::vector<Element> out(coeffs_.size() + e, 0);
+  std::copy(coeffs_.begin(), coeffs_.end(), out.begin() + static_cast<long>(e));
+  return GfpPoly(std::move(out));
+}
+
+Element GfpPoly::eval(const Gf2m& field, Element x) const {
+  Element acc = 0;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    acc = field.mul(acc, x) ^ coeffs_[i];
+  }
+  return acc;
+}
+
+GfpPoly GfpPoly::derivative() const {
+  if (coeffs_.size() <= 1) return GfpPoly();
+  std::vector<Element> out(coeffs_.size() - 1, 0);
+  for (std::size_t i = 1; i < coeffs_.size(); i += 2) {
+    out[i - 1] = coeffs_[i];  // i * a_i = a_i for odd i in char 2
+  }
+  return GfpPoly(std::move(out));
+}
+
+bool GfpPoly::equals(const GfpPoly& other) const {
+  const std::size_t n = std::max(coeffs_.size(), other.coeffs_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (coeff(i) != other.coeff(i)) return false;
+  }
+  return true;
+}
+
+std::string GfpPoly::to_string() const {
+  if (is_zero()) return "0";
+  std::string out;
+  for (long long i = degree(); i >= 0; --i) {
+    const Element c = coeff(static_cast<std::size_t>(i));
+    if (c == 0) continue;
+    if (!out.empty()) out += " + ";
+    out += std::to_string(c);
+    if (i == 1) {
+      out += "*x";
+    } else if (i > 1) {
+      out += "*x^" + std::to_string(i);
+    }
+  }
+  return out;
+}
+
+void GfpPoly::trim() {
+  while (!coeffs_.empty() && coeffs_.back() == 0) coeffs_.pop_back();
+}
+
+}  // namespace xlf::gf

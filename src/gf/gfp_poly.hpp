@@ -1,0 +1,50 @@
+// Polynomials with coefficients in GF(2^m).
+//
+// The decoder works with these: the error-locator polynomial lambda(x)
+// produced by Berlekamp-Massey has degree <= t (65 here), so these
+// stay tiny — a plain coefficient vector with Horner evaluation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/gf/gf2m.hpp"
+
+namespace xlf::gf {
+
+class GfpPoly {
+ public:
+  GfpPoly() = default;
+  explicit GfpPoly(std::vector<Element> coeffs);  // coeffs[i] = coeff of x^i
+
+  static GfpPoly zero() { return GfpPoly(); }
+  static GfpPoly one() { return GfpPoly({1}); }
+
+  long long degree() const;
+  bool is_zero() const { return degree() < 0; }
+  Element coeff(std::size_t i) const;
+  void set_coeff(std::size_t i, Element value);
+  const std::vector<Element>& coeffs() const { return coeffs_; }
+
+  GfpPoly add(const Gf2m& field, const GfpPoly& other) const;
+  GfpPoly mul(const Gf2m& field, const GfpPoly& other) const;
+  GfpPoly scale(const Gf2m& field, Element factor) const;
+  // Multiply by x^e.
+  GfpPoly shifted(std::size_t e) const;
+
+  Element eval(const Gf2m& field, Element x) const;
+
+  // Formal derivative in characteristic 2.
+  GfpPoly derivative() const;
+
+  bool equals(const GfpPoly& other) const;
+
+  std::string to_string() const;
+
+ private:
+  void trim();
+  std::vector<Element> coeffs_;
+};
+
+}  // namespace xlf::gf

@@ -1,0 +1,41 @@
+#include "src/gf/minpoly.hpp"
+
+#include <algorithm>
+
+#include "src/gf/gfp_poly.hpp"
+#include "src/util/expect.hpp"
+
+namespace xlf::gf {
+
+std::vector<std::uint32_t> cyclotomic_coset(const Gf2m& field, std::uint32_t i) {
+  const std::uint32_t n = field.order();
+  XLF_EXPECT(i < n);
+  std::vector<std::uint32_t> coset;
+  std::uint32_t j = i;
+  do {
+    coset.push_back(j);
+    j = static_cast<std::uint32_t>((2ull * j) % n);
+  } while (j != i);
+  std::sort(coset.begin(), coset.end());
+  return coset;
+}
+
+Gf2Poly minimal_polynomial(const Gf2m& field, std::uint32_t i) {
+  const auto coset = cyclotomic_coset(field, i);
+  // Build prod (x + alpha^j) over GF(2^m), then project to GF(2).
+  GfpPoly acc = GfpPoly::one();
+  for (std::uint32_t j : coset) {
+    const GfpPoly factor({field.alpha_pow(j), 1});  // alpha^j + x
+    acc = acc.mul(field, factor);
+  }
+  Gf2Poly result;
+  for (long long d = acc.degree(); d >= 0; --d) {
+    const Element c = acc.coeff(static_cast<std::size_t>(d));
+    XLF_ENSURE(c == 0 || c == 1);  // conjugate closure forces binary coeffs
+    if (c == 1) result.set_coeff(static_cast<std::size_t>(d), true);
+  }
+  XLF_ENSURE(result.degree() == static_cast<long long>(coset.size()));
+  return result;
+}
+
+}  // namespace xlf::gf

@@ -1,0 +1,27 @@
+// Cyclotomic cosets and minimal polynomials over GF(2).
+//
+// The BCH generator polynomial is the least common multiple of the
+// minimal polynomials of alpha^1 .. alpha^(2t); conjugate powers share
+// a minimal polynomial, so the LCM reduces to a product over distinct
+// cyclotomic cosets (in practice the odd exponents 1, 3, ..., 2t-1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/gf/gf2_poly.hpp"
+#include "src/gf/gf2m.hpp"
+
+namespace xlf::gf {
+
+// Cyclotomic coset of `i` modulo 2^m - 1: {i, 2i, 4i, ...} until it
+// wraps. Returned sorted ascending with the coset leader first
+// (the smallest member).
+std::vector<std::uint32_t> cyclotomic_coset(const Gf2m& field, std::uint32_t i);
+
+// Minimal polynomial of alpha^i over GF(2): the monic polynomial
+// prod_{j in coset(i)} (x - alpha^j). All coefficients land in {0,1};
+// this is checked and the result returned as a GF(2) polynomial.
+Gf2Poly minimal_polynomial(const Gf2m& field, std::uint32_t i);
+
+}  // namespace xlf::gf

@@ -1,0 +1,81 @@
+#include "src/hv/charge_pump.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/expect.hpp"
+
+namespace xlf::hv {
+
+DicksonPump::DicksonPump(const PumpConfig& config) : config_(config) {
+  XLF_EXPECT(config_.stages >= 1);
+  XLF_EXPECT(config_.vdd.value() > 0.0);
+  XLF_EXPECT(config_.stage_capacitance_f > 0.0);
+  XLF_EXPECT(config_.output_capacitance_f > 0.0);
+  XLF_EXPECT(config_.clock.value() > 0.0);
+  XLF_EXPECT(config_.parasitic_fraction >= 0.0 &&
+             config_.parasitic_fraction < 1.0);
+}
+
+Volts DicksonPump::open_circuit_voltage() const {
+  const double n = config_.stages;
+  return Volts{(n + 1.0) * config_.vdd.value() - n * config_.stage_loss.value()};
+}
+
+double DicksonPump::output_impedance_ohm() const {
+  return static_cast<double>(config_.stages) /
+         (config_.clock.value() * config_.stage_capacitance_f);
+}
+
+Volts DicksonPump::steady_state_voltage(Amperes load) const {
+  return Volts{open_circuit_voltage().value() -
+               load.value() * output_impedance_ohm()};
+}
+
+Amperes DicksonPump::input_current(Amperes load) const {
+  // Every coulomb delivered at the output transits all N+1 stages from
+  // the supply; bottom-plate parasitics add a proportional waste term.
+  const double n = config_.stages;
+  const double ideal = (n + 1.0) * load.value();
+  const double parasitic = config_.parasitic_fraction * n *
+                           config_.stage_capacitance_f *
+                           config_.clock.value() * config_.vdd.value();
+  return Amperes{ideal + parasitic};
+}
+
+double DicksonPump::efficiency(Volts vout, Amperes load) const {
+  XLF_EXPECT(load.value() >= 0.0);
+  if (load.value() == 0.0) return 0.0;
+  const double out = vout.value() * load.value();
+  const double in = config_.vdd.value() * input_current(load).value();
+  XLF_ENSURE(in > 0.0);
+  return std::clamp(out / in, 0.0, 1.0);
+}
+
+void DicksonPump::reset(Volts initial_vout) { vout_ = initial_vout; }
+
+PumpStep DicksonPump::step(Seconds dt, bool enabled, Amperes load) {
+  XLF_EXPECT(dt.value() > 0.0);
+  XLF_EXPECT(load.value() >= 0.0);
+  PumpStep out;
+  const double c_out = config_.output_capacitance_f;
+  if (enabled) {
+    // RC relaxation toward the loaded steady state with time constant
+    // Rout * Cout.
+    const double v_target = steady_state_voltage(load).value();
+    const double tau = output_impedance_ohm() * c_out;
+    const double alpha = 1.0 - std::exp(-dt.value() / tau);
+    vout_ = Volts{vout_.value() + (v_target - vout_.value()) * alpha};
+    const Amperes iin = input_current(load);
+    out.input_current = iin;
+    out.input_energy = Joules{config_.vdd.value() * iin.value() * dt.value()};
+  } else {
+    // Disabled: the load discharges the output capacitance.
+    const double droop = load.value() * dt.value() / c_out;
+    vout_ = Volts{std::max(0.0, vout_.value() - droop)};
+  }
+  out.vout = vout_;
+  return out;
+}
+
+}  // namespace xlf::hv

@@ -1,0 +1,89 @@
+#include "src/hv/hv_subsystem.hpp"
+
+#include "src/util/expect.hpp"
+
+namespace xlf::hv {
+
+HvSubsystem::HvSubsystem(const HvConfig& config)
+    : config_(config),
+      program_pump_(config.program_pump),
+      inhibit_pump_(config.inhibit_pump),
+      verify_pump_(config.verify_pump) {
+  // The rails must be reachable by their pumps.
+  XLF_EXPECT(program_pump_.open_circuit_voltage() > Volts{19.0});
+  XLF_EXPECT(inhibit_pump_.open_circuit_voltage() > config_.inhibit_rail);
+  XLF_EXPECT(verify_pump_.open_circuit_voltage() > config_.verify_rail);
+}
+
+Joules HvSubsystem::lift_energy(const DicksonPump& pump,
+                                double charge_c) const {
+  XLF_EXPECT(charge_c >= 0.0);
+  // Each output coulomb transits N+1 stages from VDD.
+  const double n1 = pump.config().stages + 1.0;
+  return Joules{n1 * pump.config().vdd.value() * charge_c};
+}
+
+Watts HvSubsystem::dc_input_power(const DicksonPump& pump,
+                                  Amperes load) const {
+  return Watts{pump.config().vdd.value() * pump.input_current(load).value()};
+}
+
+HvEnergyBreakdown HvSubsystem::energy(const nand::IsppTrace& trace) const {
+  HvEnergyBreakdown out;
+
+  // --- program pump ---------------------------------------------------
+  // Wordline recharge: per pulse the WL capacitance is charged to VCG;
+  // summing C * VCG over pulses equals C * (integral VCG dt) / t_pulse,
+  // and the trace carries exactly that integral.
+  const Seconds pulse_total = trace.program_pump_time;
+  if (pulse_total.value() > 0.0) {
+    const double t_pulse = pulse_total.value() / trace.pulses;
+    const double wl_charge =
+        config_.wordline_capacitance_f * trace.vcg_time_integral / t_pulse;
+    out.program_pump = lift_energy(program_pump_, wl_charge) +
+                       dc_input_power(program_pump_, config_.tunnel_current) *
+                           pulse_total;
+  }
+
+  // --- inhibit pump -----------------------------------------------------
+  if (trace.inhibit_pump_time.value() > 0.0) {
+    const double t_pulse = trace.inhibit_pump_time.value() / trace.pulses;
+    const double boost_charge = config_.inhibit_capacitance_f *
+                                config_.inhibit_rail.value() *
+                                (trace.inhibit_pump_time.value() / t_pulse);
+    out.inhibit_pump = lift_energy(inhibit_pump_, boost_charge) +
+                       dc_input_power(inhibit_pump_, config_.inhibit_dc) *
+                           trace.inhibit_pump_time;
+  }
+
+  // --- verify pump and page sensing -----------------------------------
+  if (trace.verify_ops > 0) {
+    const double pass_charge = config_.verify_capacitance_f *
+                               config_.verify_rail.value() * trace.verify_ops;
+    out.verify_pump = lift_energy(verify_pump_, pass_charge) +
+                      dc_input_power(verify_pump_, config_.verify_dc) *
+                          trace.verify_pump_time;
+    out.sensing = config_.sense * trace.verify_pump_time;
+  }
+
+  // --- background -----------------------------------------------------
+  out.background = config_.background * trace.duration();
+  return out;
+}
+
+Watts HvSubsystem::average_power(const nand::IsppTrace& trace) const {
+  const Seconds duration = trace.duration();
+  XLF_EXPECT(duration.value() > 0.0);
+  return energy(trace).total() / duration;
+}
+
+Joules HvSubsystem::read_energy(Seconds read_time) const {
+  XLF_EXPECT(read_time.value() >= 0.0);
+  const double pass_charge =
+      config_.verify_capacitance_f * config_.verify_rail.value();
+  return lift_energy(verify_pump_, pass_charge) +
+         dc_input_power(verify_pump_, config_.verify_dc) * read_time +
+         config_.sense * read_time + config_.background * read_time;
+}
+
+}  // namespace xlf::hv

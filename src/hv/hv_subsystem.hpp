@@ -1,0 +1,95 @@
+// The high-voltage subsystem: the three charge pumps of the paper's
+// Section 5.1 with their regulators, and the per-operation energy
+// accounting driven by ISPP traces.
+//
+// Energy model per program operation (FlashPower-style [25]):
+//  * Program pump (12-stage, 14-19 V): per pulse it recharges the
+//    selected wordline to VCG and sustains the FN tunnelling current;
+//    every output coulomb is lifted from VDD through N+1 stages.
+//  * Inhibit pump (8-stage, 8 V): drives the unselected wordlines /
+//    channel self-boosting during every pulse.
+//  * Verify pump (4-stage high-speed, 4.5 V): drives the read pass
+//    rail during every verify sense — the component whose extra duty
+//    under ISPP-DV produces the ~7.5 mW gap of Fig. 6.
+//  * Background: VDD-rail consumption of sense amplifiers, page
+//    buffer and control logic over the whole operation (I/O pins and
+//    the external digital part are excluded, as in the paper).
+#pragma once
+
+#include "src/hv/charge_pump.hpp"
+#include "src/hv/regulator.hpp"
+#include "src/nand/ispp.hpp"
+#include "src/util/units.hpp"
+
+namespace xlf::hv {
+
+struct HvConfig {
+  PumpConfig program_pump{.stages = 12, .vdd = Volts{1.8}};
+  PumpConfig inhibit_pump{.stages = 8, .vdd = Volts{1.8}};
+  PumpConfig verify_pump{
+      .stages = 4, .vdd = Volts{1.8}, .clock = Hertz::megahertz(40.0)};
+  RegulatorConfig regulator;
+
+  Volts inhibit_rail{8.0};
+  Volts verify_rail{4.5};
+
+  // Load model constants.
+  double wordline_capacitance_f = 5.0e-9;   // selected WL + string load
+  Amperes tunnel_current{0.20e-3};          // page-wide FN current
+  double inhibit_capacitance_f = 6.0e-9;    // unselected WLs + channels
+  Amperes inhibit_dc{0.10e-3};
+  double verify_capacitance_f = 2.0e-9;     // pass rail per sense
+  Amperes verify_dc{0.35e-3};
+  // VDD-rail consumption of bitline precharge and the page-wide sense
+  // amplifier bank while a verify/read sense is in flight. Sensing a
+  // 4 KB page precharges ~34k bitlines, making verify phases the most
+  // power-hungry part of the operation — the root of the ISPP-DV
+  // power penalty (Fig. 6).
+  Watts sense{0.102};
+  // VDD-rail background power while the device is busy.
+  Watts background{0.070};
+};
+
+struct HvEnergyBreakdown {
+  Joules program_pump{0.0};
+  Joules inhibit_pump{0.0};
+  Joules verify_pump{0.0};
+  Joules sensing{0.0};
+  Joules background{0.0};
+  Joules total() const {
+    return program_pump + inhibit_pump + verify_pump + sensing + background;
+  }
+};
+
+class HvSubsystem {
+ public:
+  explicit HvSubsystem(const HvConfig& config);
+
+  const HvConfig& config() const { return config_; }
+
+  // Pumps exposed for rail-level verification (tests, Fig. 6 setup).
+  const DicksonPump& program_pump() const { return program_pump_; }
+  const DicksonPump& inhibit_pump() const { return inhibit_pump_; }
+  const DicksonPump& verify_pump() const { return verify_pump_; }
+
+  // Energy of one program operation described by an ISPP trace.
+  HvEnergyBreakdown energy(const nand::IsppTrace& trace) const;
+  // Average power over the operation (the Fig. 6 quantity).
+  Watts average_power(const nand::IsppTrace& trace) const;
+
+  // Energy of one page-read operation (verify pump + background).
+  Joules read_energy(Seconds read_time) const;
+
+ private:
+  // Input energy to lift `charge` coulombs to the output of `pump`.
+  Joules lift_energy(const DicksonPump& pump, double charge_c) const;
+  // DC-load input power of a pump.
+  Watts dc_input_power(const DicksonPump& pump, Amperes load) const;
+
+  HvConfig config_;
+  DicksonPump program_pump_;
+  DicksonPump inhibit_pump_;
+  DicksonPump verify_pump_;
+};
+
+}  // namespace xlf::hv

@@ -1,0 +1,35 @@
+#include "src/hv/power_model.hpp"
+
+namespace xlf::hv {
+
+NandPowerModel::NandPowerModel(const HvConfig& hv,
+                               const nand::NandTiming& timing)
+    : subsystem_(hv), timing_(&timing) {}
+
+Watts NandPowerModel::program_power(nand::ProgramAlgorithm algo,
+                                    double pe_cycles,
+                                    std::optional<nand::Level> pattern) const {
+  const nand::IsppTrace& trace =
+      timing_->sample_trace(algo, pe_cycles, pattern);
+  return subsystem_.average_power(trace);
+}
+
+Joules NandPowerModel::program_energy(
+    nand::ProgramAlgorithm algo, double pe_cycles,
+    std::optional<nand::Level> pattern) const {
+  const nand::IsppTrace& trace =
+      timing_->sample_trace(algo, pe_cycles, pattern);
+  return subsystem_.energy(trace).total();
+}
+
+Joules NandPowerModel::read_energy() const {
+  return subsystem_.read_energy(timing_->read_time());
+}
+
+Watts NandPowerModel::dv_power_penalty(
+    double pe_cycles, std::optional<nand::Level> pattern) const {
+  return program_power(nand::ProgramAlgorithm::kIsppDv, pe_cycles, pattern) -
+         program_power(nand::ProgramAlgorithm::kIsppSv, pe_cycles, pattern);
+}
+
+}  // namespace xlf::hv

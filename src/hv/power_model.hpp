@@ -1,0 +1,39 @@
+// NAND power model: joins the ISPP timing characterisation with the
+// HV-subsystem energy accounting to produce the paper's Fig. 6
+// quantities — average program power per algorithm, data pattern and
+// age — plus read/erase energies for the system simulator.
+#pragma once
+
+#include <optional>
+
+#include "src/hv/hv_subsystem.hpp"
+#include "src/nand/timing.hpp"
+
+namespace xlf::hv {
+
+class NandPowerModel {
+ public:
+  NandPowerModel(const HvConfig& hv, const nand::NandTiming& timing);
+
+  // Average power of one page program (Fig. 6). `pattern` pins all
+  // programmed cells to one level; nullopt = uniform random data.
+  Watts program_power(nand::ProgramAlgorithm algo, double pe_cycles,
+                      std::optional<nand::Level> pattern = std::nullopt) const;
+
+  Joules program_energy(nand::ProgramAlgorithm algo, double pe_cycles,
+                        std::optional<nand::Level> pattern = std::nullopt) const;
+
+  Joules read_energy() const;
+
+  // Power gap DV - SV at the given age/pattern (the paper's ~7.5 mW).
+  Watts dv_power_penalty(double pe_cycles,
+                         std::optional<nand::Level> pattern = std::nullopt) const;
+
+  const HvSubsystem& subsystem() const { return subsystem_; }
+
+ private:
+  HvSubsystem subsystem_;
+  const nand::NandTiming* timing_;
+};
+
+}  // namespace xlf::hv

@@ -1,0 +1,56 @@
+#include "src/hv/regulator.hpp"
+
+#include "src/util/expect.hpp"
+
+namespace xlf::hv {
+
+Regulator::Regulator(const RegulatorConfig& config, Volts target)
+    : config_(config), target_(target) {
+  XLF_EXPECT(config_.vref.value() > 0.0);
+  XLF_EXPECT(config_.hysteresis.value() >= 0.0);
+  XLF_EXPECT(target.value() > 0.0);
+}
+
+void Regulator::set_target(Volts target) {
+  XLF_EXPECT(target.value() > 0.0);
+  target_ = target;
+}
+
+RegulatedStep Regulator::step(DicksonPump& pump, Seconds dt, Amperes load) {
+  // Comparator with hysteresis: stop above target, restart below
+  // target - hysteresis.
+  const Volts sensed = pump.vout();
+  if (enabled_ && sensed >= target_) {
+    enabled_ = false;
+  } else if (!enabled_ && sensed < target_ - config_.hysteresis) {
+    enabled_ = true;
+  }
+  const PumpStep pump_step = pump.step(dt, enabled_, load);
+  RegulatedStep out;
+  out.vout = pump_step.vout;
+  out.pump_enabled = enabled_;
+  out.input_energy = pump_step.input_energy;
+  return out;
+}
+
+RegulationSummary regulate_for(Regulator& regulator, DicksonPump& pump,
+                               Seconds duration, unsigned steps,
+                               Amperes load) {
+  XLF_EXPECT(steps >= 1);
+  const Seconds dt = duration / static_cast<double>(steps);
+  RegulationSummary summary;
+  double v_sum = 0.0;
+  unsigned enabled_steps = 0;
+  for (unsigned i = 0; i < steps; ++i) {
+    const RegulatedStep s = regulator.step(pump, dt, load);
+    summary.input_energy += s.input_energy;
+    v_sum += s.vout.value();
+    if (s.pump_enabled) ++enabled_steps;
+  }
+  summary.final_voltage = pump.vout();
+  summary.mean_voltage = Volts{v_sum / steps};
+  summary.duty_cycle = static_cast<double>(enabled_steps) / steps;
+  return summary;
+}
+
+}  // namespace xlf::hv

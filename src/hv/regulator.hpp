@@ -1,0 +1,59 @@
+// Hysteretic regulation loop (paper Section 5.1, "Regulators and
+// limiting systems"): a voltage divider feeds back the pump output to
+// a comparator against a bandgap-style reference; the pump is shut
+// down when the target is reached and restarted when the output
+// droops below the restart threshold. This bang-bang control is "the
+// only viable solution for an accurate control of the threshold
+// voltages in an MLC NAND device".
+#pragma once
+
+#include "src/hv/charge_pump.hpp"
+#include "src/util/units.hpp"
+
+namespace xlf::hv {
+
+struct RegulatorConfig {
+  Volts vref{1.2};
+  // Comparator hysteresis expressed at the regulated output.
+  Volts hysteresis{0.10};
+};
+
+struct RegulatedStep {
+  Volts vout{0.0};
+  bool pump_enabled = false;
+  Joules input_energy{0.0};
+};
+
+class Regulator {
+ public:
+  Regulator(const RegulatorConfig& config, Volts target);
+
+  const RegulatorConfig& config() const { return config_; }
+  Volts target() const { return target_; }
+  // Divider ratio mapping the target output to vref.
+  double divider_ratio() const { return config_.vref.value() / target_.value(); }
+  // Retarget at runtime (the ISPP staircase raises the program rail
+  // every pulse).
+  void set_target(Volts target);
+
+  // One control step: sense, compare with hysteresis, gate the pump.
+  RegulatedStep step(DicksonPump& pump, Seconds dt, Amperes load);
+
+ private:
+  RegulatorConfig config_;
+  Volts target_;
+  bool enabled_ = true;
+};
+
+// Convenience: run the loop for `duration` in `steps` increments and
+// integrate energy; returns final voltage, mean voltage and energy.
+struct RegulationSummary {
+  Volts final_voltage{0.0};
+  Volts mean_voltage{0.0};
+  Joules input_energy{0.0};
+  double duty_cycle = 0.0;  // fraction of time the pump was enabled
+};
+RegulationSummary regulate_for(Regulator& regulator, DicksonPump& pump,
+                               Seconds duration, unsigned steps, Amperes load);
+
+}  // namespace xlf::hv

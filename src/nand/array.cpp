@@ -1,0 +1,237 @@
+#include "src/nand/array.hpp"
+
+#include <algorithm>
+
+#include "src/util/expect.hpp"
+
+namespace xlf::nand {
+
+NandArray::NandArray(const ArrayConfig& config)
+    : config_(config),
+      variability_(config.variability, config.aging),
+      ispp_(config.ispp, config.plan),
+      interference_(config.interference),
+      rber_(config.plan, config.aging, config.ispp, config.variability,
+            config.interference),
+      disturb_(config.disturb),
+      rng_(config.seed),
+      block_wear_(config.geometry.blocks, 0.0),
+      pages_(config.geometry.pages()) {
+  XLF_EXPECT(config.geometry.blocks >= 1);
+  XLF_EXPECT(config.geometry.pages_per_block >= 1);
+  for (std::uint32_t b = 0; b < config_.geometry.blocks; ++b) {
+    erase_block(b);
+    block_wear_[b] = 0.0;  // factory-fresh: the first erase is free
+  }
+}
+
+void NandArray::check_addr(PageAddress addr) const {
+  XLF_EXPECT(addr.block < config_.geometry.blocks);
+  XLF_EXPECT(addr.page < config_.geometry.pages_per_block);
+}
+
+NandArray::PageState& NandArray::page(PageAddress addr) {
+  check_addr(addr);
+  return pages_[addr.block * config_.geometry.pages_per_block + addr.page];
+}
+
+const NandArray::PageState& NandArray::page(PageAddress addr) const {
+  check_addr(addr);
+  return pages_[addr.block * config_.geometry.pages_per_block + addr.page];
+}
+
+void NandArray::erase_block(std::uint32_t block) {
+  XLF_EXPECT(block < config_.geometry.blocks);
+  block_wear_[block] += 1.0;
+  const double wear_now = block_wear_[block];
+  for (std::uint32_t p = 0; p < config_.geometry.pages_per_block; ++p) {
+    PageState& state = pages_[block * config_.geometry.pages_per_block + p];
+    state.programmed = false;
+    state.cells.clear();
+    state.cells.reserve(config_.geometry.cells_per_page());
+    for (std::uint32_t i = 0; i < config_.geometry.cells_per_page(); ++i) {
+      const Volts erased = variability_.sample_erased(
+          rng_, config_.plan.erased_mean, config_.plan.erased_sigma);
+      state.cells.emplace_back(erased, variability_.sample(rng_, wear_now));
+    }
+  }
+}
+
+double NandArray::wear(std::uint32_t block) const {
+  XLF_EXPECT(block < config_.geometry.blocks);
+  return block_wear_[block];
+}
+
+void NandArray::set_wear(std::uint32_t block, double pe_cycles) {
+  XLF_EXPECT(block < config_.geometry.blocks);
+  XLF_EXPECT(pe_cycles >= 0.0);
+  block_wear_[block] = pe_cycles;
+}
+
+bool NandArray::is_erased(PageAddress addr) const {
+  return !page(addr).programmed;
+}
+
+std::vector<Level> NandArray::bits_to_levels(const BitVec& bits) {
+  XLF_EXPECT(bits.size() % 2 == 0);
+  std::vector<Level> levels(bits.size() / 2);
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    levels[i] = bits_to_level(Bits2{bits.get(2 * i), bits.get(2 * i + 1)});
+  }
+  return levels;
+}
+
+BitVec NandArray::levels_to_bits(const std::vector<Level>& levels) {
+  BitVec bits(levels.size() * 2);
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const Bits2 b = level_to_bits(levels[i]);
+    bits.set(2 * i, b.msb);
+    bits.set(2 * i + 1, b.lsb);
+  }
+  return bits;
+}
+
+ProgramResult NandArray::program_page(PageAddress addr, const BitVec& bits,
+                                      ProgramAlgorithm algo,
+                                      ProgramMode mode) {
+  PageState& state = page(addr);
+  XLF_EXPECT(!state.programmed);  // NAND constraint: program-after-erase
+  XLF_EXPECT(bits.size() == config_.geometry.bits_per_page());
+  const auto targets = bits_to_levels(bits);
+  const double pe = block_wear_[addr.block];
+
+  ProgramResult result;
+  if (mode == ProgramMode::kIsppSimulation) {
+    std::vector<Volts> before(state.cells.size());
+    for (std::size_t i = 0; i < state.cells.size(); ++i) {
+      before[i] = state.cells[i].vth();
+    }
+    result.trace = ispp_.program(state.cells, targets, algo, rng_,
+                                 config_.aging.dv_zone_multiplier(pe));
+    result.ok = result.trace->converged;
+
+    // Wear-induced spread on top of the verify-clamped placement: the
+    // aggregate of trap-assisted shifts, early retention and disturb
+    // that the RBER calibration attributes to read time.
+    const double wear_spread = rber_.wear_sigma(algo, pe).value();
+    for (std::size_t i = 0; i < state.cells.size(); ++i) {
+      if (targets[i] != Level::kL0) {
+        state.cells[i].shift(Volts{rng_.gaussian(0.0, wear_spread)});
+      }
+    }
+
+    // Within-page parasitic coupling from the programming displacement.
+    std::vector<Volts> deltas(state.cells.size());
+    for (std::size_t i = 0; i < state.cells.size(); ++i) {
+      deltas[i] = state.cells[i].vth() - before[i];
+    }
+    interference_.apply_within_page(state.cells, deltas);
+  } else {
+    // Statistical placement: sample the calibrated read-time
+    // distribution directly.
+    for (std::size_t i = 0; i < state.cells.size(); ++i) {
+      const LevelDistribution dist = rber_.distribution(targets[i], algo, pe);
+      if (targets[i] == Level::kL0) continue;  // erased cells stay put
+      state.cells[i].erase(
+          Volts{rng_.gaussian(dist.mean.value(), dist.sigma.value())});
+    }
+  }
+
+  for (const auto& cell : state.cells) {
+    if (config_.plan.is_over_programmed(cell.vth())) {
+      ++result.over_programmed_cells;
+    }
+  }
+  state.programmed = true;
+  return result;
+}
+
+BitVec NandArray::read_page(PageAddress addr) const {
+  const PageState& state = page(addr);
+  BitVec bits(config_.geometry.bits_per_page());
+  for (std::size_t i = 0; i < state.cells.size(); ++i) {
+    const Level level = config_.plan.read_level(state.cells[i].vth());
+    const Bits2 b = level_to_bits(level);
+    bits.set(2 * i, b.msb);
+    bits.set(2 * i + 1, b.lsb);
+  }
+  return bits;
+}
+
+std::vector<Level> NandArray::read_levels(PageAddress addr) const {
+  const PageState& state = page(addr);
+  std::vector<Level> levels(state.cells.size());
+  for (std::size_t i = 0; i < state.cells.size(); ++i) {
+    levels[i] = config_.plan.read_level(state.cells[i].vth());
+  }
+  return levels;
+}
+
+std::vector<Volts> NandArray::thresholds(PageAddress addr) const {
+  const PageState& state = page(addr);
+  std::vector<Volts> out(state.cells.size());
+  for (std::size_t i = 0; i < state.cells.size(); ++i) {
+    out[i] = state.cells[i].vth();
+  }
+  return out;
+}
+
+void NandArray::apply_retention(PageAddress addr, double hours) {
+  PageState& state = page(addr);
+  XLF_EXPECT(state.programmed && "retention stress targets written data");
+  const double pe = block_wear_[addr.block];
+  const double mean = disturb_.retention_mean(hours, pe).value();
+  const double sigma = disturb_.retention_sigma(hours, pe).value();
+  for (auto& cell : state.cells) {
+    // Only cells holding charge detrap; the erased level is its own
+    // equilibrium.
+    if (cell.vth() < config_.plan.read[0]) continue;
+    const double loss = std::max(0.0, rng_.gaussian(mean, sigma));
+    cell.shift(Volts{-loss});
+  }
+}
+
+void NandArray::apply_read_disturb(PageAddress addr,
+                                   unsigned long long reads) {
+  PageState& state = page(addr);
+  const double mean = disturb_.read_disturb_shift(reads).value();
+  for (auto& cell : state.cells) {
+    // Weak gate stress mostly moves the erased population upward.
+    if (cell.vth() >= config_.plan.read[0]) continue;
+    const double shift = std::max(0.0, rng_.gaussian(mean, 0.3 * mean));
+    cell.shift(Volts{shift});
+  }
+}
+
+double monte_carlo_rber(const ArrayConfig& base_config, ProgramAlgorithm algo,
+                        double pe_cycles, unsigned pages, ProgramMode mode,
+                        std::uint64_t seed) {
+  XLF_EXPECT(pages >= 1);
+  ArrayConfig config = base_config;
+  config.geometry.blocks = 1;
+  config.geometry.pages_per_block = 1;
+  config.seed = seed;
+
+  NandArray array(config);
+  Rng data_rng(seed ^ 0xD1CEBA5Eull);
+  std::uint64_t errors = 0;
+  std::uint64_t bits_total = 0;
+  const PageAddress addr{0, 0};
+  for (unsigned p = 0; p < pages; ++p) {
+    // Set the wear before erasing so the fresh cell population is
+    // sampled with the aged parameters.
+    array.set_wear(0, pe_cycles);
+    array.erase_block(0);
+    array.set_wear(0, pe_cycles);
+    BitVec data(config.geometry.bits_per_page());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data.set(i, data_rng.chance(0.5));
+    }
+    array.program_page(addr, data, algo, mode);
+    errors += array.read_page(addr).hamming_distance(data);
+    bits_total += data.size();
+  }
+  return static_cast<double>(errors) / static_cast<double>(bits_total);
+}
+
+}  // namespace xlf::nand

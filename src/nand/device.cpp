@@ -1,0 +1,83 @@
+#include "src/nand/device.hpp"
+
+#include <algorithm>
+
+#include "src/util/expect.hpp"
+
+namespace xlf::nand {
+
+NandDevice::NandDevice(const DeviceConfig& config)
+    : config_(config),
+      array_(config.array),
+      timing_(config.timing, config.array.ispp, config.array.plan,
+              config.array.variability, config.array.aging),
+      resident_(config.available_algorithms) {
+  XLF_EXPECT(!resident_.empty());
+  active_algorithm_ = resident_.front();
+}
+
+void NandDevice::select_program_algorithm(ProgramAlgorithm algo) {
+  const bool available =
+      std::find(resident_.begin(), resident_.end(), algo) != resident_.end();
+  XLF_EXPECT(available && "algorithm not resident in the code store");
+  active_algorithm_ = algo;
+}
+
+void NandDevice::upload_algorithm(ProgramAlgorithm algo) {
+  XLF_EXPECT(config_.store == AlgorithmStore::kSram &&
+             "code-ROM devices cannot accept microcode uploads");
+  if (std::find(resident_.begin(), resident_.end(), algo) == resident_.end()) {
+    resident_.push_back(algo);
+  }
+}
+
+ReadOutcome NandDevice::read_page(PageAddress addr) const {
+  ReadOutcome outcome;
+  outcome.data = array_.read_page(addr);
+  outcome.busy_time = timing_.read_time();
+  return outcome;
+}
+
+ProgramOutcome NandDevice::program_page(PageAddress addr, const BitVec& data,
+                                        LoadStrategy strategy) {
+  const double wear_now = array_.wear(addr.block);
+  const ProgramResult result =
+      array_.program_page(addr, data, active_algorithm_, config_.program_mode);
+  ProgramOutcome outcome;
+  outcome.ok = result.ok;
+  outcome.over_programmed_cells = result.over_programmed_cells;
+  if (result.trace.has_value()) {
+    // Bit-true mode: the actual trace of this very page.
+    outcome.busy_time = result.trace->duration() +
+                        timing_.io_transfer_time(data.size() / 8) -
+                        (strategy == LoadStrategy::kTwoRound
+                             ? timing_.io_transfer_time(data.size() / 16)
+                             : Seconds{0.0});
+  } else {
+    outcome.busy_time = timing_.page_write_time(
+        active_algorithm_, wear_now, data.size() / 8, strategy);
+  }
+  return outcome;
+}
+
+EraseOutcome NandDevice::erase_block(std::uint32_t block) {
+  array_.erase_block(block);
+  return EraseOutcome{timing_.erase_time()};
+}
+
+void NandDevice::set_wear(std::uint32_t block, double cycles) {
+  array_.set_wear(block, cycles);
+}
+
+void NandDevice::set_uniform_wear(double cycles) {
+  for (std::uint32_t b = 0; b < geometry().blocks; ++b) {
+    array_.set_wear(b, cycles);
+  }
+}
+
+std::size_t NandDevice::code_store_bytes() const {
+  return config_.base_microcode_bytes +
+         resident_.size() * config_.bytes_per_algorithm;
+}
+
+}  // namespace xlf::nand

@@ -1,0 +1,98 @@
+// NAND device facade: the component the memory controller talks to.
+//
+// Wraps the bit-true array with the command-level behaviours the
+// paper's cross-layer knob needs:
+//  * runtime-selectable program algorithm (Section 5) — the embedded
+//    microcontroller executes whichever ISPP variant the code store
+//    holds; switching is a register write, not a silicon change;
+//  * the code-store model of Section 6.4 — algorithms live in an
+//    on-die code ROM (or an SRAM written by the controller), and the
+//    cost of selectability is a small capacity increase;
+//  * per-operation timing from the NandTiming characterisation.
+#pragma once
+
+#include <vector>
+
+#include "src/nand/array.hpp"
+#include "src/nand/timing.hpp"
+
+namespace xlf::nand {
+
+// Section 6.4: where the programming microcode lives.
+enum class AlgorithmStore {
+  kCodeRom,  // hardwired at fabrication, possibly multi-algorithm
+  kSram,     // uploaded by the memory controller at runtime
+};
+
+struct DeviceConfig {
+  ArrayConfig array;
+  TimingConfig timing;
+  AlgorithmStore store = AlgorithmStore::kCodeRom;
+  // Algorithms resident in the code store.
+  std::vector<ProgramAlgorithm> available_algorithms{
+      ProgramAlgorithm::kIsppSv, ProgramAlgorithm::kIsppDv};
+  // Microcode footprint model (Section 6.4).
+  std::size_t base_microcode_bytes = 24 * 1024;
+  std::size_t bytes_per_algorithm = 2 * 1024;
+  // Default array programming fidelity.
+  ProgramMode program_mode = ProgramMode::kStatistical;
+};
+
+struct ReadOutcome {
+  BitVec data;
+  Seconds busy_time{0.0};
+};
+
+struct ProgramOutcome {
+  bool ok = true;
+  Seconds busy_time{0.0};
+  unsigned over_programmed_cells = 0;
+};
+
+struct EraseOutcome {
+  Seconds busy_time{0.0};
+};
+
+class NandDevice {
+ public:
+  explicit NandDevice(const DeviceConfig& config);
+
+  const DeviceConfig& config() const { return config_; }
+  const Geometry& geometry() const { return config_.array.geometry; }
+  NandArray& array() { return array_; }
+  const NandArray& array() const { return array_; }
+  const NandTiming& timing() const { return timing_; }
+
+  // --- the cross-layer knob -----------------------------------------
+  // Selects the ISPP variant for subsequent programs. Rejects
+  // algorithms not resident in the code store.
+  void select_program_algorithm(ProgramAlgorithm algo);
+  ProgramAlgorithm program_algorithm() const { return active_algorithm_; }
+  // SRAM store only: upload a new algorithm image at runtime.
+  void upload_algorithm(ProgramAlgorithm algo);
+
+  // --- command set ---------------------------------------------------
+  ReadOutcome read_page(PageAddress addr) const;
+  ProgramOutcome program_page(PageAddress addr, const BitVec& data,
+                              LoadStrategy strategy = LoadStrategy::kFullSequence);
+  EraseOutcome erase_block(std::uint32_t block);
+
+  // --- wear / lifetime -------------------------------------------------
+  double wear(std::uint32_t block) const { return array_.wear(block); }
+  void set_wear(std::uint32_t block, double cycles);
+  // Convenience: age every block (uniform wear-levelled device).
+  void set_uniform_wear(double cycles);
+
+  // --- Section 6.4 accounting -----------------------------------------
+  std::size_t code_store_bytes() const;
+  std::size_t algorithms_resident() const { return resident_.size(); }
+
+ private:
+  DeviceConfig config_;
+  NandArray array_;
+  NandTiming timing_;
+  std::vector<ProgramAlgorithm> resident_;
+  ProgramAlgorithm active_algorithm_ = ProgramAlgorithm::kIsppSv;
+};
+
+}  // namespace xlf::nand

@@ -1,0 +1,34 @@
+#include "src/nand/disturb.hpp"
+
+#include <cmath>
+
+#include "src/util/expect.hpp"
+
+namespace xlf::nand {
+
+DisturbModel::DisturbModel(const DisturbConfig& config) : config_(config) {
+  XLF_EXPECT(config_.read_disturb_per_kread.value() >= 0.0);
+  XLF_EXPECT(config_.retention_loss_1khr.value() >= 0.0);
+  XLF_EXPECT(config_.retention_rel_sigma >= 0.0);
+  XLF_EXPECT(config_.wear_exponent >= 0.0);
+  XLF_EXPECT(config_.time_exponent > 0.0);
+}
+
+Volts DisturbModel::read_disturb_shift(unsigned long long reads) const {
+  return config_.read_disturb_per_kread * (static_cast<double>(reads) / 1e3);
+}
+
+Volts DisturbModel::retention_mean(double hours, double pe_cycles) const {
+  XLF_EXPECT(hours >= 0.0);
+  XLF_EXPECT(pe_cycles >= 0.0);
+  const double time_factor = std::pow(hours / 1e3, config_.time_exponent);
+  const double wear_factor =
+      std::pow(std::max(pe_cycles, 1.0) / 1e3, config_.wear_exponent);
+  return config_.retention_loss_1khr * time_factor * wear_factor;
+}
+
+Volts DisturbModel::retention_sigma(double hours, double pe_cycles) const {
+  return retention_mean(hours, pe_cycles) * config_.retention_rel_sigma;
+}
+
+}  // namespace xlf::nand

@@ -1,0 +1,51 @@
+// Data retention and read disturb — two of the primary MLC failure
+// mechanisms the paper's introduction lists (refs [3], [4]). The
+// evaluation section folds their average effect into the lifetime
+// RBER law; this module exposes them as explicit, separately
+// injectable stresses so tests and applications can exercise the ECC
+// against retention bakes and read-hammering beyond the average case.
+//
+//  * Retention: trapped charge detraps over time, shifting programmed
+//    cells down; the rate grows with wear (damaged oxide traps more).
+//  * Read disturb: every read weakly gate-stresses the unselected
+//    pages of the block; erased cells creep up toward R1.
+#pragma once
+
+#include "src/util/units.hpp"
+
+namespace xlf::nand {
+
+struct DisturbConfig {
+  // Mean upward creep of erased cells per 1000 reads of the block.
+  Volts read_disturb_per_kread{0.02};
+  // Mean retention loss of a programmed cell after 1000 hours at
+  // 1000 P/E cycles of wear.
+  Volts retention_loss_1khr{0.04};
+  // Spread of the loss relative to its mean (cell-to-cell variation
+  // of the trapped-charge population).
+  double retention_rel_sigma = 0.45;
+  // Wear acceleration: loss scales with (cycles/1e3)^wear_exponent.
+  double wear_exponent = 0.3;
+  // Sub-linear time dependence (log-like detrapping transient).
+  double time_exponent = 0.4;
+};
+
+class DisturbModel {
+ public:
+  explicit DisturbModel(const DisturbConfig& config);
+
+  const DisturbConfig& config() const { return config_; }
+
+  // Mean upward shift of erased cells after `reads` block reads.
+  Volts read_disturb_shift(unsigned long long reads) const;
+
+  // Mean / sigma of the downward retention shift after `hours` at a
+  // given wear state.
+  Volts retention_mean(double hours, double pe_cycles) const;
+  Volts retention_sigma(double hours, double pe_cycles) const;
+
+ private:
+  DisturbConfig config_;
+};
+
+}  // namespace xlf::nand

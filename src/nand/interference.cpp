@@ -1,0 +1,47 @@
+#include "src/nand/interference.hpp"
+
+#include <cmath>
+
+#include "src/util/expect.hpp"
+
+namespace xlf::nand {
+
+InterferenceModel::InterferenceModel(const InterferenceConfig& config)
+    : config_(config) {
+  XLF_EXPECT(config_.gamma_x >= 0.0 && config_.gamma_x < 0.5);
+  XLF_EXPECT(config_.gamma_y >= 0.0 && config_.gamma_y < 0.5);
+}
+
+void InterferenceModel::apply_within_page(std::span<FloatingGateCell> cells,
+                                          std::span<const Volts> deltas) const {
+  XLF_EXPECT(cells.size() == deltas.size());
+  if (config_.gamma_x == 0.0) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    double shift = 0.0;
+    if (i > 0) shift += deltas[i - 1].value();
+    if (i + 1 < cells.size()) shift += deltas[i + 1].value();
+    cells[i].shift(Volts{config_.gamma_x * shift / 2.0});
+  }
+}
+
+void InterferenceModel::apply_page_to_page(
+    std::span<FloatingGateCell> victims,
+    std::span<const Volts> aggressor_deltas) const {
+  XLF_EXPECT(victims.size() == aggressor_deltas.size());
+  if (config_.gamma_y == 0.0) return;
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    victims[i].shift(Volts{config_.gamma_y * aggressor_deltas[i].value()});
+  }
+}
+
+Volts InterferenceModel::within_page_sigma(Volts typical_delta) const {
+  // Two neighbours, each contributing gamma_x/2 of a displacement
+  // whose cell-to-cell spread is on the order of the displacement
+  // itself divided by ~2 (levels L0..L3 spread); treat the two
+  // contributions as independent.
+  const double per_neighbour =
+      config_.gamma_x / 2.0 * typical_delta.value() / 2.0;
+  return Volts{per_neighbour * std::sqrt(2.0)};
+}
+
+}  // namespace xlf::nand

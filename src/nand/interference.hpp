@@ -1,0 +1,53 @@
+// Cell-to-cell interference: parasitic coupling between adjacent
+// floating gates shifts a victim cell's threshold when its neighbours
+// are programmed afterwards (paper Section 5.1 lists it among the
+// variability effects of the compact model). Modelled as a linear
+// coupling of the neighbours' threshold displacement onto the victim.
+#pragma once
+
+#include <span>
+
+#include "src/nand/cell.hpp"
+#include "src/util/units.hpp"
+
+namespace xlf::nand {
+
+struct InterferenceConfig {
+  // Residual coupling ratios: full-sequence programming with
+  // program-inhibit leaves only the displacement accumulated after a
+  // victim is locked to couple onto it, so the effective ratios are
+  // well below the raw geometric coupling of the 45 nm pitch.
+  // Bitline-direction (within-page) coupling ratio per neighbour.
+  double gamma_x = 0.008;
+  // Wordline-direction (page-to-page) coupling ratio.
+  double gamma_y = 0.015;
+};
+
+class InterferenceModel {
+ public:
+  explicit InterferenceModel(const InterferenceConfig& config);
+
+  const InterferenceConfig& config() const { return config_; }
+
+  // Apply within-page coupling after a page program: each cell is
+  // shifted by gamma_x times the programming displacement of its left
+  // and right neighbours. `deltas` are the per-cell VTH displacements
+  // of the program operation just completed.
+  void apply_within_page(std::span<FloatingGateCell> cells,
+                         std::span<const Volts> deltas) const;
+
+  // Shift a victim page's cells by gamma_y times the displacement of
+  // the page programmed on the adjacent wordline.
+  void apply_page_to_page(std::span<FloatingGateCell> victims,
+                          std::span<const Volts> aggressor_deltas) const;
+
+  // Standard deviation added to a programmed distribution by the
+  // within-page mechanism, given the typical neighbour displacement —
+  // used by the RBER calibration to avoid double-counting.
+  Volts within_page_sigma(Volts typical_delta) const;
+
+ private:
+  InterferenceConfig config_;
+};
+
+}  // namespace xlf::nand

@@ -1,0 +1,137 @@
+#include "src/nand/ispp.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "src/util/expect.hpp"
+
+namespace xlf::nand {
+
+Seconds IsppTrace::duration() const {
+  // Pulses and verifies are strictly sequential in a NAND plane.
+  return setup_time + program_pump_time + verify_pump_time;
+}
+
+Volts IsppTrace::average_vcg() const {
+  if (program_pump_time.value() <= 0.0) return Volts{0.0};
+  return Volts{vcg_time_integral / program_pump_time.value()};
+}
+
+IsppEngine::IsppEngine(const IsppConfig& config, const VoltagePlan& plan)
+    : config_(config), plan_(plan) {
+  XLF_EXPECT(config_.v_step.value() > 0.0);
+  XLF_EXPECT(config_.v_end > config_.v_start);
+  XLF_EXPECT(config_.max_pulses >= 1);
+  XLF_EXPECT(plan_.consistent());
+}
+
+IsppTrace IsppEngine::program(std::span<FloatingGateCell> cells,
+                              std::span<const Level> targets,
+                              ProgramAlgorithm algo, Rng& rng,
+                              double dv_zone_multiplier) const {
+  XLF_EXPECT(cells.size() == targets.size());
+  XLF_EXPECT(dv_zone_multiplier >= 1.0);
+  IsppTrace trace;
+  trace.algorithm = algo;
+  trace.setup_time = config_.setup_time;
+
+  const bool double_verify = algo == ProgramAlgorithm::kIsppDv;
+
+  // Per-cell programming state.
+  enum class State : std::uint8_t { kInhibited, kPulsing, kSlowZone };
+  std::vector<State> state(cells.size(), State::kInhibited);
+  std::array<std::size_t, 4> pending_per_level{0, 0, 0, 0};
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (targets[i] != Level::kL0) {
+      state[i] = State::kPulsing;
+      ++pending_per_level[static_cast<std::size_t>(targets[i])];
+    }
+  }
+
+  Volts vcg = config_.v_start;
+  for (unsigned pulse = 0; pulse < config_.max_pulses; ++pulse) {
+    const bool any_pending =
+        pending_per_level[1] + pending_per_level[2] + pending_per_level[3] > 0;
+    if (!any_pending) break;
+
+    // --- program pulse ------------------------------------------------
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (state[i] == State::kPulsing) {
+        cells[i].apply_pulse(vcg, rng);
+      } else if (state[i] == State::kSlowZone) {
+        cells[i].apply_pulse(vcg, rng, config_.dv_bitline_bias);
+      }
+    }
+    ++trace.pulses;
+    trace.program_pump_time += config_.pulse_time;
+    trace.inhibit_pump_time += config_.pulse_time;
+    trace.vcg_time_integral += vcg.value() * config_.pulse_time.value();
+
+    // --- verify phase ---------------------------------------------
+    for (Level level : {Level::kL1, Level::kL2, Level::kL3}) {
+      const auto li = static_cast<std::size_t>(level);
+      if (pending_per_level[li] == 0) continue;
+
+      // Smart scheduling: sense this level only when its fastest
+      // pending cell is within lookahead of the sensing voltage — the
+      // pre-verify level for DV, the verify level for SV.
+      const Volts vfy = plan_.verify_for(level);
+      const Volts pre =
+          vfy - plan_.pre_verify_offset * dv_zone_multiplier;
+      const Volts sense_from = double_verify ? pre : vfy;
+      Volts fastest{-100.0};
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (targets[i] == level && state[i] != State::kInhibited) {
+          fastest = std::max(fastest, cells[i].vth());
+        }
+      }
+      if (fastest < sense_from - config_.verify_lookahead) continue;
+
+      if (double_verify) {
+        // Pre-verify sense: move cells past VFYp into the slow zone.
+        ++trace.verify_ops;
+        trace.verify_pump_time += config_.verify_time;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+          if (targets[i] == level && state[i] == State::kPulsing &&
+              cells[i].vth() >= pre) {
+            state[i] = State::kSlowZone;
+          }
+        }
+      }
+
+      // Main verify sense: inhibit cells that reached the level.
+      ++trace.verify_ops;
+      trace.verify_pump_time += config_.verify_time;
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (targets[i] == level && state[i] != State::kInhibited &&
+            cells[i].vth() >= vfy) {
+          state[i] = State::kInhibited;
+          --pending_per_level[li];
+        }
+      }
+    }
+
+    vcg = std::min(vcg + config_.v_step, config_.v_end);
+  }
+
+  trace.failed_cells = static_cast<unsigned>(
+      pending_per_level[1] + pending_per_level[2] + pending_per_level[3]);
+  trace.converged = trace.failed_cells == 0;
+  return trace;
+}
+
+std::vector<Volts> IsppEngine::staircase_response(FloatingGateCell cell,
+                                                  Volts v_start, Volts v_end,
+                                                  Volts v_step,
+                                                  Rng& rng) const {
+  XLF_EXPECT(v_step.value() > 0.0);
+  XLF_EXPECT(v_end > v_start);
+  std::vector<Volts> response;
+  for (Volts vcg = v_start; vcg <= v_end; vcg += v_step) {
+    cell.apply_pulse(vcg, rng);
+    response.push_back(cell.vth());
+  }
+  return response;
+}
+
+}  // namespace xlf::nand

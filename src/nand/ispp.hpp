@@ -1,0 +1,103 @@
+// Incremental Step Pulse Programming — the ISPP-SV and ISPP-DV
+// algorithms of paper Section 5.
+//
+// Full-sequence MLC programming: a single VCG staircase sweeps from
+// v_start to v_end; cells targeting L1..L3 receive pulses until they
+// pass their verify level and are then program-inhibited. Verify
+// scheduling is "smart": a level is sensed only while it has pending
+// cells within reach, so early pulses verify only L1 and late pulses
+// only L3 — making pulse/verify counts pattern-dependent, which is
+// what the power figures (Fig. 6) key on.
+//
+// ISPP-DV adds a pre-verify sense per level: cells between pre-verify
+// and verify get their bitline biased, reducing the effective step so
+// they creep across the verify level with half the overshoot —
+// tighter final distributions (lower RBER) at the price of extra
+// verifies and pulses (longer program time, more verify-pump energy).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/nand/aging.hpp"
+#include "src/nand/cell.hpp"
+#include "src/nand/threshold.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/units.hpp"
+
+namespace xlf::nand {
+
+struct IsppConfig {
+  Volts v_start{14.0};
+  Volts v_end{19.0};
+  Volts v_step{0.25};  // the paper's 250 mV Delta-ISPP
+  // Pulse/verify wall-clock (one verify = one level sensed),
+  // calibrated so a full-sequence ISPP-SV page program lands at the
+  // paper's ~1.5 ms (Section 6.3.3).
+  Seconds pulse_time = Seconds::micros(40.0);
+  Seconds verify_time = Seconds::micros(18.0);
+  // Command/data-path setup per program operation.
+  Seconds setup_time = Seconds::micros(50.0);
+  // Bitline bias applied in the DV slow zone: raises the channel by
+  // 0.7 V so cells between pre-verify and verify crawl in ~55 mV
+  // steps instead of the full 250 mV — the distribution-compaction
+  // mechanism of [19].
+  Volts dv_bitline_bias{0.7};
+  // The staircase clamps at v_end; a bounded number of extra pulses at
+  // v_end may run before the operation reports failure.
+  unsigned max_pulses = 40;
+  // A level is sensed only when its fastest pending cell is within
+  // this distance below the verify level.
+  Volts verify_lookahead{0.7};
+};
+
+// Everything the rest of the stack needs to know about one page
+// program operation: durations for throughput, pump-activity
+// integrals for the HV power model, convergence for reliability.
+struct IsppTrace {
+  ProgramAlgorithm algorithm = ProgramAlgorithm::kIsppSv;
+  unsigned pulses = 0;
+  unsigned verify_ops = 0;  // single-level sense operations
+  bool converged = true;
+  unsigned failed_cells = 0;
+
+  // HV accounting.
+  Seconds program_pump_time{0.0};  // pump driving VCG during pulses
+  double vcg_time_integral = 0.0;  // integral of VCG over pulse time [V*s]
+  Seconds verify_pump_time{0.0};   // pump driving the verify/read rails
+  Seconds inhibit_pump_time{0.0};  // channel-boost pump, runs per pulse
+
+  Seconds setup_time{0.0};
+  Seconds duration() const;
+  // Time-averaged VCG across pulse phases.
+  Volts average_vcg() const;
+};
+
+class IsppEngine {
+ public:
+  IsppEngine(const IsppConfig& config, const VoltagePlan& plan);
+
+  const IsppConfig& config() const { return config_; }
+  const VoltagePlan& plan() const { return plan_; }
+
+  // Program `cells` toward `targets` (same length). L0 targets are
+  // never pulsed. Cells are mutated in place. `dv_zone_multiplier`
+  // scales the DV pre-verify window — firmware widens the margin as
+  // the device wears to preserve the distribution-compaction benefit
+  // on broadened populations (see AgingLaw::dv_zone_multiplier).
+  IsppTrace program(std::span<FloatingGateCell> cells,
+                    std::span<const Level> targets, ProgramAlgorithm algo,
+                    Rng& rng, double dv_zone_multiplier = 1.0) const;
+
+  // Single-cell staircase characterisation: VTH after each pulse of a
+  // VCG ramp — the paper's Fig. 4 experiment (no verify, no inhibit).
+  std::vector<Volts> staircase_response(FloatingGateCell cell, Volts v_start,
+                                        Volts v_end, Volts v_step,
+                                        Rng& rng) const;
+
+ private:
+  IsppConfig config_;
+  VoltagePlan plan_;
+};
+
+}  // namespace xlf::nand

@@ -1,0 +1,78 @@
+// NAND operation timing.
+//
+// Read and erase are datasheet constants (page read 75 us per the
+// Micron part the paper cites [27]); program time *emerges* from the
+// ISPP engine — a sampled cell population is programmed pulse by
+// pulse and the trace duration is cached per (algorithm, age,
+// pattern). This is where the paper's ~1.5 ms ISPP-SV program time
+// and the growing ISPP-DV penalty (Fig. 9) come from.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "src/nand/aging.hpp"
+#include "src/nand/ispp.hpp"
+#include "src/nand/threshold.hpp"
+#include "src/nand/variability.hpp"
+#include "src/util/units.hpp"
+
+namespace xlf::nand {
+
+// Page-buffer data-load strategy (paper footnote 1 / Section 6.3.3):
+// full-sequence loads both logical pages before programming starts;
+// the two-round strategy overlaps half the load with programming,
+// mitigating the write-throughput penalty.
+enum class LoadStrategy { kFullSequence, kTwoRound };
+
+struct TimingConfig {
+  Seconds read_time = Seconds::micros(75.0);   // [27]
+  Seconds erase_time = Seconds::millis(2.5);
+  // Host-side I/O bandwidth for page transfers (legacy async NAND bus).
+  BytesPerSecond io_bandwidth = BytesPerSecond::mib(40.0);
+  // Cell population sampled when characterising program time.
+  unsigned sample_cells = 8192;
+  std::uint64_t sample_seed = 0xB10C5EED;
+};
+
+class NandTiming {
+ public:
+  NandTiming(const TimingConfig& config, const IsppConfig& ispp,
+             const VoltagePlan& plan, const VariabilityConfig& variability,
+             const AgingLaw& aging);
+
+  Seconds read_time() const { return config_.read_time; }
+  Seconds erase_time() const { return config_.erase_time; }
+  Seconds io_transfer_time(std::size_t bytes) const;
+
+  // Characteristic ISPP trace for one page program at the given age.
+  // `pattern` restricts every programmed cell to one target level
+  // (the Fig. 6 L1/L2/L3 patterns); nullopt = uniform random data.
+  // Results are cached on a log-spaced age grid.
+  const IsppTrace& sample_trace(ProgramAlgorithm algo, double pe_cycles,
+                                std::optional<Level> pattern = std::nullopt) const;
+
+  Seconds program_time(ProgramAlgorithm algo, double pe_cycles) const;
+
+  // Full page-write busy time including the data load under the given
+  // strategy (the ECC encode latency is the controller's concern).
+  Seconds page_write_time(ProgramAlgorithm algo, double pe_cycles,
+                          std::size_t page_bytes, LoadStrategy strategy) const;
+
+  const TimingConfig& config() const { return config_; }
+
+ private:
+  IsppTrace characterize(ProgramAlgorithm algo, double pe_cycles,
+                         std::optional<Level> pattern) const;
+
+  TimingConfig config_;
+  IsppConfig ispp_config_;
+  VoltagePlan plan_;
+  AgingLaw aging_;
+  VariabilitySampler variability_;
+  IsppEngine engine_;
+  // Cache key: (algo, pattern index or -1, quantised log10 cycles).
+  mutable std::map<std::tuple<int, int, long>, IsppTrace> cache_;
+};
+
+}  // namespace xlf::nand

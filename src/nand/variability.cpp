@@ -1,0 +1,31 @@
+#include "src/nand/variability.hpp"
+
+#include <algorithm>
+
+namespace xlf::nand {
+
+VariabilitySampler::VariabilitySampler(const VariabilityConfig& config,
+                                       const AgingLaw& aging)
+    : config_(config), aging_(aging) {}
+
+CellParams VariabilitySampler::sample(Rng& rng, double pe_cycles) const {
+  CellParams params;
+  const double spread_mult = aging_.speed_spread_multiplier(pe_cycles);
+  params.k_onset =
+      Volts{rng.gaussian(config_.k_nominal.value() +
+                             aging_.k_shift(pe_cycles).value(),
+                         config_.k_sigma.value() * spread_mult)};
+  params.onset_sharpness = Volts{std::max(
+      0.05, rng.gaussian(config_.onset_sharpness.value(),
+                         config_.onset_sharpness.value() *
+                             config_.onset_sharpness_rel_sigma))};
+  params.injection_sigma = config_.injection_sigma;
+  return params;
+}
+
+Volts VariabilitySampler::sample_erased(Rng& rng, Volts mean,
+                                        Volts sigma) const {
+  return Volts{rng.gaussian(mean.value(), sigma.value())};
+}
+
+}  // namespace xlf::nand

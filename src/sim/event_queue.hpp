@@ -1,0 +1,54 @@
+// Minimal discrete-event core for the subsystem simulator: a
+// time-ordered queue of callbacks with a monotonic clock. Events at
+// equal timestamps fire in scheduling order (stable sequence
+// numbers), which keeps request/completion chains deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/util/units.hpp"
+
+namespace xlf::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  Seconds now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  // Schedule `fn` at absolute time `when` (>= now).
+  void schedule_at(Seconds when, Callback fn);
+  // Schedule `fn` after a delay.
+  void schedule_in(Seconds delay, Callback fn);
+
+  // Run the next event; returns false when the queue is empty.
+  bool step();
+  // Run everything (or until `limit` events, as a runaway guard).
+  std::size_t run(std::size_t limit = 100000000);
+  // Run until the clock passes `until` (events beyond stay queued).
+  std::size_t run_until(Seconds until);
+
+ private:
+  struct Event {
+    double when;
+    std::uint64_t sequence;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  Seconds now_{0.0};
+  std::uint64_t next_sequence_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace xlf::sim

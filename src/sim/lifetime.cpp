@@ -1,0 +1,34 @@
+#include "src/sim/lifetime.hpp"
+
+#include "src/bch/code_params.hpp"
+#include "src/util/stats.hpp"
+
+namespace xlf::sim {
+
+LifetimePoint run_at_age(controller::MemoryController& controller,
+                         const Workload& workload, std::size_t count,
+                         double pe_cycles, std::uint64_t seed) {
+  LifetimePoint point;
+  point.pe_cycles = pe_cycles;
+
+  controller.device().set_uniform_wear(pe_cycles);
+  point.t_selected = controller.adapt_ecc(pe_cycles);
+
+  const nand::AgingLaw& law = controller.device().config().array.aging;
+  point.rber = law.rber(controller.program_algorithm(), pe_cycles);
+  const bch::CodeParams params{controller.ecc().current_params()};
+  point.uber = bch::uber(point.rber, params.n(), point.t_selected);
+
+  Rng rng(seed);
+  const auto requests =
+      workload.generate(controller.device().geometry(), count, rng);
+  SubsystemSimulator simulator(controller);
+  point.stats = simulator.run(requests);
+  return point;
+}
+
+std::vector<double> lifetime_grid(std::size_t points_per_decade) {
+  return log_space(1.0, 1e6, 6 * points_per_decade + 1);
+}
+
+}  // namespace xlf::sim

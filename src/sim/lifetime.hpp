@@ -1,0 +1,32 @@
+// Lifetime experiment driver: age the device to a wear point, let the
+// reliability manager reconfigure the ECC, run a workload slice, and
+// collect the metrics. Every lifetime figure (Figs. 8-11) is a sweep
+// of such points over a log-spaced P/E grid.
+#pragma once
+
+#include "src/controller/controller.hpp"
+#include "src/sim/subsystem_sim.hpp"
+#include "src/sim/workload.hpp"
+
+namespace xlf::sim {
+
+struct LifetimePoint {
+  double pe_cycles = 0.0;
+  unsigned t_selected = 0;
+  double rber = 0.0;
+  double uber = 0.0;
+  SimStats stats;
+};
+
+// Runs `count` requests of `workload` at wear level `pe_cycles`:
+// sets uniform wear, invokes the controller's reliability adaptation,
+// then executes the stream. The controller/device keep their state
+// between calls (a real device only ever moves forward in wear).
+LifetimePoint run_at_age(controller::MemoryController& controller,
+                         const Workload& workload, std::size_t count,
+                         double pe_cycles, std::uint64_t seed);
+
+// Standard log-spaced lifetime grid 1e0..1e6 (the paper's x-axes).
+std::vector<double> lifetime_grid(std::size_t points_per_decade = 2);
+
+}  // namespace xlf::sim

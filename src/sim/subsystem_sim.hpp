@@ -1,0 +1,72 @@
+// Closed-loop subsystem simulator: drives a MemoryController over a
+// workload request stream, modelling a single-outstanding-request
+// host (the paper's controller has one page buffer, so requests
+// serialise at the socket). Paced workloads (multimedia streaming)
+// carry think-time gaps; a request whose service completes after the
+// next arrival would have stalled the consumer, which the stats
+// report as QoS misses.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "src/controller/controller.hpp"
+#include "src/sim/event_queue.hpp"
+#include "src/sim/workload.hpp"
+#include "src/util/stats.hpp"
+
+namespace xlf::sim {
+
+struct SimConfig {
+  // Verify read payloads against what was written (bit-true check).
+  bool verify_data = true;
+  std::uint64_t data_seed = 0xDA7A5EED;
+};
+
+struct SimStats {
+  std::size_t reads = 0;
+  std::size_t writes = 0;
+  std::size_t erases = 0;
+  std::size_t uncorrectable = 0;
+  std::size_t data_mismatches = 0;
+  std::size_t corrected_bits = 0;
+  std::size_t qos_misses = 0;  // completions past the next arrival
+  Seconds elapsed{0.0};
+  Seconds read_busy{0.0};
+  Seconds write_busy{0.0};
+  Joules ecc_energy{0.0};
+  Joules nand_energy{0.0};
+  RunningStats read_latency;   // seconds
+  RunningStats write_latency;  // seconds
+
+  BytesPerSecond read_throughput(std::size_t page_bytes) const;
+  BytesPerSecond write_throughput(std::size_t page_bytes) const;
+};
+
+class SubsystemSimulator {
+ public:
+  SubsystemSimulator(controller::MemoryController& controller,
+                     const SimConfig& config = {});
+
+  // Execute the request stream; returns the collected statistics.
+  SimStats run(const std::vector<Request>& requests);
+
+  // Write every page of the device with random payloads (state setup
+  // before read-only experiments); not counted in the next run's
+  // stats.
+  void prepopulate();
+
+ private:
+  BitVec random_payload();
+  void service_write(nand::PageAddress addr, SimStats& stats);
+  void service_read(nand::PageAddress addr, SimStats& stats);
+
+  controller::MemoryController* controller_;
+  SimConfig config_;
+  EventQueue queue_;
+  Rng data_rng_;
+  // Reference payloads for verification.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, BitVec> written_;
+};
+
+}  // namespace xlf::sim

@@ -1,0 +1,103 @@
+#include "src/sim/workload.hpp"
+
+#include "src/util/expect.hpp"
+
+namespace xlf::sim {
+namespace {
+
+nand::PageAddress nth_page(const nand::Geometry& geometry, std::size_t n) {
+  const std::size_t wrapped = n % geometry.pages();
+  return nand::PageAddress{
+      static_cast<std::uint32_t>(wrapped / geometry.pages_per_block),
+      static_cast<std::uint32_t>(wrapped % geometry.pages_per_block)};
+}
+
+nand::PageAddress random_page(const nand::Geometry& geometry, Rng& rng) {
+  return nth_page(geometry, static_cast<std::size_t>(rng.below(geometry.pages())));
+}
+
+}  // namespace
+
+std::vector<Request> SequentialReadWorkload::generate(
+    const nand::Geometry& geometry, std::size_t count, Rng&) const {
+  std::vector<Request> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back({OpType::kRead, nth_page(geometry, i), Seconds{0.0}});
+  }
+  return out;
+}
+
+std::vector<Request> RandomReadWorkload::generate(
+    const nand::Geometry& geometry, std::size_t count, Rng& rng) const {
+  std::vector<Request> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back({OpType::kRead, random_page(geometry, rng), Seconds{0.0}});
+  }
+  return out;
+}
+
+std::vector<Request> WriteBurstWorkload::generate(
+    const nand::Geometry& geometry, std::size_t count, Rng&) const {
+  std::vector<Request> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back({OpType::kWrite, nth_page(geometry, i), Seconds{0.0}});
+  }
+  return out;
+}
+
+MixedWorkload::MixedWorkload(double read_fraction)
+    : read_fraction_(read_fraction) {
+  XLF_EXPECT(read_fraction >= 0.0 && read_fraction <= 1.0);
+}
+
+std::string MixedWorkload::name() const {
+  return "mixed-r" + std::to_string(static_cast<int>(read_fraction_ * 100));
+}
+
+std::vector<Request> MixedWorkload::generate(const nand::Geometry& geometry,
+                                             std::size_t count,
+                                             Rng& rng) const {
+  std::vector<Request> out;
+  out.reserve(count);
+  std::size_t write_cursor = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (rng.chance(read_fraction_)) {
+      out.push_back({OpType::kRead, random_page(geometry, rng), Seconds{0.0}});
+    } else {
+      out.push_back(
+          {OpType::kWrite, nth_page(geometry, write_cursor++), Seconds{0.0}});
+    }
+  }
+  return out;
+}
+
+MultimediaStreamingWorkload::MultimediaStreamingWorkload(
+    BytesPerSecond bitrate, std::size_t page_bytes)
+    : bitrate_(bitrate), page_bytes_(page_bytes) {
+  XLF_EXPECT(bitrate.value() > 0.0);
+  XLF_EXPECT(page_bytes > 0);
+}
+
+std::vector<Request> MultimediaStreamingWorkload::generate(
+    const nand::Geometry& geometry, std::size_t count, Rng&) const {
+  // The stream consumes one page every page_bytes / bitrate seconds.
+  const Seconds gap{static_cast<double>(page_bytes_) / bitrate_.value()};
+  std::vector<Request> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back({OpType::kRead, nth_page(geometry, i), gap});
+  }
+  return out;
+}
+
+std::vector<Request> record_trace(const Workload& workload,
+                                  const nand::Geometry& geometry,
+                                  std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  return workload.generate(geometry, count, rng);
+}
+
+}  // namespace xlf::sim

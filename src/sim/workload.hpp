@@ -1,0 +1,96 @@
+// Workload generators for the subsystem simulator, modelled on the
+// paper's motivating applications (Sections 6.3.1/6.3.2): multimedia
+// streaming and digitised pictures (read-intensive), OS upgrades and
+// data backup (large sequential writes), web transactions (mixed),
+// plus synthetic sequential/random primitives and trace replay.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/nand/geometry.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/units.hpp"
+
+namespace xlf::sim {
+
+enum class OpType { kRead, kWrite };
+
+struct Request {
+  OpType type = OpType::kRead;
+  nand::PageAddress addr;
+  // Host think time before this request is issued (closed-loop pacing;
+  // zero = back-to-back).
+  Seconds gap{0.0};
+};
+
+// A workload is a finite request stream over a device geometry.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual std::string name() const = 0;
+  // Generate the full request stream.
+  virtual std::vector<Request> generate(const nand::Geometry& geometry,
+                                        std::size_t count, Rng& rng) const = 0;
+};
+
+// Sequential full-device reads (media playback from flash).
+class SequentialReadWorkload final : public Workload {
+ public:
+  std::string name() const override { return "sequential-read"; }
+  std::vector<Request> generate(const nand::Geometry& geometry,
+                                std::size_t count, Rng& rng) const override;
+};
+
+// Uniformly random page reads (picture browsing, XIP code fetch).
+class RandomReadWorkload final : public Workload {
+ public:
+  std::string name() const override { return "random-read"; }
+  std::vector<Request> generate(const nand::Geometry& geometry,
+                                std::size_t count, Rng& rng) const override;
+};
+
+// Sequential writes filling blocks (OS upgrade, backup image).
+class WriteBurstWorkload final : public Workload {
+ public:
+  std::string name() const override { return "write-burst"; }
+  std::vector<Request> generate(const nand::Geometry& geometry,
+                                std::size_t count, Rng& rng) const override;
+};
+
+// Interleaved reads and writes with a configurable read fraction
+// (web-transaction style storage traffic).
+class MixedWorkload final : public Workload {
+ public:
+  explicit MixedWorkload(double read_fraction);
+  std::string name() const override;
+  std::vector<Request> generate(const nand::Geometry& geometry,
+                                std::size_t count, Rng& rng) const override;
+
+ private:
+  double read_fraction_;
+};
+
+// Bitrate-paced sequential reads: a media stream consuming pages at
+// a constant rate inserts think time between requests; quality of
+// service holds as long as the device can keep up.
+class MultimediaStreamingWorkload final : public Workload {
+ public:
+  explicit MultimediaStreamingWorkload(BytesPerSecond bitrate,
+                                       std::size_t page_bytes = 4096);
+  std::string name() const override { return "multimedia-streaming"; }
+  BytesPerSecond bitrate() const { return bitrate_; }
+  std::vector<Request> generate(const nand::Geometry& geometry,
+                                std::size_t count, Rng& rng) const override;
+
+ private:
+  BytesPerSecond bitrate_;
+  std::size_t page_bytes_;
+};
+
+// Record/replay: capture a stream once, replay it bit-identically.
+std::vector<Request> record_trace(const Workload& workload,
+                                  const nand::Geometry& geometry,
+                                  std::size_t count, std::uint64_t seed);
+
+}  // namespace xlf::sim

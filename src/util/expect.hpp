@@ -1,0 +1,38 @@
+// Contract-checking helpers (C++ Core Guidelines I.6/I.8 style).
+//
+// XLF_EXPECT  — precondition; throws std::invalid_argument on violation.
+// XLF_ENSURE  — postcondition/invariant; throws std::logic_error.
+//
+// Both are always on: this library models hardware where a silent
+// out-of-range configuration (e.g. t > tmax) corrupts every derived
+// figure, so the cost of the checks is accepted even in release builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace xlf {
+
+[[noreturn]] inline void contract_violation_expect(const char* cond,
+                                                   const char* file, int line) {
+  throw std::invalid_argument(std::string("precondition failed: ") + cond +
+                              " at " + file + ":" + std::to_string(line));
+}
+
+[[noreturn]] inline void contract_violation_ensure(const char* cond,
+                                                   const char* file, int line) {
+  throw std::logic_error(std::string("invariant failed: ") + cond + " at " +
+                         file + ":" + std::to_string(line));
+}
+
+}  // namespace xlf
+
+#define XLF_EXPECT(cond)                                          \
+  do {                                                            \
+    if (!(cond)) ::xlf::contract_violation_expect(#cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define XLF_ENSURE(cond)                                          \
+  do {                                                            \
+    if (!(cond)) ::xlf::contract_violation_ensure(#cond, __FILE__, __LINE__); \
+  } while (false)

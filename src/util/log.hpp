@@ -1,0 +1,46 @@
+// Minimal leveled logger.
+//
+// The simulator and the reliability manager emit occasional diagnostic
+// lines (reconfiguration events, calibration summaries). A global
+// level keeps example/bench output clean by default while tests can
+// raise verbosity when debugging.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace xlf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+// Sink for captured output in tests; nullptr restores stderr.
+void set_log_capture(std::string* sink);
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  template <class T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace xlf

@@ -1,0 +1,64 @@
+#include "src/util/logmath.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/expect.hpp"
+
+namespace xlf {
+
+double log_factorial(std::uint64_t n) {
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double log_choose(std::uint64_t n, std::uint64_t k) {
+  XLF_EXPECT(k <= n);
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+double log1m(double p) {
+  XLF_EXPECT(p < 1.0);
+  return std::log1p(-p);
+}
+
+double log_binomial_pmf(std::uint64_t n, std::uint64_t k, double p) {
+  XLF_EXPECT(p > 0.0 && p < 1.0);
+  XLF_EXPECT(k <= n);
+  return log_choose(n, k) + static_cast<double>(k) * std::log(p) +
+         static_cast<double>(n - k) * log1m(p);
+}
+
+double log_add(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  const double hi = std::max(a, b);
+  const double lo = std::min(a, b);
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+double log_binomial_tail_geq(std::uint64_t n, std::uint64_t k, double p) {
+  XLF_EXPECT(p > 0.0 && p < 1.0);
+  if (k == 0) return 0.0;  // P >= 0 errors is certain
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  // Sum pmf terms upward from k. Terms decay geometrically once k is
+  // past the mean, so stop when a term no longer moves the total.
+  double total = -std::numeric_limits<double>::infinity();
+  for (std::uint64_t j = k; j <= n; ++j) {
+    const double term = log_binomial_pmf(n, j, p);
+    const double next = log_add(total, term);
+    if (j > k && next - total < 1e-15) {
+      total = next;
+      break;
+    }
+    total = next;
+  }
+  return total;
+}
+
+double safe_exp(double x) {
+  if (x < -700.0) return 0.0;
+  return std::exp(x);
+}
+
+}  // namespace xlf

@@ -1,0 +1,38 @@
+// Log-domain combinatorics.
+//
+// Eq. (1) of the paper evaluates binomial terms at n ~ 33808 and
+// t up to 65; C(33808, 66) overflows double by hundreds of orders of
+// magnitude, and the resulting UBERs span 1e-9 .. 1e-70. All the
+// probability math therefore lives in natural-log space and only
+// converts to linear at the edges (printing, comparisons against
+// targets that are themselves converted to logs).
+#pragma once
+
+#include <cstdint>
+
+namespace xlf {
+
+// ln(n!) via lgamma.
+double log_factorial(std::uint64_t n);
+
+// ln C(n, k); requires k <= n.
+double log_choose(std::uint64_t n, std::uint64_t k);
+
+// ln[C(n,k) p^k (1-p)^(n-k)] — one binomial pmf term, p in (0,1).
+double log_binomial_pmf(std::uint64_t n, std::uint64_t k, double p);
+
+// ln P[X >= k] for X ~ Binomial(n, p), exact summation in log space.
+// Used for the "exact tail" UBER variant that complements the paper's
+// single-term approximation.
+double log_binomial_tail_geq(std::uint64_t n, std::uint64_t k, double p);
+
+// ln(exp(a) + exp(b)) without overflow.
+double log_add(double a, double b);
+
+// exp(x) clamped to 0 for very negative x instead of underflow noise.
+double safe_exp(double x);
+
+// log1p(-p) computed accurately also for p ~ 1.
+double log1m(double p);
+
+}  // namespace xlf

@@ -1,0 +1,72 @@
+#include "src/util/series.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <stdexcept>
+
+#include "src/util/expect.hpp"
+
+namespace xlf {
+
+SeriesTable::SeriesTable(std::string x_label) : x_label_(std::move(x_label)) {}
+
+std::size_t SeriesTable::add_series(std::string label) {
+  XLF_EXPECT(xs_.empty());  // declare columns before adding rows
+  labels_.push_back(std::move(label));
+  return labels_.size() - 1;
+}
+
+void SeriesTable::add_row(double x, const std::vector<double>& values) {
+  XLF_EXPECT(values.size() == labels_.size());
+  xs_.push_back(x);
+  values_.push_back(values);
+}
+
+double SeriesTable::value_at(std::size_t row, std::size_t series) const {
+  return values_.at(row).at(series);
+}
+
+void SeriesTable::print(std::ostream& os, bool scientific) const {
+  constexpr int kWidth = 16;
+  os << std::left << std::setw(kWidth) << x_label_;
+  for (const auto& label : labels_) os << std::left << std::setw(kWidth) << label;
+  os << '\n';
+  for (std::size_t row = 0; row < xs_.size(); ++row) {
+    os << std::left << std::setw(kWidth) << std::setprecision(6) << std::defaultfloat
+       << xs_[row];
+    for (std::size_t s = 0; s < labels_.size(); ++s) {
+      if (scientific) {
+        os << std::left << std::setw(kWidth) << std::setprecision(4)
+           << std::scientific << values_[row][s];
+      } else {
+        os << std::left << std::setw(kWidth) << std::setprecision(4)
+           << std::defaultfloat << values_[row][s];
+      }
+    }
+    os << std::defaultfloat << '\n';
+  }
+}
+
+void SeriesTable::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open CSV output: " + path);
+  out << x_label_;
+  for (const auto& label : labels_) out << ',' << label;
+  out << '\n';
+  out << std::setprecision(12);
+  for (std::size_t row = 0; row < xs_.size(); ++row) {
+    out << xs_[row];
+    for (std::size_t s = 0; s < labels_.size(); ++s) out << ',' << values_[row][s];
+    out << '\n';
+  }
+}
+
+void print_banner(std::ostream& os, const std::string& figure,
+                  const std::string& caption) {
+  os << "==================================================================\n"
+     << figure << " — " << caption << '\n'
+     << "==================================================================\n";
+}
+
+}  // namespace xlf

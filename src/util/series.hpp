@@ -1,0 +1,52 @@
+// Tabular output for the benchmark harness.
+//
+// Every figure in the paper is a set of series over a shared x-axis;
+// each bench binary assembles a Series table and renders it twice —
+// an aligned ASCII table on stdout (what EXPERIMENTS.md quotes) and a
+// CSV file for external plotting.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xlf {
+
+class SeriesTable {
+ public:
+  // `x_label` names the shared abscissa (e.g. "PE_cycles").
+  explicit SeriesTable(std::string x_label);
+
+  // Declare a series column; returns its index.
+  std::size_t add_series(std::string label);
+
+  // Append one x row; values must match the number of declared series.
+  void add_row(double x, const std::vector<double>& values);
+
+  std::size_t rows() const { return xs_.size(); }
+  std::size_t series() const { return labels_.size(); }
+  double x_at(std::size_t row) const { return xs_.at(row); }
+  double value_at(std::size_t row, std::size_t series) const;
+  const std::string& label(std::size_t series) const { return labels_.at(series); }
+
+  // Aligned, human-readable rendering. `scientific` switches the value
+  // format (RBER/UBER columns need exponents; percentages do not).
+  void print(std::ostream& os, bool scientific = true) const;
+
+  // RFC-4180-ish CSV with a header row.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::string x_label_;
+  std::vector<std::string> labels_;
+  std::vector<double> xs_;
+  std::vector<std::vector<double>> values_;  // values_[row][series]
+};
+
+// Helper for bench mains: prints a figure banner matching the paper
+// numbering, e.g. banner("Figure 5", "RBER characterization ...").
+void print_banner(std::ostream& os, const std::string& figure,
+                  const std::string& caption);
+
+}  // namespace xlf

@@ -1,0 +1,79 @@
+// Streaming statistics and small fitting helpers used to characterise
+// Monte-Carlo runs (threshold-voltage distributions, pulse counts,
+// per-page error counts) and to validate model fits (Fig. 4 RMSE).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xlf {
+
+// Welford running mean/variance; O(1) space, numerically stable.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+// edge bins so the total count is preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_center(std::size_t i) const;
+  // Value below which `q` (0..1) of the mass lies, by linear
+  // interpolation within the bin.
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+// Exact percentile of a sample vector (copies and sorts; test-scale).
+double percentile(std::vector<double> samples, double q);
+
+// Root-mean-square error between two equally sized series.
+double rmse(const std::vector<double>& a, const std::vector<double>& b);
+
+// Least-squares straight line y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y);
+
+// Standard normal upper-tail probability Q(x) = P(N(0,1) > x), and its
+// inverse. Q underpins the distribution-overlap RBER model; the inverse
+// is used to calibrate distribution sigmas from a target RBER.
+double q_function(double x);
+double q_function_inverse(double p);
+
+// Log-spaced grid [lo, hi] with `points` samples, inclusive; the x-axes
+// of every lifetime figure in the paper (P/E cycles 1e0..1e6).
+std::vector<double> log_space(double lo, double hi, std::size_t points);
+
+}  // namespace xlf

@@ -1,0 +1,47 @@
+#include "src/util/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace xlf {
+namespace {
+
+std::string scaled(double value, const char* unit) {
+  struct Prefix {
+    double scale;
+    const char* name;
+  };
+  static constexpr Prefix kPrefixes[] = {
+      {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"},
+  };
+  const double mag = std::fabs(value);
+  const Prefix* chosen = &kPrefixes[3];  // plain unit by default
+  if (mag != 0.0) {
+    for (const Prefix& p : kPrefixes) {
+      if (mag >= p.scale) {
+        chosen = &p;
+        break;
+      }
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3g %s%s", value / chosen->scale,
+                chosen->name, unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(Seconds t) { return scaled(t.value(), "s"); }
+std::string to_string(Volts u) { return scaled(u.value(), "V"); }
+std::string to_string(Watts p) { return scaled(p.value(), "W"); }
+std::string to_string(Joules e) { return scaled(e.value(), "J"); }
+
+std::string to_string(BytesPerSecond bw) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f MiB/s", bw.mib());
+  return buf;
+}
+
+}  // namespace xlf

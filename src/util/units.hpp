@@ -1,0 +1,123 @@
+// Strong unit types for the physical quantities the models trade in.
+//
+// The paper mixes microseconds (ECC latency), milliseconds (program
+// time), volts (ISPP staircase), milliwatts (ECC power) and watts (NAND
+// power); a silent unit slip moves a result by three orders of
+// magnitude, which is exactly the kind of error the figures would not
+// survive. Each quantity is therefore a distinct value type holding a
+// double in SI base units, with only dimensionally meaningful
+// operations defined.
+#pragma once
+
+#include <compare>
+#include <string>
+
+namespace xlf {
+
+// CRTP base giving every unit the same affine-space arithmetic
+// (add/sub/scale/ratio/compare) without allowing cross-unit mixing.
+template <class Derived>
+struct UnitBase {
+  double v = 0.0;
+
+  constexpr UnitBase() = default;
+  constexpr explicit UnitBase(double value) : v(value) {}
+
+  constexpr double value() const { return v; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) { return Derived{a.v + b.v}; }
+  friend constexpr Derived operator-(Derived a, Derived b) { return Derived{a.v - b.v}; }
+  friend constexpr Derived operator*(Derived a, double s) { return Derived{a.v * s}; }
+  friend constexpr Derived operator*(double s, Derived a) { return Derived{a.v * s}; }
+  friend constexpr Derived operator/(Derived a, double s) { return Derived{a.v / s}; }
+  // Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Derived a, Derived b) { return a.v / b.v; }
+  friend constexpr auto operator<=>(Derived a, Derived b) { return a.v <=> b.v; }
+  friend constexpr bool operator==(Derived a, Derived b) { return a.v == b.v; }
+
+  Derived& operator+=(Derived o) { v += o.v; return self(); }
+  Derived& operator-=(Derived o) { v -= o.v; return self(); }
+
+ private:
+  Derived& self() { return static_cast<Derived&>(*this); }
+};
+
+struct Seconds : UnitBase<Seconds> {
+  using UnitBase::UnitBase;
+  static constexpr Seconds micros(double us) { return Seconds{us * 1e-6}; }
+  static constexpr Seconds millis(double ms) { return Seconds{ms * 1e-3}; }
+  constexpr double micros() const { return v * 1e6; }
+  constexpr double millis() const { return v * 1e3; }
+};
+
+struct Volts : UnitBase<Volts> {
+  using UnitBase::UnitBase;
+  static constexpr Volts millivolts(double mv) { return Volts{mv * 1e-3}; }
+  constexpr double millivolts() const { return v * 1e3; }
+};
+
+struct Amperes : UnitBase<Amperes> {
+  using UnitBase::UnitBase;
+  static constexpr Amperes milliamps(double ma) { return Amperes{ma * 1e-3}; }
+  constexpr double milliamps() const { return v * 1e3; }
+};
+
+struct Watts : UnitBase<Watts> {
+  using UnitBase::UnitBase;
+  static constexpr Watts milliwatts(double mw) { return Watts{mw * 1e-3}; }
+  constexpr double milliwatts() const { return v * 1e3; }
+};
+
+struct Joules : UnitBase<Joules> {
+  using UnitBase::UnitBase;
+  static constexpr Joules microjoules(double uj) { return Joules{uj * 1e-6}; }
+  constexpr double microjoules() const { return v * 1e6; }
+};
+
+struct Hertz : UnitBase<Hertz> {
+  using UnitBase::UnitBase;
+  static constexpr Hertz megahertz(double mhz) { return Hertz{mhz * 1e6}; }
+  constexpr double megahertz() const { return v * 1e-6; }
+  // One clock period.
+  constexpr Seconds period() const { return Seconds{1.0 / v}; }
+};
+
+// Data throughput; stored in bytes per second.
+struct BytesPerSecond : UnitBase<BytesPerSecond> {
+  using UnitBase::UnitBase;
+  static constexpr BytesPerSecond mib(double mibps) {
+    return BytesPerSecond{mibps * 1024.0 * 1024.0};
+  }
+  constexpr double mib() const { return v / (1024.0 * 1024.0); }
+};
+
+// Cross-dimension products/quotients that the models actually need.
+constexpr Joules operator*(Watts p, Seconds t) { return Joules{p.v * t.v}; }
+constexpr Joules operator*(Seconds t, Watts p) { return Joules{p.v * t.v}; }
+constexpr Watts operator/(Joules e, Seconds t) { return Watts{e.v / t.v}; }
+constexpr Seconds operator/(Joules e, Watts p) { return Seconds{e.v / p.v}; }
+constexpr Watts operator*(Volts u, Amperes i) { return Watts{u.v * i.v}; }
+constexpr Watts operator*(Amperes i, Volts u) { return Watts{u.v * i.v}; }
+constexpr Amperes operator/(Watts p, Volts u) { return Amperes{p.v / u.v}; }
+
+// Human-readable rendering with auto-scaled SI prefix, e.g. "159.3 us",
+// "7.5 mW". Used by benches and examples; keep out of hot paths.
+std::string to_string(Seconds t);
+std::string to_string(Volts u);
+std::string to_string(Watts p);
+std::string to_string(Joules e);
+std::string to_string(BytesPerSecond bw);
+
+namespace literals {
+constexpr Seconds operator""_s(long double x) { return Seconds{static_cast<double>(x)}; }
+constexpr Seconds operator""_ms(long double x) { return Seconds{static_cast<double>(x) * 1e-3}; }
+constexpr Seconds operator""_us(long double x) { return Seconds{static_cast<double>(x) * 1e-6}; }
+constexpr Seconds operator""_ns(long double x) { return Seconds{static_cast<double>(x) * 1e-9}; }
+constexpr Volts operator""_V(long double x) { return Volts{static_cast<double>(x)}; }
+constexpr Volts operator""_mV(long double x) { return Volts{static_cast<double>(x) * 1e-3}; }
+constexpr Watts operator""_W(long double x) { return Watts{static_cast<double>(x)}; }
+constexpr Watts operator""_mW(long double x) { return Watts{static_cast<double>(x) * 1e-3}; }
+constexpr Hertz operator""_MHz(long double x) { return Hertz{static_cast<double>(x) * 1e6}; }
+}  // namespace literals
+
+}  // namespace xlf

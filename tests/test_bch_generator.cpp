@@ -1,0 +1,110 @@
+#include "src/bch/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/gf/minpoly.hpp"
+
+namespace xlf::bch {
+namespace {
+
+TEST(Generator, KnownBch15_5_7) {
+  // Classic BCH(15, 5) t = 3 generator over GF(16):
+  // g(x) = x^10 + x^8 + x^5 + x^4 + x^2 + x + 1.
+  const gf::Gf2m field(4);
+  const gf::Gf2Poly g = generator_polynomial(field, 3);
+  EXPECT_EQ(g, gf::Gf2Poly(0b10100110111));
+  EXPECT_EQ(g.degree(), 10);
+}
+
+TEST(Generator, KnownBch15_7_5) {
+  // BCH(15, 7) t = 2: g(x) = x^8 + x^7 + x^6 + x^4 + 1.
+  const gf::Gf2m field(4);
+  const gf::Gf2Poly g = generator_polynomial(field, 2);
+  EXPECT_EQ(g, gf::Gf2Poly(0b111010001));
+}
+
+TEST(Generator, SingleErrorIsMinimalPolynomial) {
+  // t = 1: the generator is just the minimal polynomial of alpha,
+  // i.e. the field's defining polynomial — a Hamming code.
+  const gf::Gf2m field(8);
+  EXPECT_EQ(generator_polynomial(field, 1), gf::Gf2Poly(0x11D));
+}
+
+class GeneratorSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(GeneratorSweep, HasAllDesignedRoots) {
+  const auto [m, t] = GetParam();
+  const gf::Gf2m field(m);
+  const gf::Gf2Poly g = generator_polynomial(field, t);
+  for (unsigned i = 1; i <= 2 * t; ++i) {
+    EXPECT_EQ(g.eval(field, field.alpha_pow(i)), 0u)
+        << "alpha^" << i << " not a root, m=" << m << " t=" << t;
+  }
+}
+
+TEST_P(GeneratorSweep, DegreeAtMostMT) {
+  // deg g = sum of distinct coset sizes <= m*t; equality holds for the
+  // common case of full-size cosets.
+  const auto [m, t] = GetParam();
+  const gf::Gf2m field(m);
+  const gf::Gf2Poly g = generator_polynomial(field, t);
+  EXPECT_LE(g.degree(), static_cast<long long>(m) * t);
+  EXPECT_GT(g.degree(), 0);
+}
+
+TEST_P(GeneratorSweep, EqualsProductOfFactors) {
+  const auto [m, t] = GetParam();
+  const gf::Gf2m field(m);
+  const auto factors = generator_factors(field, t);
+  gf::Gf2Poly product = gf::Gf2Poly::one();
+  for (const auto& f : factors) product = product * f;
+  EXPECT_EQ(product, generator_polynomial(field, t));
+}
+
+TEST_P(GeneratorSweep, FactorsArePairwiseCoprime) {
+  const auto [m, t] = GetParam();
+  const gf::Gf2m field(m);
+  const auto factors = generator_factors(field, t);
+  for (std::size_t i = 0; i < factors.size(); ++i) {
+    for (std::size_t j = i + 1; j < factors.size(); ++j) {
+      EXPECT_EQ(gf::Gf2Poly::gcd(factors[i], factors[j]).degree(), 0);
+    }
+  }
+}
+
+TEST_P(GeneratorSweep, DividesXnMinus1) {
+  // Every cyclic-code generator divides x^(2^m - 1) + 1.
+  const auto [m, t] = GetParam();
+  const gf::Gf2m field(m);
+  const gf::Gf2Poly g = generator_polynomial(field, t);
+  gf::Gf2Poly xn1 = gf::Gf2Poly::monomial(field.order()) + gf::Gf2Poly::one();
+  EXPECT_TRUE((xn1 % g).is_zero());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallCodes, GeneratorSweep,
+    ::testing::Values(std::make_tuple(4u, 1u), std::make_tuple(4u, 2u),
+                      std::make_tuple(4u, 3u), std::make_tuple(6u, 4u),
+                      std::make_tuple(8u, 2u), std::make_tuple(8u, 8u),
+                      std::make_tuple(10u, 5u), std::make_tuple(13u, 8u)));
+
+TEST(Generator, PaperScaleDegrees) {
+  // GF(2^16): full cosets give deg g = 16 t for the paper's corner
+  // capabilities.
+  const gf::Gf2m field(16);
+  EXPECT_EQ(generator_polynomial(field, 3).degree(), 48);
+  EXPECT_EQ(generator_polynomial(field, 14).degree(), 224);
+}
+
+TEST(GeneratorCache, ReturnsSameObjectAndIsConsistent) {
+  const gf::Gf2m field(8);
+  GeneratorCache cache(field);
+  const gf::Gf2Poly& a = cache.get(4);
+  const gf::Gf2Poly& b = cache.get(4);
+  EXPECT_EQ(&a, &b);  // cached, not rebuilt
+  EXPECT_EQ(a, generator_polynomial(field, 4));
+}
+
+}  // namespace
+}  // namespace xlf::bch

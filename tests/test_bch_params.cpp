@@ -1,0 +1,161 @@
+#include "src/bch/code_params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace xlf::bch {
+namespace {
+
+TEST(CodeParams, PaperConfiguration) {
+  // 4 KB page over GF(2^16), t = 65 worst case: r = 1040 parity bits
+  // (130 bytes of spare area), n = 33808.
+  const CodeParams p{16, 32768, 65};
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(p.parity_bits(), 1040u);
+  EXPECT_EQ(p.n(), 33808u);
+  EXPECT_EQ(p.natural_length(), 65535u);
+  EXPECT_EQ(p.shortening(), 65535u - 33808u);
+  EXPECT_NEAR(p.rate(), 32768.0 / 33808.0, 1e-12);
+}
+
+TEST(CodeParams, ConstructionInequality) {
+  // k + m t <= 2^m - 1: for m = 16, k = 32768 the bound is t <= 2047.
+  EXPECT_TRUE((CodeParams{16, 32768, 2047}).valid());
+  EXPECT_FALSE((CodeParams{16, 32768, 2048}).valid());
+  // A 4 KB page cannot fit in GF(2^15).
+  EXPECT_FALSE((CodeParams{15, 32768, 1}).valid());
+}
+
+TEST(CodeParams, MinFieldDegree) {
+  EXPECT_EQ(min_field_degree(32768, 65), 16u);   // the paper's page
+  EXPECT_EQ(min_field_degree(4096, 16), 13u);    // 512 B sector, as in [28]
+  EXPECT_EQ(min_field_degree(100, 3), 7u);
+}
+
+TEST(Uber, MatchesDirectFormulaAtSmallScale) {
+  // Directly computable scale: n = 100, t = 2, RBER = 0.01.
+  const double direct = /* C(100,3) */ 161700.0 * std::pow(0.01, 3) *
+                        std::pow(0.99, 97) / 100.0;
+  EXPECT_NEAR(uber(0.01, 100, 2), direct, direct * 1e-10);
+}
+
+TEST(Uber, LogAndLinearAgree) {
+  const double rber = 1e-3;
+  const double lin = uber(rber, 33808, 10);
+  EXPECT_NEAR(std::log(lin), log_uber(rber, 33808, 10), 1e-9);
+}
+
+TEST(Uber, MonotoneDecreasingInTBeyondMeanErrorCount) {
+  // Eq. (1) is a single-term approximation: it decreases in t only
+  // once t+1 exceeds the mean error count n*rber (~3.4 here). The
+  // operating points the reliability manager selects always satisfy
+  // that.
+  double prev = 1.0;
+  for (unsigned t = 4; t <= 65; ++t) {
+    const CodeParams p{16, 32768, t};
+    const double u = log_uber(1e-4, p.n(), t);
+    EXPECT_LT(u, prev) << "t=" << t;
+    prev = u;
+  }
+}
+
+TEST(Uber, MonotoneIncreasingInRberBelowSaturation) {
+  // Same regime caveat: monotone while n*rber stays below t+1.
+  double prev = -1e9;
+  for (double rber : {1e-6, 1e-5, 1e-4, 2e-4}) {
+    const double u = log_uber(rber, 33808, 10);
+    EXPECT_GT(u, prev);
+    prev = u;
+  }
+}
+
+TEST(Uber, TailDominatesSingleTerm) {
+  // P[X >= t+1] includes the t+1 term plus more, so the exact tail is
+  // always >= Eq. (1)'s single-term value.
+  for (double rber : {1e-5, 1e-4, 1e-3}) {
+    for (unsigned t : {3u, 14u, 30u, 65u}) {
+      EXPECT_GE(log_uber_tail(rber, 33808, t) + 1e-9,
+                log_uber(rber, 33808, t));
+    }
+  }
+}
+
+TEST(Uber, TailCloseToSingleTermWhenErrorsRare) {
+  // With n*rber << t the first term dominates the tail.
+  const double single = log_uber(1e-6, 33808, 10);
+  const double tail = log_uber_tail(1e-6, 33808, 10);
+  EXPECT_NEAR(single, tail, 0.05);  // within 5% in log space
+}
+
+// --- The paper's Fig. 7 operating points -------------------------------
+//
+// Section 6.2: with UBER target 1e-11, the BOL RBER requires tMIN = 3
+// and the EOL ISPP-SV RBER (1e-3) requires tMAX = 65; the annotated
+// points on Fig. 7 associate t = {3, 4, 27, 30, 65} with RBER =
+// {1e-6, 2.5e-6, 2.75e-4, 3.35e-4, 1e-3}.
+
+constexpr double kUberTarget = 1e-11;
+
+TEST(MinTForUber, PaperFig7Chain) {
+  const auto t_for = [](double rber) {
+    const auto t = min_t_for_uber(rber, kUberTarget, 32768, 16, 1, 100);
+    return t.has_value() ? static_cast<int>(*t) : -1;
+  };
+  EXPECT_EQ(t_for(1e-6), 3);
+  EXPECT_EQ(t_for(2.5e-6), 4);
+  // 5e-6 sits between the t=4 and t=5 contours; accept either side of
+  // the annotation.
+  EXPECT_NEAR(t_for(5e-6), 5, 1);
+  EXPECT_NEAR(t_for(2.75e-4), 27, 1);
+  EXPECT_NEAR(t_for(3.35e-4), 30, 1);
+  EXPECT_NEAR(t_for(1e-3), 65, 1);
+}
+
+TEST(MinTForUber, SelectedTActuallyMeetsTarget) {
+  for (double rber : {1e-6, 5e-6, 1e-4, 5e-4, 1e-3}) {
+    const auto t = min_t_for_uber(rber, kUberTarget, 32768, 16, 1, 100);
+    ASSERT_TRUE(t.has_value());
+    const CodeParams p{16, 32768, *t};
+    EXPECT_LE(uber(rber, p.n(), *t), kUberTarget);
+    if (*t > 1) {
+      const CodeParams weaker{16, 32768, *t - 1};
+      EXPECT_GT(uber(rber, weaker.n(), *t - 1), kUberTarget)
+          << "t not minimal at rber=" << rber;
+    }
+  }
+}
+
+TEST(MinTForUber, RespectsLowerBound) {
+  // Clamping t_min = 3 (the codec's design minimum) must never return
+  // less than 3 even for tiny RBER.
+  const auto t = min_t_for_uber(1e-9, kUberTarget, 32768, 16, 3, 65);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 3u);
+}
+
+TEST(MinTForUber, UnreachableTargetReturnsNullopt) {
+  // RBER 10% cannot be repaired by t <= 65 on a 4 KB page.
+  EXPECT_FALSE(min_t_for_uber(0.1, kUberTarget, 32768, 16, 1, 65).has_value());
+}
+
+TEST(MinTForUber, MonotoneInRber) {
+  unsigned prev = 1;
+  for (double rber = 1e-6; rber < 2e-3; rber *= 1.5) {
+    const auto t = min_t_for_uber(rber, kUberTarget, 32768, 16, 1, 200);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_GE(*t, prev);
+    prev = *t;
+  }
+}
+
+TEST(MinTForUber, TighterTargetNeedsMoreCorrection) {
+  const auto loose = min_t_for_uber(1e-4, 1e-9, 32768, 16, 1, 200);
+  const auto tight = min_t_for_uber(1e-4, 1e-15, 32768, 16, 1, 200);
+  ASSERT_TRUE(loose.has_value());
+  ASSERT_TRUE(tight.has_value());
+  EXPECT_GT(*tight, *loose);
+}
+
+}  // namespace
+}  // namespace xlf::bch

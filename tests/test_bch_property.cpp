@@ -1,0 +1,135 @@
+// Property-based sweeps over code configurations: every (m, k, t)
+// combination must encode systematically, correct any <= t pattern,
+// and behave linearly. These are the invariants the rest of the
+// system (controller, simulator, benches) silently relies on.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/bch/decoder.hpp"
+#include "src/bch/encoder.hpp"
+#include "src/bch/error_injection.hpp"
+#include "src/bch/generator.hpp"
+#include "src/util/rng.hpp"
+
+namespace xlf::bch {
+namespace {
+
+using Config = std::tuple<unsigned /*m*/, std::uint32_t /*k*/, unsigned /*t*/>;
+
+class CodeSweep : public ::testing::TestWithParam<Config> {
+ protected:
+  void SetUp() override {
+    const auto [m, k, t] = GetParam();
+    field_ = std::make_unique<gf::Gf2m>(m);
+    generator_ = generator_polynomial(*field_, t);
+    params_ = CodeParams{m, k, t,
+                         static_cast<std::uint32_t>(generator_.degree())};
+    ASSERT_TRUE(params_.valid());
+    encoder_ = std::make_unique<Encoder>(params_, generator_);
+    decoder_ = std::make_unique<Decoder>(*field_, params_);
+  }
+
+  BitVec random_message(Rng& rng) const {
+    BitVec msg(params_.k);
+    for (std::uint32_t i = 0; i < params_.k; ++i) msg.set(i, rng.chance(0.5));
+    return msg;
+  }
+
+  std::unique_ptr<gf::Gf2m> field_;
+  gf::Gf2Poly generator_;
+  CodeParams params_;
+  std::unique_ptr<Encoder> encoder_;
+  std::unique_ptr<Decoder> decoder_;
+};
+
+TEST_P(CodeSweep, EncodeDecodeIdentityWithoutErrors) {
+  Rng rng(std::get<0>(GetParam()));
+  const BitVec msg = random_message(rng);
+  BitVec cw = encoder_->encode(msg);
+  EXPECT_EQ(decoder_->decode(cw).status, DecodeStatus::kClean);
+  EXPECT_EQ(encoder_->extract_message(cw), msg);
+}
+
+TEST_P(CodeSweep, CorrectsEveryErrorCountUpToT) {
+  const auto [m, k, t] = GetParam();
+  Rng rng(m * 1000 + t);
+  for (unsigned errors = 1; errors <= t; ++errors) {
+    const BitVec msg = random_message(rng);
+    const BitVec clean = encoder_->encode(msg);
+    BitVec cw = clean;
+    const auto injected = inject_exact(cw, errors, rng);
+    const DecodeResult result = decoder_->decode(cw);
+    ASSERT_TRUE(result.ok()) << errors << " errors";
+    EXPECT_EQ(result.corrected, errors);
+    EXPECT_EQ(cw, clean);
+    // Reported positions are exactly the injected ones.
+    std::vector<std::uint32_t> expected(injected.begin(), injected.end());
+    EXPECT_EQ(result.positions, expected);
+  }
+}
+
+TEST_P(CodeSweep, ParityMatchesPolynomialReference) {
+  Rng rng(std::get<0>(GetParam()) + 99);
+  for (int trial = 0; trial < 8; ++trial) {
+    const BitVec msg = random_message(rng);
+    EXPECT_EQ(encoder_->parity(msg), encoder_->parity_reference(msg));
+  }
+}
+
+TEST_P(CodeSweep, CodewordSumIsACodeword) {
+  // Linearity: XOR of two codewords has zero syndromes.
+  Rng rng(std::get<0>(GetParam()) + 7);
+  BitVec a = encoder_->encode(random_message(rng));
+  const BitVec b = encoder_->encode(random_message(rng));
+  a ^= b;
+  for (gf::Element s : decoder_->syndromes(a)) EXPECT_EQ(s, 0u);
+}
+
+TEST_P(CodeSweep, SparseAndDenseSyndromesAgree) {
+  Rng rng(std::get<0>(GetParam()) + 13);
+  const auto t = std::get<2>(GetParam());
+  const BitVec clean = encoder_->encode(random_message(rng));
+  BitVec cw = clean;
+  const auto injected = inject_exact(cw, t, rng);
+  EXPECT_EQ(decoder_->syndromes(cw),
+            decoder_->syndromes_from_errors(injected));
+}
+
+TEST_P(CodeSweep, IidChannelAtHalfLoadIsAlwaysCorrected) {
+  // Inject iid errors with expected count t/2; retry until the draw
+  // lands within [0, t] (overwhelmingly likely) and require
+  // correction.
+  const auto [m, k, t] = GetParam();
+  Rng rng(m + 17 * t);
+  const double rber = 0.5 * t / params_.n();
+  for (int trial = 0; trial < 5; ++trial) {
+    const BitVec clean = encoder_->encode(random_message(rng));
+    BitVec cw = clean;
+    const auto injected = inject_iid(cw, rber, rng);
+    if (injected.size() > t || injected.empty()) continue;
+    const DecodeResult result = decoder_->decode(cw);
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(cw, clean);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, CodeSweep,
+    ::testing::Values(
+        // (m, k, t): small fields, sector-sized, and page-sized codes.
+        Config{5, 16, 2}, Config{6, 32, 3}, Config{7, 64, 5},
+        Config{8, 128, 4}, Config{8, 200, 6}, Config{9, 256, 8},
+        Config{10, 512, 10}, Config{11, 1024, 7}, Config{12, 2048, 9},
+        Config{13, 4096, 12},  // adaptive-rate codec of ref. [28]
+        Config{14, 8192, 6}, Config{15, 16384, 5},
+        Config{16, 32768, 4}  // the paper's page size, light t
+        ),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      return "m" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param)) + "_t" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace xlf::bch

@@ -1,0 +1,115 @@
+#include "src/core/subsystem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.hpp"
+
+namespace xlf::core {
+namespace {
+
+SubsystemConfig small_config() {
+  SubsystemConfig config = SubsystemConfig::defaults();
+  config.device.array.geometry.blocks = 4;
+  config.device.array.geometry.pages_per_block = 2;
+  return config;
+}
+
+BitVec random_page(const SubsystemConfig& config, std::uint64_t seed) {
+  Rng rng(seed);
+  BitVec data(config.device.array.geometry.data_bits_per_page());
+  for (std::size_t i = 0; i < data.size(); ++i) data.set(i, rng.chance(0.5));
+  return data;
+}
+
+TEST(Subsystem, ConstructsOnBaseline) {
+  MemorySubsystem subsystem(small_config());
+  EXPECT_EQ(subsystem.active_point().name, "baseline");
+  EXPECT_EQ(subsystem.controller().program_algorithm(),
+            nand::ProgramAlgorithm::kIsppSv);
+}
+
+TEST(Subsystem, ApplyConfiguresBothLayersAtomically) {
+  MemorySubsystem subsystem(small_config());
+  subsystem.device().set_uniform_wear(1e6);
+  subsystem.apply(OperatingPoint::max_read());
+  EXPECT_EQ(subsystem.controller().program_algorithm(),
+            nand::ProgramAlgorithm::kIsppDv);
+  // ECC relaxed to the DV schedule at EOL wear.
+  EXPECT_LT(subsystem.controller().correction_capability(), 20u);
+
+  subsystem.apply(OperatingPoint::min_uber());
+  EXPECT_EQ(subsystem.controller().program_algorithm(),
+            nand::ProgramAlgorithm::kIsppDv);
+  // ECC keeps the SV sizing.
+  EXPECT_EQ(subsystem.controller().correction_capability(), 65u);
+}
+
+TEST(Subsystem, RefreshReResolvesAfterAging) {
+  MemorySubsystem subsystem(small_config());
+  const unsigned t_bol = subsystem.controller().correction_capability();
+  subsystem.device().set_uniform_wear(1e6);
+  subsystem.refresh();
+  EXPECT_GT(subsystem.controller().correction_capability(), t_bol);
+}
+
+TEST(Subsystem, CurrentMetricsReflectActivePoint) {
+  MemorySubsystem subsystem(small_config());
+  subsystem.device().set_uniform_wear(1e6);
+  subsystem.apply(OperatingPoint::baseline());
+  const Metrics base = subsystem.current_metrics();
+  subsystem.apply(OperatingPoint::max_read());
+  const Metrics cross = subsystem.current_metrics();
+  EXPECT_GT(cross.read_throughput.value(), base.read_throughput.value());
+}
+
+TEST(Subsystem, EndToEndRoundTrip) {
+  const SubsystemConfig config = small_config();
+  MemorySubsystem subsystem(config);
+  const BitVec data = random_page(config, 1);
+  const auto write = subsystem.write_page({0, 0}, data);
+  EXPECT_TRUE(write.ok);
+  const auto read = subsystem.read_page({0, 0});
+  EXPECT_TRUE(read.ok);
+  EXPECT_EQ(read.data, data);
+}
+
+TEST(Subsystem, SegmentsRouteOperatingPoints) {
+  const SubsystemConfig config = small_config();
+  MemorySubsystem subsystem(config);
+  subsystem.define_segment({"otp", 0, 0, OperatingPoint::min_uber()});
+  subsystem.define_segment({"bulk", 1, 3, OperatingPoint::baseline()});
+
+  const BitVec data = random_page(config, 2);
+  subsystem.write_page({0, 0}, data);
+  EXPECT_EQ(subsystem.controller().program_algorithm(),
+            nand::ProgramAlgorithm::kIsppDv);
+
+  subsystem.write_page({2, 0}, data);
+  EXPECT_EQ(subsystem.controller().program_algorithm(),
+            nand::ProgramAlgorithm::kIsppSv);
+
+  // Both read back fine regardless of current configuration.
+  EXPECT_EQ(subsystem.read_page({0, 0}).data, data);
+  EXPECT_EQ(subsystem.read_page({2, 0}).data, data);
+}
+
+TEST(Subsystem, OverlappingSegmentsRejected) {
+  MemorySubsystem subsystem(small_config());
+  subsystem.define_segment({"a", 0, 1, OperatingPoint::baseline()});
+  EXPECT_THROW(
+      subsystem.define_segment({"b", 1, 2, OperatingPoint::min_uber()}),
+      std::invalid_argument);
+}
+
+TEST(Subsystem, SegmentBoundsValidated) {
+  MemorySubsystem subsystem(small_config());
+  EXPECT_THROW(
+      subsystem.define_segment({"bad", 2, 1, OperatingPoint::baseline()}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      subsystem.define_segment({"oob", 0, 99, OperatingPoint::baseline()}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xlf::core

@@ -1,0 +1,72 @@
+#include "src/ecc_hw/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace xlf::ecc_hw {
+namespace {
+
+TEST(EccPower, PaperAnchors) {
+  // Section 6.3.2: ECC power relaxes "from 7 mW to 1 mW" when moving
+  // from the SV end-of-life configuration (t = 65, ~34 raised locator
+  // terms at RBER 1e-3) to the DV one (t ~ 14-16, ~3 errors).
+  const PowerModel power{EccHwConfig{}};
+  const double sv_eol = power.decode_power(65, 33.8).milliwatts();
+  const double dv_eol = power.decode_power(14, 3.3).milliwatts();
+  EXPECT_NEAR(sv_eol, 7.0, 1.0);
+  EXPECT_NEAR(dv_eol, 1.0, 0.7);
+  EXPECT_GT(sv_eol / dv_eol, 4.0);
+}
+
+TEST(EccPower, DecodeEnergyMonotoneInT) {
+  const PowerModel power{EccHwConfig{}};
+  double prev = 0.0;
+  for (unsigned t = 3; t <= 65; t += 2) {
+    const double e = power.decode_energy(t, t).value();
+    EXPECT_GT(e, prev) << "t=" << t;
+    prev = e;
+  }
+}
+
+TEST(EccPower, ChienActivityTracksErrorLoad) {
+  // Clock-gated locator terms: more actual errors, more switching.
+  const PowerModel power{EccHwConfig{}};
+  const double light = power.decode_energy(65, 1.0).value();
+  const double heavy = power.decode_energy(65, 60.0).value();
+  EXPECT_GT(heavy, light * 2.0);
+}
+
+TEST(EccPower, ErrorLoadCappedAtT) {
+  // The locator degree cannot exceed t, so energy saturates there.
+  const PowerModel power{EccHwConfig{}};
+  EXPECT_DOUBLE_EQ(power.decode_energy(10, 10.0).value(),
+                   power.decode_energy(10, 500.0).value());
+}
+
+TEST(EccPower, EncodeEnergyGrowsWithT) {
+  // Wider parity register switching.
+  const PowerModel power{EccHwConfig{}};
+  EXPECT_GT(power.encode_energy(65).value(), power.encode_energy(3).value());
+}
+
+TEST(EccPower, EncodePowerWellBelowDecodePower) {
+  const PowerModel power{EccHwConfig{}};
+  EXPECT_LT(power.encode_power(65).value(),
+            power.decode_power(65, 33.8).value());
+}
+
+TEST(EccPower, CleanDecodeCostsLessThanDirty) {
+  const PowerModel power{EccHwConfig{}};
+  EXPECT_LT(power.decode_energy(30, 0.0).value(),
+            power.decode_energy(30, 15.0).value());
+}
+
+TEST(EccPower, RejectsInvalidArguments) {
+  const PowerModel power{EccHwConfig{}};
+  EXPECT_THROW(power.decode_energy(2, 1.0), std::invalid_argument);
+  EXPECT_THROW(power.decode_energy(10, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xlf::ecc_hw

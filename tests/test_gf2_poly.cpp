@@ -1,0 +1,185 @@
+#include "src/gf/gf2_poly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/util/rng.hpp"
+
+namespace xlf::gf {
+namespace {
+
+Gf2Poly random_poly(Rng& rng, std::size_t max_degree) {
+  Gf2Poly p;
+  const std::size_t deg = static_cast<std::size_t>(rng.below(max_degree + 1));
+  for (std::size_t i = 0; i <= deg; ++i) p.set_coeff(i, rng.chance(0.5));
+  return p;
+}
+
+TEST(Gf2Poly, ZeroAndOne) {
+  EXPECT_TRUE(Gf2Poly::zero().is_zero());
+  EXPECT_EQ(Gf2Poly::zero().degree(), -1);
+  EXPECT_EQ(Gf2Poly::one().degree(), 0);
+  EXPECT_EQ(Gf2Poly::monomial(5).degree(), 5);
+  EXPECT_EQ(Gf2Poly::monomial(5).weight(), 1u);
+}
+
+TEST(Gf2Poly, BitPatternConstructor) {
+  const Gf2Poly p(0x13);  // x^4 + x + 1
+  EXPECT_EQ(p.degree(), 4);
+  EXPECT_TRUE(p.coeff(0));
+  EXPECT_TRUE(p.coeff(1));
+  EXPECT_FALSE(p.coeff(2));
+  EXPECT_FALSE(p.coeff(3));
+  EXPECT_TRUE(p.coeff(4));
+  EXPECT_EQ(p.weight(), 3u);
+}
+
+TEST(Gf2Poly, AdditionIsXor) {
+  const Gf2Poly a(0b1101);
+  const Gf2Poly b(0b0111);
+  const Gf2Poly sum = a + b;
+  EXPECT_EQ(sum, Gf2Poly(0b1010));
+  EXPECT_TRUE((a + a).is_zero());
+}
+
+TEST(Gf2Poly, MultiplicationKnownProduct) {
+  // (x + 1)(x + 1) = x^2 + 1 over GF(2).
+  const Gf2Poly x1(0b11);
+  EXPECT_EQ(x1 * x1, Gf2Poly(0b101));
+  // (x^2 + x + 1)(x + 1) = x^3 + 1.
+  EXPECT_EQ(Gf2Poly(0b111) * Gf2Poly(0b11), Gf2Poly(0b1001));
+}
+
+TEST(Gf2Poly, MultiplicationByZeroAndOne) {
+  Rng rng(1);
+  const Gf2Poly p = random_poly(rng, 100);
+  EXPECT_TRUE((p * Gf2Poly::zero()).is_zero());
+  EXPECT_EQ(p * Gf2Poly::one(), p);
+}
+
+TEST(Gf2Poly, MultiplicationCommutesAndAssociates) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Gf2Poly a = random_poly(rng, 60);
+    const Gf2Poly b = random_poly(rng, 60);
+    const Gf2Poly c = random_poly(rng, 60);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST(Gf2Poly, DegreeOfProductAdds) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    Gf2Poly a = random_poly(rng, 40);
+    Gf2Poly b = random_poly(rng, 40);
+    if (a.is_zero() || b.is_zero()) continue;
+    EXPECT_EQ((a * b).degree(), a.degree() + b.degree());
+  }
+}
+
+TEST(Gf2Poly, DivModReconstructs) {
+  Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Gf2Poly a = random_poly(rng, 200);
+    Gf2Poly d = random_poly(rng, 50);
+    if (d.is_zero()) d = Gf2Poly::one();
+    const auto [q, r] = a.divmod(d);
+    EXPECT_EQ(q * d + r, a);
+    if (!r.is_zero()) {
+      EXPECT_LT(r.degree(), d.degree());
+    }
+  }
+}
+
+TEST(Gf2Poly, DivisionByZeroThrows) {
+  EXPECT_THROW(Gf2Poly(0b101).divmod(Gf2Poly::zero()), std::invalid_argument);
+}
+
+TEST(Gf2Poly, ModuloOfMultipleIsZero) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Gf2Poly a = random_poly(rng, 40);
+    Gf2Poly d = random_poly(rng, 20);
+    if (d.is_zero()) d = Gf2Poly(0b11);
+    EXPECT_TRUE(((a * d) % d).is_zero());
+  }
+}
+
+TEST(Gf2Poly, ShiftMatchesMonomialMultiply) {
+  Rng rng(6);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Gf2Poly p = random_poly(rng, 100);
+    const std::size_t e = static_cast<std::size_t>(rng.below(150));
+    EXPECT_EQ(p.shifted(e), p * Gf2Poly::monomial(e));
+  }
+}
+
+TEST(Gf2Poly, EvalOverField) {
+  const Gf2m field(4);
+  // p(x) = x^4 + x + 1 is the field's defining polynomial, so
+  // p(alpha) = 0.
+  const Gf2Poly p(0x13);
+  EXPECT_EQ(p.eval(field, field.alpha_pow(1)), 0u);
+  // p(0) = constant term = 1; p(1) = weight mod 2 = 1.
+  EXPECT_EQ(p.eval(field, 0), 1u);
+  EXPECT_EQ(p.eval(field, 1), 1u);
+}
+
+TEST(Gf2Poly, EvalIsRingHomomorphism) {
+  const Gf2m field(8);
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Gf2Poly a = random_poly(rng, 30);
+    const Gf2Poly b = random_poly(rng, 30);
+    const Element x = static_cast<Element>(rng.below(field.size()));
+    EXPECT_EQ((a + b).eval(field, x),
+              Gf2m::add(a.eval(field, x), b.eval(field, x)));
+    EXPECT_EQ((a * b).eval(field, x),
+              field.mul(a.eval(field, x), b.eval(field, x)));
+  }
+}
+
+TEST(Gf2Poly, DerivativeDropsEvenTerms) {
+  // d/dx (x^5 + x^4 + x^3 + x + 1) = 5x^4 + 4x^3 + 3x^2 + 1
+  //                                = x^4 + x^2 + 1 over GF(2).
+  const Gf2Poly p(0b111011);
+  EXPECT_EQ(p.derivative(), Gf2Poly(0b10101));
+  EXPECT_TRUE(Gf2Poly(0b10101).derivative().is_zero());  // even-only
+}
+
+TEST(Gf2Poly, GcdOfMultiples) {
+  const Gf2Poly g(0b111);  // x^2 + x + 1 (irreducible)
+  const Gf2Poly a = g * Gf2Poly(0b1011);
+  const Gf2Poly b = g * Gf2Poly(0b1101);
+  const Gf2Poly d = Gf2Poly::gcd(a, b);
+  // gcd must be divisible by g and divide both.
+  EXPECT_TRUE((d % g).is_zero());
+  EXPECT_TRUE((a % d).is_zero());
+  EXPECT_TRUE((b % d).is_zero());
+}
+
+TEST(Gf2Poly, ToStringReadable) {
+  EXPECT_EQ(Gf2Poly(0b10011).to_string(), "x^4 + x + 1");
+  EXPECT_EQ(Gf2Poly::zero().to_string(), "0");
+  EXPECT_EQ(Gf2Poly::one().to_string(), "1");
+  EXPECT_EQ(Gf2Poly(0b10).to_string(), "x");
+}
+
+TEST(Gf2Poly, CrossWordBoundaryOperations) {
+  // Exercise degrees spanning multiple 64-bit words.
+  Gf2Poly p = Gf2Poly::monomial(200) + Gf2Poly::monomial(64) + Gf2Poly::one();
+  EXPECT_EQ(p.degree(), 200);
+  EXPECT_EQ(p.weight(), 3u);
+  const Gf2Poly shifted = p.shifted(63);
+  EXPECT_EQ(shifted.degree(), 263);
+  EXPECT_TRUE(shifted.coeff(63));
+  EXPECT_TRUE(shifted.coeff(127));
+  EXPECT_TRUE(shifted.coeff(263));
+  EXPECT_EQ(shifted.weight(), 3u);
+}
+
+}  // namespace
+}  // namespace xlf::gf

@@ -1,0 +1,117 @@
+#include "src/gf/gfp_poly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.hpp"
+
+namespace xlf::gf {
+namespace {
+
+GfpPoly random_poly(const Gf2m& field, Rng& rng, std::size_t max_degree) {
+  std::vector<Element> coeffs(rng.below(max_degree + 1) + 1);
+  for (auto& c : coeffs) c = static_cast<Element>(rng.below(field.size()));
+  return GfpPoly(std::move(coeffs));
+}
+
+TEST(GfpPoly, DegreeAndTrim) {
+  EXPECT_EQ(GfpPoly::zero().degree(), -1);
+  EXPECT_EQ(GfpPoly::one().degree(), 0);
+  EXPECT_EQ(GfpPoly({1, 2, 0, 0}).degree(), 1);  // trailing zeros trimmed
+  EXPECT_EQ(GfpPoly({0, 0, 7}).degree(), 2);
+}
+
+TEST(GfpPoly, CoeffAccess) {
+  GfpPoly p({3, 0, 5});
+  EXPECT_EQ(p.coeff(0), 3u);
+  EXPECT_EQ(p.coeff(1), 0u);
+  EXPECT_EQ(p.coeff(2), 5u);
+  EXPECT_EQ(p.coeff(99), 0u);  // beyond degree reads as zero
+  p.set_coeff(7, 9);
+  EXPECT_EQ(p.degree(), 7);
+  EXPECT_EQ(p.coeff(7), 9u);
+}
+
+TEST(GfpPoly, AdditionIsCoefficientwiseXor) {
+  const Gf2m field(8);
+  const GfpPoly a({1, 2, 3});
+  const GfpPoly b({3, 2, 1});
+  const GfpPoly sum = a.add(field, b);
+  EXPECT_EQ(sum.coeff(0), 2u);
+  EXPECT_EQ(sum.coeff(1), 0u);
+  EXPECT_EQ(sum.coeff(2), 2u);
+  EXPECT_TRUE(a.add(field, a).is_zero());
+}
+
+TEST(GfpPoly, MulMatchesEval) {
+  const Gf2m field(8);
+  Rng rng(1);
+  for (int trial = 0; trial < 60; ++trial) {
+    const GfpPoly a = random_poly(field, rng, 10);
+    const GfpPoly b = random_poly(field, rng, 10);
+    const GfpPoly prod = a.mul(field, b);
+    for (int i = 0; i < 5; ++i) {
+      const Element x = static_cast<Element>(rng.below(field.size()));
+      EXPECT_EQ(prod.eval(field, x),
+                field.mul(a.eval(field, x), b.eval(field, x)));
+    }
+  }
+}
+
+TEST(GfpPoly, ScaleAndShift) {
+  const Gf2m field(4);
+  const GfpPoly p({1, 2});
+  const GfpPoly scaled = p.scale(field, 3);
+  EXPECT_EQ(scaled.coeff(0), field.mul(1, 3));
+  EXPECT_EQ(scaled.coeff(1), field.mul(2, 3));
+  const GfpPoly shifted = p.shifted(2);
+  EXPECT_EQ(shifted.degree(), 3);
+  EXPECT_EQ(shifted.coeff(2), 1u);
+  EXPECT_EQ(shifted.coeff(3), 2u);
+  EXPECT_TRUE(p.scale(field, 0).is_zero());
+}
+
+TEST(GfpPoly, EvalHorner) {
+  const Gf2m field(4);
+  // p(x) = x^2 + alpha: p(alpha) = alpha^2 + alpha = 4 ^ 2 = 6.
+  const GfpPoly p({2, 0, 1});
+  EXPECT_EQ(p.eval(field, 2), 6u);
+  EXPECT_EQ(p.eval(field, 0), 2u);  // constant term
+}
+
+TEST(GfpPoly, RootsOfConstructedLocator) {
+  // Build lambda(x) = (1 - X1 x)(1 - X2 x) and confirm its roots are
+  // exactly the inverses of X1, X2 — the Chien-search contract.
+  const Gf2m field(8);
+  const Element x1 = field.alpha_pow(10);
+  const Element x2 = field.alpha_pow(77);
+  const GfpPoly f1({1, x1});
+  const GfpPoly f2({1, x2});
+  const GfpPoly lambda = f1.mul(field, f2);
+  EXPECT_EQ(lambda.eval(field, field.inv(x1)), 0u);
+  EXPECT_EQ(lambda.eval(field, field.inv(x2)), 0u);
+  EXPECT_NE(lambda.eval(field, field.alpha_pow(3)), 0u);
+}
+
+TEST(GfpPoly, DerivativeCharacteristic2) {
+  const GfpPoly p({5, 7, 9, 11});  // 5 + 7x + 9x^2 + 11x^3
+  const GfpPoly d = p.derivative();
+  EXPECT_EQ(d.coeff(0), 7u);   // odd terms survive
+  EXPECT_EQ(d.coeff(1), 0u);   // even terms vanish
+  EXPECT_EQ(d.coeff(2), 11u);
+  EXPECT_EQ(d.degree(), 2);
+}
+
+TEST(GfpPoly, EqualsIgnoresRepresentation) {
+  GfpPoly a({1, 2});
+  GfpPoly b({1, 2, 0});
+  EXPECT_TRUE(a.equals(b));
+  EXPECT_FALSE(a.equals(GfpPoly({1, 3})));
+}
+
+TEST(GfpPoly, ToString) {
+  EXPECT_EQ(GfpPoly({1, 0, 3}).to_string(), "3*x^2 + 1");
+  EXPECT_EQ(GfpPoly::zero().to_string(), "0");
+}
+
+}  // namespace
+}  // namespace xlf::gf

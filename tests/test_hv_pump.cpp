@@ -1,0 +1,111 @@
+#include "src/hv/charge_pump.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xlf::hv {
+namespace {
+
+PumpConfig program_pump_config() {
+  return PumpConfig{};  // 12-stage defaults
+}
+
+TEST(Pump, OpenCircuitVoltageFollowsStageCount) {
+  // (N+1) Vdd - N Vloss.
+  DicksonPump pump(program_pump_config());
+  EXPECT_NEAR(pump.open_circuit_voltage().value(), 13.0 * 1.8 - 12.0 * 0.15,
+              1e-9);
+}
+
+TEST(Pump, PaperRailsReachable) {
+  // Program pump (12 stages) must exceed the 19 V ISPP ceiling,
+  // inhibit (8) the 8 V rail, verify (4) the 4.5 V rail.
+  PumpConfig program = program_pump_config();
+  EXPECT_GT(DicksonPump(program).open_circuit_voltage().value(), 19.0);
+  PumpConfig inhibit;
+  inhibit.stages = 8;
+  EXPECT_GT(DicksonPump(inhibit).open_circuit_voltage().value(), 8.0);
+  PumpConfig verify;
+  verify.stages = 4;
+  EXPECT_GT(DicksonPump(verify).open_circuit_voltage().value(), 4.5);
+}
+
+TEST(Pump, MoreStagesMoreVoltage) {
+  PumpConfig few;
+  few.stages = 4;
+  PumpConfig many;
+  many.stages = 12;
+  EXPECT_LT(DicksonPump(few).open_circuit_voltage(),
+            DicksonPump(many).open_circuit_voltage());
+}
+
+TEST(Pump, LoadDroopsOutput) {
+  DicksonPump pump(program_pump_config());
+  const Volts unloaded = pump.steady_state_voltage(Amperes{0.0});
+  const Volts loaded = pump.steady_state_voltage(Amperes::milliamps(1.0));
+  EXPECT_LT(loaded, unloaded);
+  EXPECT_NEAR((unloaded - loaded).value(),
+              1e-3 * pump.output_impedance_ohm(), 1e-9);
+}
+
+TEST(Pump, InputCurrentLiftsThroughAllStages) {
+  DicksonPump pump(program_pump_config());
+  const Amperes in = pump.input_current(Amperes::milliamps(1.0));
+  // At least (N+1) x the load plus parasitics.
+  EXPECT_GE(in.value(), 13.0e-3);
+  EXPECT_GT(in.value(), 13.0e-3);  // parasitics are nonzero
+}
+
+TEST(Pump, EfficiencyBelowIdealAndSensible) {
+  DicksonPump pump(program_pump_config());
+  const Amperes load = Amperes::milliamps(0.5);
+  const Volts vout = pump.steady_state_voltage(load);
+  const double eta = pump.efficiency(vout, load);
+  EXPECT_GT(eta, 0.3);
+  EXPECT_LT(eta, 1.0);
+  EXPECT_DOUBLE_EQ(pump.efficiency(vout, Amperes{0.0}), 0.0);
+}
+
+TEST(Pump, TransientRampsTowardTarget) {
+  DicksonPump pump(program_pump_config());
+  pump.reset(Volts{0.0});
+  const Amperes load = Amperes::milliamps(0.2);
+  double prev = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const PumpStep step = pump.step(Seconds::micros(2.0), true, load);
+    EXPECT_GE(step.vout.value() + 1e-12, prev);
+    prev = step.vout.value();
+  }
+  // Converges near the loaded steady state.
+  EXPECT_NEAR(prev, pump.steady_state_voltage(load).value(), 0.5);
+}
+
+TEST(Pump, DisabledPumpDischargesUnderLoad) {
+  DicksonPump pump(program_pump_config());
+  pump.reset(Volts{15.0});
+  const PumpStep step =
+      pump.step(Seconds::micros(5.0), false, Amperes::milliamps(0.1));
+  EXPECT_LT(step.vout.value(), 15.0);
+  EXPECT_DOUBLE_EQ(step.input_energy.value(), 0.0);  // no supply draw
+}
+
+TEST(Pump, EnergyAccountingMatchesCurrent) {
+  DicksonPump pump(program_pump_config());
+  pump.reset(Volts{16.0});
+  const Amperes load = Amperes::milliamps(0.4);
+  const Seconds dt = Seconds::micros(3.0);
+  const PumpStep step = pump.step(dt, true, load);
+  EXPECT_NEAR(step.input_energy.value(),
+              1.8 * step.input_current.value() * dt.value(), 1e-15);
+}
+
+TEST(Pump, InvalidConfigsRejected) {
+  PumpConfig bad = program_pump_config();
+  bad.stages = 0;
+  EXPECT_THROW(DicksonPump{bad}, std::invalid_argument);
+  bad = program_pump_config();
+  bad.parasitic_fraction = 1.5;
+  EXPECT_THROW(DicksonPump{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xlf::hv

@@ -1,0 +1,88 @@
+#include "src/hv/regulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xlf::hv {
+namespace {
+
+TEST(Regulator, HoldsTargetWithinHysteresis) {
+  DicksonPump pump(PumpConfig{});  // 12-stage, can reach well above 16 V
+  Regulator regulator(RegulatorConfig{}, Volts{16.0});
+  pump.reset(Volts{0.0});
+  RegulationSummary summary = regulate_for(regulator, pump, Seconds::millis(1.0),
+                                           2000, Amperes::milliamps(0.2));
+  // After the startup ramp the output must ripple around the target
+  // (the hysteretic loop overshoots by up to one RC slew per
+  // comparator period).
+  EXPECT_NEAR(summary.final_voltage.value(), 16.0, 0.6);
+  // Run a second window from steady state: mean close to target.
+  summary = regulate_for(regulator, pump, Seconds::millis(1.0), 2000,
+                         Amperes::milliamps(0.2));
+  EXPECT_NEAR(summary.mean_voltage.value(), 16.0, 0.4);
+}
+
+TEST(Regulator, DutyCycleBelowOneInSteadyState) {
+  // The bang-bang loop must actually shut the pump down part of the
+  // time — that is what bounds the ripple and the power.
+  DicksonPump pump(PumpConfig{});
+  Regulator regulator(RegulatorConfig{}, Volts{15.0});
+  pump.reset(Volts{15.0});
+  const RegulationSummary summary = regulate_for(
+      regulator, pump, Seconds::millis(1.0), 2000, Amperes::milliamps(0.1));
+  EXPECT_GT(summary.duty_cycle, 0.0);
+  EXPECT_LT(summary.duty_cycle, 1.0);
+}
+
+TEST(Regulator, RetargetingFollowsIsppStaircase) {
+  // The ISPP staircase retargets the program rail pulse by pulse.
+  DicksonPump pump(PumpConfig{});
+  Regulator regulator(RegulatorConfig{}, Volts{14.0});
+  pump.reset(Volts{14.0});
+  for (double target = 14.0; target <= 16.0; target += 0.25) {
+    regulator.set_target(Volts{target});
+    const RegulationSummary summary =
+        regulate_for(regulator, pump, Seconds::micros(100.0), 500,
+                     Amperes::milliamps(0.2));
+    EXPECT_NEAR(summary.final_voltage.value(), target, 0.6) << target;
+  }
+}
+
+TEST(Regulator, DividerRatioMapsTargetToReference) {
+  Regulator regulator(RegulatorConfig{.vref = Volts{1.2},
+                                      .hysteresis = Volts{0.1}},
+                      Volts{16.0});
+  EXPECT_NEAR(regulator.divider_ratio(), 1.2 / 16.0, 1e-12);
+  regulator.set_target(Volts{19.0});
+  EXPECT_NEAR(regulator.divider_ratio(), 1.2 / 19.0, 1e-12);
+}
+
+TEST(Regulator, EnergyOnlyWhenPumpEnabled) {
+  DicksonPump pump(PumpConfig{});
+  Regulator regulator(RegulatorConfig{}, Volts{10.0});
+  pump.reset(Volts{12.0});  // above target: pump gated off
+  const RegulatedStep step =
+      regulator.step(pump, Seconds::micros(1.0), Amperes::milliamps(0.1));
+  EXPECT_FALSE(step.pump_enabled);
+  EXPECT_DOUBLE_EQ(step.input_energy.value(), 0.0);
+}
+
+TEST(Regulator, HigherLoadMeansHigherDuty) {
+  const auto duty_at = [](Amperes load) {
+    DicksonPump pump(PumpConfig{});
+    Regulator regulator(RegulatorConfig{}, Volts{16.0});
+    pump.reset(Volts{16.0});
+    return regulate_for(regulator, pump, Seconds::millis(2.0), 4000, load)
+        .duty_cycle;
+  };
+  EXPECT_LT(duty_at(Amperes::milliamps(0.05)), duty_at(Amperes::milliamps(0.4)));
+}
+
+TEST(Regulator, InvalidTargetsRejected) {
+  EXPECT_THROW(Regulator(RegulatorConfig{}, Volts{0.0}),
+               std::invalid_argument);
+  Regulator regulator(RegulatorConfig{}, Volts{10.0});
+  EXPECT_THROW(regulator.set_target(Volts{-1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xlf::hv

@@ -1,0 +1,114 @@
+#include "src/hv/hv_subsystem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/hv/power_model.hpp"
+#include "src/nand/array.hpp"
+#include "src/nand/timing.hpp"
+
+namespace xlf::hv {
+namespace {
+
+nand::NandTiming make_timing() {
+  const nand::ArrayConfig array;
+  return nand::NandTiming(nand::TimingConfig{}, array.ispp, array.plan,
+                          array.variability, array.aging);
+}
+
+TEST(HvSubsystem, RailsAreReachable) {
+  const HvSubsystem hv{HvConfig{}};
+  EXPECT_GT(hv.program_pump().open_circuit_voltage().value(), 19.0);
+  EXPECT_GT(hv.inhibit_pump().open_circuit_voltage().value(), 8.0);
+  EXPECT_GT(hv.verify_pump().open_circuit_voltage().value(), 4.5);
+}
+
+TEST(HvSubsystem, EnergyBreakdownSumsToTotal) {
+  const HvSubsystem hv{HvConfig{}};
+  const nand::NandTiming timing = make_timing();
+  const auto& trace =
+      timing.sample_trace(nand::ProgramAlgorithm::kIsppSv, 100.0);
+  const HvEnergyBreakdown energy = hv.energy(trace);
+  EXPECT_NEAR(energy.total().value(),
+              (energy.program_pump + energy.inhibit_pump + energy.verify_pump +
+               energy.sensing + energy.background)
+                  .value(),
+              1e-15);
+  EXPECT_GT(energy.program_pump.value(), 0.0);
+  EXPECT_GT(energy.verify_pump.value(), 0.0);
+  EXPECT_GT(energy.background.value(), 0.0);
+}
+
+TEST(HvSubsystem, ProgramPowerInPaperWindow) {
+  // Fig. 6: program power between 0.15 and 0.18 W.
+  const nand::NandTiming timing = make_timing();
+  const NandPowerModel power(HvConfig{}, timing);
+  for (auto algo :
+       {nand::ProgramAlgorithm::kIsppSv, nand::ProgramAlgorithm::kIsppDv}) {
+    for (double cycles : {1.0, 1e3, 1e5}) {
+      for (auto pattern :
+           {std::optional<nand::Level>{}, std::optional{nand::Level::kL1},
+            std::optional{nand::Level::kL3}}) {
+        const double watts =
+            power.program_power(algo, cycles, pattern).value();
+        EXPECT_GT(watts, 0.125) << to_string(algo) << " " << cycles;
+        EXPECT_LT(watts, 0.190) << to_string(algo) << " " << cycles;
+      }
+    }
+  }
+}
+
+TEST(HvSubsystem, DvPenaltyNearPaperValue) {
+  // Fig. 6: ~7.5 mW between DV and SV, a 4-5% increment.
+  const nand::NandTiming timing = make_timing();
+  const NandPowerModel power(HvConfig{}, timing);
+  for (double cycles : {1.0, 1e2, 1e4}) {
+    const double gap_mw = power.dv_power_penalty(cycles).milliwatts();
+    EXPECT_GT(gap_mw, 3.0) << cycles;
+    EXPECT_LT(gap_mw, 13.0) << cycles;
+  }
+}
+
+TEST(HvSubsystem, PatternOrderingL1L2L3) {
+  // Fig. 6: programming toward L3 keeps the HV subsystem enabled
+  // longer and at higher VCG.
+  const nand::NandTiming timing = make_timing();
+  const NandPowerModel power(HvConfig{}, timing);
+  const double l1 =
+      power.program_power(nand::ProgramAlgorithm::kIsppSv, 1e2, nand::Level::kL1)
+          .value();
+  const double l2 =
+      power.program_power(nand::ProgramAlgorithm::kIsppSv, 1e2, nand::Level::kL2)
+          .value();
+  const double l3 =
+      power.program_power(nand::ProgramAlgorithm::kIsppSv, 1e2, nand::Level::kL3)
+          .value();
+  EXPECT_LT(l1, l2);
+  EXPECT_LT(l2, l3);
+}
+
+TEST(HvSubsystem, DvCostsMoreEnergyPerProgram) {
+  const nand::NandTiming timing = make_timing();
+  const NandPowerModel power(HvConfig{}, timing);
+  EXPECT_GT(
+      power.program_energy(nand::ProgramAlgorithm::kIsppDv, 1e3).value(),
+      power.program_energy(nand::ProgramAlgorithm::kIsppSv, 1e3).value());
+}
+
+TEST(HvSubsystem, ReadEnergyScalesWithTime) {
+  const HvSubsystem hv{HvConfig{}};
+  const Joules short_read = hv.read_energy(Seconds::micros(25.0));
+  const Joules long_read = hv.read_energy(Seconds::micros(75.0));
+  EXPECT_GT(long_read.value(), short_read.value());
+  // 75 us read at ~0.17 W-class sensing power: tens of microjoules.
+  EXPECT_GT(long_read.microjoules(), 1.0);
+  EXPECT_LT(long_read.microjoules(), 100.0);
+}
+
+TEST(HvSubsystem, AveragePowerRequiresDuration) {
+  const HvSubsystem hv{HvConfig{}};
+  nand::IsppTrace empty;
+  EXPECT_THROW(hv.average_power(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xlf::hv

@@ -1,0 +1,96 @@
+#include "src/util/logmath.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace xlf {
+namespace {
+
+TEST(LogMath, FactorialSmallValues) {
+  EXPECT_NEAR(log_factorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-10);
+  EXPECT_NEAR(log_factorial(10), std::log(3628800.0), 1e-8);
+}
+
+TEST(LogMath, ChooseMatchesPascal) {
+  EXPECT_NEAR(log_choose(5, 2), std::log(10.0), 1e-10);
+  EXPECT_NEAR(log_choose(10, 5), std::log(252.0), 1e-10);
+  EXPECT_NEAR(log_choose(52, 5), std::log(2598960.0), 1e-8);
+  EXPECT_NEAR(log_choose(7, 0), 0.0, 1e-12);
+  EXPECT_NEAR(log_choose(7, 7), 0.0, 1e-12);
+  EXPECT_THROW(log_choose(3, 4), std::invalid_argument);
+}
+
+TEST(LogMath, ChooseAtPaperScaleIsFinite) {
+  // C(33808, 66) — the Eq. (1) term at t = 65 — must be representable
+  // in log space (it overflows linear doubles by far).
+  const double lc = log_choose(33808, 66);
+  EXPECT_TRUE(std::isfinite(lc));
+  EXPECT_GT(lc, 400.0);  // ~ e^467
+  EXPECT_LT(lc, 600.0);
+}
+
+TEST(LogMath, BinomialPmfMatchesDirectComputation) {
+  // Binomial(10, 0.3), k = 4: C(10,4) 0.3^4 0.7^6.
+  const double expected = 210.0 * std::pow(0.3, 4) * std::pow(0.7, 6);
+  EXPECT_NEAR(safe_exp(log_binomial_pmf(10, 4, 0.3)), expected, 1e-12);
+}
+
+TEST(LogMath, BinomialPmfSumsToOne) {
+  double total = -1e300;
+  for (int k = 0; k <= 20; ++k) total = log_add(total, log_binomial_pmf(20, k, 0.37));
+  EXPECT_NEAR(safe_exp(total), 1.0, 1e-10);
+}
+
+TEST(LogMath, TailGeqZeroIsCertain) {
+  EXPECT_NEAR(log_binomial_tail_geq(100, 0, 0.01), 0.0, 1e-12);
+}
+
+TEST(LogMath, TailAboveNIsImpossible) {
+  EXPECT_EQ(log_binomial_tail_geq(10, 11, 0.5),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(LogMath, TailMatchesBruteForce) {
+  // Direct summation at small n.
+  const double p = 0.2;
+  double brute = 0.0;
+  for (int k = 3; k <= 12; ++k) {
+    brute += safe_exp(log_binomial_pmf(12, k, p));
+  }
+  EXPECT_NEAR(safe_exp(log_binomial_tail_geq(12, 3, p)), brute, 1e-12);
+}
+
+TEST(LogMath, TailIsMonotoneInThreshold) {
+  double prev = 0.0;
+  for (unsigned k = 1; k <= 20; ++k) {
+    const double tail = log_binomial_tail_geq(1000, k, 0.005);
+    EXPECT_LT(tail, prev);
+    prev = tail;
+  }
+}
+
+TEST(LogMath, LogAddCommutesAndHandlesInfinity) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_NEAR(log_add(std::log(3.0), std::log(4.0)), std::log(7.0), 1e-12);
+  EXPECT_NEAR(log_add(std::log(4.0), std::log(3.0)), std::log(7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(log_add(-inf, std::log(2.0)), std::log(2.0));
+  EXPECT_DOUBLE_EQ(log_add(std::log(2.0), -inf), std::log(2.0));
+}
+
+TEST(LogMath, SafeExpUnderflowsToZero) {
+  EXPECT_DOUBLE_EQ(safe_exp(-1000.0), 0.0);
+  EXPECT_NEAR(safe_exp(-1.0), std::exp(-1.0), 1e-15);
+}
+
+TEST(LogMath, Log1mAccurateNearZero) {
+  EXPECT_NEAR(log1m(1e-15), -1e-15, 1e-22);
+  EXPECT_NEAR(log1m(0.5), std::log(0.5), 1e-12);
+  EXPECT_THROW(log1m(1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xlf

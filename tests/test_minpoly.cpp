@@ -1,0 +1,118 @@
+#include "src/gf/minpoly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace xlf::gf {
+namespace {
+
+TEST(CyclotomicCoset, KnownCosetsGf16) {
+  const Gf2m field(4);
+  // Modulo 15: C1 = {1,2,4,8}, C3 = {3,6,12,9}, C5 = {5,10}, C7 = {7,14,13,11}.
+  EXPECT_EQ(cyclotomic_coset(field, 1),
+            (std::vector<std::uint32_t>{1, 2, 4, 8}));
+  EXPECT_EQ(cyclotomic_coset(field, 3),
+            (std::vector<std::uint32_t>{3, 6, 9, 12}));
+  EXPECT_EQ(cyclotomic_coset(field, 5),
+            (std::vector<std::uint32_t>{5, 10}));
+  EXPECT_EQ(cyclotomic_coset(field, 7),
+            (std::vector<std::uint32_t>{7, 11, 13, 14}));
+}
+
+TEST(CyclotomicCoset, CosetOfZeroIsItself) {
+  const Gf2m field(4);
+  EXPECT_EQ(cyclotomic_coset(field, 0), (std::vector<std::uint32_t>{0}));
+}
+
+TEST(CyclotomicCoset, MembersShareTheSameCoset) {
+  const Gf2m field(6);
+  for (std::uint32_t i : {1u, 5u, 9u, 21u}) {
+    const auto coset = cyclotomic_coset(field, i);
+    for (std::uint32_t j : coset) {
+      EXPECT_EQ(cyclotomic_coset(field, j), coset);
+    }
+  }
+}
+
+TEST(CyclotomicCoset, PartitionCoversEverything) {
+  const Gf2m field(5);
+  std::set<std::uint32_t> covered;
+  for (std::uint32_t i = 0; i < field.order(); ++i) {
+    for (std::uint32_t j : cyclotomic_coset(field, i)) covered.insert(j);
+  }
+  EXPECT_EQ(covered.size(), field.order());
+}
+
+TEST(MinimalPolynomial, RootsAreTheCoset) {
+  const Gf2m field(4);
+  const Gf2Poly m1 = minimal_polynomial(field, 1);
+  // The defining polynomial of the field: x^4 + x + 1.
+  EXPECT_EQ(m1, Gf2Poly(0x13));
+  for (std::uint32_t j : cyclotomic_coset(field, 1)) {
+    EXPECT_EQ(m1.eval(field, field.alpha_pow(j)), 0u);
+  }
+}
+
+TEST(MinimalPolynomial, KnownGf16Minpolys) {
+  const Gf2m field(4);
+  // Classic table for GF(16): m3 = x^4+x^3+x^2+x+1, m5 = x^2+x+1,
+  // m7 = x^4+x^3+1.
+  EXPECT_EQ(minimal_polynomial(field, 3), Gf2Poly(0x1F));
+  EXPECT_EQ(minimal_polynomial(field, 5), Gf2Poly(0x7));
+  EXPECT_EQ(minimal_polynomial(field, 7), Gf2Poly(0x19));
+}
+
+TEST(MinimalPolynomial, DegreeEqualsCosetSize) {
+  const Gf2m field(8);
+  for (std::uint32_t i : {1u, 3u, 5u, 17u, 51u, 85u}) {
+    const auto coset = cyclotomic_coset(field, i);
+    const Gf2Poly mp = minimal_polynomial(field, i);
+    EXPECT_EQ(mp.degree(), static_cast<long long>(coset.size())) << "i=" << i;
+  }
+}
+
+TEST(MinimalPolynomial, AnnihilatesOnlyItsCoset) {
+  const Gf2m field(6);
+  const auto coset = cyclotomic_coset(field, 5);
+  const Gf2Poly mp = minimal_polynomial(field, 5);
+  const std::set<std::uint32_t> members(coset.begin(), coset.end());
+  for (std::uint32_t j = 0; j < field.order(); ++j) {
+    const Element root = field.alpha_pow(j);
+    if (members.count(j)) {
+      EXPECT_EQ(mp.eval(field, root), 0u) << "j=" << j;
+    } else {
+      EXPECT_NE(mp.eval(field, root), 0u) << "j=" << j;
+    }
+  }
+}
+
+TEST(MinimalPolynomial, IrreducibleOverGf2) {
+  // No factor of degree >= 1 below its own degree: gcd with any lower
+  // degree polynomial sharing no roots must be 1. A cheap proxy:
+  // minimal polynomials of distinct cosets are coprime.
+  const Gf2m field(5);
+  const Gf2Poly a = minimal_polynomial(field, 1);
+  const Gf2Poly b = minimal_polynomial(field, 3);
+  const Gf2Poly g = Gf2Poly::gcd(a, b);
+  EXPECT_EQ(g.degree(), 0);
+}
+
+TEST(MinimalPolynomial, Gf16ProductOfAllEqualsXqMinusX) {
+  // prod over coset leaders of minpoly = x^15 + 1 (times x for the
+  // zero element). Check x^15 - 1 factorization.
+  const Gf2m field(4);
+  std::set<std::uint32_t> leaders;
+  for (std::uint32_t i = 0; i < field.order(); ++i) {
+    leaders.insert(cyclotomic_coset(field, i).front());
+  }
+  Gf2Poly prod = Gf2Poly::one();
+  for (std::uint32_t leader : leaders) {
+    prod = prod * minimal_polynomial(field, leader);
+  }
+  Gf2Poly expected = Gf2Poly::monomial(15) + Gf2Poly::one();
+  EXPECT_EQ(prod, expected);
+}
+
+}  // namespace
+}  // namespace xlf::gf

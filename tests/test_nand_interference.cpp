@@ -1,0 +1,80 @@
+#include "src/nand/interference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xlf::nand {
+namespace {
+
+std::vector<FloatingGateCell> cells_at(std::initializer_list<double> vths) {
+  std::vector<FloatingGateCell> cells;
+  for (double v : vths) cells.emplace_back(Volts{v}, CellParams{});
+  return cells;
+}
+
+TEST(Interference, WithinPageCouplesNeighbours) {
+  const InterferenceModel model(InterferenceConfig{.gamma_x = 0.1,
+                                                   .gamma_y = 0.0});
+  auto cells = cells_at({1.0, 1.0, 1.0});
+  const std::vector<Volts> deltas{Volts{2.0}, Volts{0.0}, Volts{4.0}};
+  model.apply_within_page(cells, deltas);
+  // Middle cell sees both neighbours: 0.1 * (2 + 4) / 2 = 0.3.
+  EXPECT_NEAR(cells[1].vth().value(), 1.3, 1e-12);
+  // Edge cells see one neighbour each.
+  EXPECT_NEAR(cells[0].vth().value(), 1.0, 1e-12);  // neighbour delta 0
+  EXPECT_NEAR(cells[2].vth().value(), 1.0, 1e-12);
+}
+
+TEST(Interference, ZeroCouplingIsNoOp) {
+  const InterferenceModel model(InterferenceConfig{.gamma_x = 0.0,
+                                                   .gamma_y = 0.0});
+  auto cells = cells_at({1.0, 2.0});
+  const std::vector<Volts> deltas{Volts{5.0}, Volts{5.0}};
+  model.apply_within_page(cells, deltas);
+  EXPECT_NEAR(cells[0].vth().value(), 1.0, 1e-12);
+  EXPECT_NEAR(cells[1].vth().value(), 2.0, 1e-12);
+}
+
+TEST(Interference, PageToPageUsesGammaY) {
+  const InterferenceModel model(InterferenceConfig{.gamma_x = 0.0,
+                                                   .gamma_y = 0.05});
+  auto victims = cells_at({1.0, 2.0});
+  const std::vector<Volts> deltas{Volts{4.0}, Volts{0.0}};
+  model.apply_page_to_page(victims, deltas);
+  EXPECT_NEAR(victims[0].vth().value(), 1.2, 1e-12);
+  EXPECT_NEAR(victims[1].vth().value(), 2.0, 1e-12);
+}
+
+TEST(Interference, SigmaEstimatePositiveAndScales) {
+  const InterferenceModel weak(InterferenceConfig{.gamma_x = 0.004,
+                                                  .gamma_y = 0.0});
+  const InterferenceModel strong(InterferenceConfig{.gamma_x = 0.04,
+                                                    .gamma_y = 0.0});
+  const Volts typical{4.0};
+  EXPECT_GT(weak.within_page_sigma(typical).value(), 0.0);
+  EXPECT_NEAR(strong.within_page_sigma(typical).value() /
+                  weak.within_page_sigma(typical).value(),
+              10.0, 1e-9);
+}
+
+TEST(Interference, MismatchedSpansRejected) {
+  const InterferenceModel model(InterferenceConfig{});
+  auto cells = cells_at({1.0, 2.0});
+  const std::vector<Volts> deltas{Volts{1.0}};
+  EXPECT_THROW(model.apply_within_page(cells, deltas), std::invalid_argument);
+  EXPECT_THROW(model.apply_page_to_page(cells, deltas),
+               std::invalid_argument);
+}
+
+TEST(Interference, UnphysicalRatiosRejected) {
+  EXPECT_THROW(
+      InterferenceModel(InterferenceConfig{.gamma_x = 0.6, .gamma_y = 0.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      InterferenceModel(InterferenceConfig{.gamma_x = 0.0, .gamma_y = -0.1}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xlf::nand

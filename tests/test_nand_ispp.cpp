@@ -1,0 +1,207 @@
+#include "src/nand/ispp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nand/aging.hpp"
+#include "src/nand/variability.hpp"
+#include "src/util/stats.hpp"
+
+namespace xlf::nand {
+namespace {
+
+struct Population {
+  std::vector<FloatingGateCell> cells;
+  std::vector<Level> targets;
+};
+
+Population make_population(std::size_t count, double pe_cycles,
+                           std::uint64_t seed,
+                           std::optional<Level> pattern = std::nullopt) {
+  const VariabilityConfig vcfg;
+  const AgingLaw aging;
+  const VariabilitySampler sampler(vcfg, aging);
+  const VoltagePlan plan;
+  Rng rng(seed);
+  Population pop;
+  for (std::size_t i = 0; i < count; ++i) {
+    pop.cells.emplace_back(
+        sampler.sample_erased(rng, plan.erased_mean, plan.erased_sigma),
+        sampler.sample(rng, pe_cycles));
+    pop.targets.push_back(pattern.value_or(static_cast<Level>(rng.below(4))));
+  }
+  return pop;
+}
+
+double level_sigma(const Population& pop, Level level) {
+  RunningStats stats;
+  for (std::size_t i = 0; i < pop.cells.size(); ++i) {
+    if (pop.targets[i] == level) stats.add(pop.cells[i].vth().value());
+  }
+  return stats.stddev();
+}
+
+TEST(Ispp, AllCellsConvergeAtBeginningOfLife) {
+  const IsppEngine engine(IsppConfig{}, VoltagePlan{});
+  for (auto algo : {ProgramAlgorithm::kIsppSv, ProgramAlgorithm::kIsppDv}) {
+    Population pop = make_population(2048, 0.0, 11);
+    Rng rng(1);
+    const IsppTrace trace =
+        engine.program(pop.cells, pop.targets, algo, rng);
+    EXPECT_TRUE(trace.converged) << to_string(algo);
+    EXPECT_EQ(trace.failed_cells, 0u);
+  }
+}
+
+TEST(Ispp, ProgrammedCellsLandAboveTheirVerifyLevel) {
+  const VoltagePlan plan;
+  const IsppEngine engine(IsppConfig{}, plan);
+  Population pop = make_population(2048, 0.0, 12);
+  Rng rng(2);
+  engine.program(pop.cells, pop.targets, ProgramAlgorithm::kIsppSv, rng);
+  for (std::size_t i = 0; i < pop.cells.size(); ++i) {
+    if (pop.targets[i] == Level::kL0) {
+      EXPECT_LT(pop.cells[i].vth(), plan.read[0]);
+    } else {
+      EXPECT_GE(pop.cells[i].vth() + Volts{1e-9},
+                plan.verify_for(pop.targets[i]));
+    }
+  }
+}
+
+TEST(Ispp, DvCompactsDistributions) {
+  // The double-verify slow zone must tighten the programmed spread —
+  // the physical mechanism behind the Fig. 5 RBER gap.
+  const IsppEngine engine(IsppConfig{}, VoltagePlan{});
+  Population sv_pop = make_population(6144, 0.0, 13);
+  Population dv_pop = make_population(6144, 0.0, 13);  // same seeds
+  Rng rng_sv(3), rng_dv(3);
+  engine.program(sv_pop.cells, sv_pop.targets, ProgramAlgorithm::kIsppSv,
+                 rng_sv);
+  engine.program(dv_pop.cells, dv_pop.targets, ProgramAlgorithm::kIsppDv,
+                 rng_dv);
+  for (Level level : {Level::kL1, Level::kL2, Level::kL3}) {
+    EXPECT_LT(level_sigma(dv_pop, level), level_sigma(sv_pop, level))
+        << "level " << static_cast<int>(level);
+  }
+}
+
+TEST(Ispp, DvTakesLongerAndSensesMore) {
+  const IsppEngine engine(IsppConfig{}, VoltagePlan{});
+  Population sv_pop = make_population(2048, 0.0, 14);
+  Population dv_pop = make_population(2048, 0.0, 14);
+  Rng rng_sv(4), rng_dv(4);
+  const IsppTrace sv =
+      engine.program(sv_pop.cells, sv_pop.targets, ProgramAlgorithm::kIsppSv, rng_sv);
+  const IsppTrace dv =
+      engine.program(dv_pop.cells, dv_pop.targets, ProgramAlgorithm::kIsppDv, rng_dv);
+  EXPECT_GT(dv.duration(), sv.duration());
+  EXPECT_GT(dv.verify_ops, sv.verify_ops * 3 / 2);  // ~2x senses
+  EXPECT_GE(dv.pulses, sv.pulses);                  // slow-zone crawl
+  // The paper's write-loss window: DV costs ~1.4-2.1x SV.
+  const double ratio = dv.duration() / sv.duration();
+  EXPECT_GT(ratio, 1.3);
+  EXPECT_LT(ratio, 2.2);
+}
+
+TEST(Ispp, L0OnlyPageNeedsNoPulses) {
+  const IsppEngine engine(IsppConfig{}, VoltagePlan{});
+  Population pop = make_population(256, 0.0, 15, Level::kL0);
+  Rng rng(5);
+  const IsppTrace trace =
+      engine.program(pop.cells, pop.targets, ProgramAlgorithm::kIsppSv, rng);
+  EXPECT_EQ(trace.pulses, 0u);
+  EXPECT_EQ(trace.verify_ops, 0u);
+  EXPECT_TRUE(trace.converged);
+}
+
+TEST(Ispp, PatternDurationOrderingL1L2L3) {
+  // Higher targets keep the staircase running longer (Fig. 6's
+  // pattern dependence).
+  const IsppEngine engine(IsppConfig{}, VoltagePlan{});
+  std::map<int, double> durations;
+  for (Level level : {Level::kL1, Level::kL2, Level::kL3}) {
+    Population pop = make_population(2048, 0.0, 16, level);
+    Rng rng(6);
+    durations[static_cast<int>(level)] =
+        engine.program(pop.cells, pop.targets, ProgramAlgorithm::kIsppSv, rng)
+            .duration()
+            .value();
+  }
+  EXPECT_LT(durations[1], durations[2]);
+  EXPECT_LT(durations[2], durations[3]);
+}
+
+TEST(Ispp, HigherPatternRaisesAverageVcg) {
+  const IsppEngine engine(IsppConfig{}, VoltagePlan{});
+  Population l1 = make_population(1024, 0.0, 17, Level::kL1);
+  Population l3 = make_population(1024, 0.0, 17, Level::kL3);
+  Rng rng1(7), rng3(7);
+  const IsppTrace t1 =
+      engine.program(l1.cells, l1.targets, ProgramAlgorithm::kIsppSv, rng1);
+  const IsppTrace t3 =
+      engine.program(l3.cells, l3.targets, ProgramAlgorithm::kIsppSv, rng3);
+  EXPECT_GT(t3.average_vcg(), t1.average_vcg());
+}
+
+TEST(Ispp, WiderDvZoneSlowsDvFurther) {
+  // The aging-driven zone widening is the Fig. 9 growth mechanism.
+  const IsppEngine engine(IsppConfig{}, VoltagePlan{});
+  Population a = make_population(2048, 0.0, 18);
+  Population b = make_population(2048, 0.0, 18);
+  Rng rng_a(8), rng_b(8);
+  const IsppTrace narrow =
+      engine.program(a.cells, a.targets, ProgramAlgorithm::kIsppDv, rng_a, 1.0);
+  const IsppTrace wide =
+      engine.program(b.cells, b.targets, ProgramAlgorithm::kIsppDv, rng_b, 3.0);
+  EXPECT_GT(wide.duration(), narrow.duration());
+}
+
+TEST(Ispp, TraceAccountingIsConsistent) {
+  const IsppConfig config;
+  const IsppEngine engine(config, VoltagePlan{});
+  Population pop = make_population(1024, 0.0, 19);
+  Rng rng(9);
+  const IsppTrace trace =
+      engine.program(pop.cells, pop.targets, ProgramAlgorithm::kIsppSv, rng);
+  EXPECT_NEAR(trace.program_pump_time.value(),
+              trace.pulses * config.pulse_time.value(), 1e-12);
+  EXPECT_NEAR(trace.verify_pump_time.value(),
+              trace.verify_ops * config.verify_time.value(), 1e-12);
+  EXPECT_NEAR(trace.duration().value(),
+              (trace.setup_time + trace.program_pump_time +
+               trace.verify_pump_time)
+                  .value(),
+              1e-12);
+  // Average VCG falls inside the staircase range.
+  EXPECT_GE(trace.average_vcg(), config.v_start);
+  EXPECT_LE(trace.average_vcg(), config.v_end);
+}
+
+TEST(Ispp, StaircaseResponseMatchesPulseCount) {
+  const IsppEngine engine(IsppConfig{}, VoltagePlan{});
+  FloatingGateCell cell(Volts{-5.0}, CellParams{Volts{17.0}, Volts{0.4},
+                                                Volts{0.0}});
+  Rng rng(10);
+  const auto response = engine.staircase_response(cell, Volts{6.0},
+                                                  Volts{24.0}, Volts{1.0}, rng);
+  EXPECT_EQ(response.size(), 19u);  // 6..24 inclusive, 1 V steps
+  // Monotone non-decreasing threshold.
+  for (std::size_t i = 1; i < response.size(); ++i) {
+    EXPECT_GE(response[i] + Volts{1e-9}, response[i - 1]);
+  }
+}
+
+TEST(Ispp, MismatchedSpansRejected) {
+  const IsppEngine engine(IsppConfig{}, VoltagePlan{});
+  std::vector<FloatingGateCell> cells(4);
+  std::vector<Level> targets(5, Level::kL1);
+  Rng rng(11);
+  EXPECT_THROW(
+      engine.program(cells, targets, ProgramAlgorithm::kIsppSv, rng),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xlf::nand

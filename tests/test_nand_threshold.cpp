@@ -1,0 +1,103 @@
+#include "src/nand/threshold.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace xlf::nand {
+namespace {
+
+TEST(GrayMapping, RoundTrip) {
+  for (Level level : kAllLevels) {
+    EXPECT_EQ(bits_to_level(level_to_bits(level)), level);
+  }
+}
+
+TEST(GrayMapping, AdjacentLevelsDifferInOneBit) {
+  // The property the RBER accounting relies on: a one-level misread
+  // costs exactly one of the cell's two bits.
+  EXPECT_EQ(bit_distance(Level::kL0, Level::kL1), 1u);
+  EXPECT_EQ(bit_distance(Level::kL1, Level::kL2), 1u);
+  EXPECT_EQ(bit_distance(Level::kL2, Level::kL3), 1u);
+}
+
+TEST(GrayMapping, SkipsCostMoreBits) {
+  EXPECT_EQ(bit_distance(Level::kL0, Level::kL2), 2u);
+  EXPECT_EQ(bit_distance(Level::kL1, Level::kL3), 2u);
+  // L0 (11) and L3 (10) differ in the LSB only.
+  EXPECT_EQ(bit_distance(Level::kL0, Level::kL3), 1u);
+  EXPECT_EQ(bit_distance(Level::kL2, Level::kL2), 0u);
+}
+
+TEST(GrayMapping, AllFourEncodingsDistinct) {
+  for (Level a : kAllLevels) {
+    for (Level b : kAllLevels) {
+      if (a != b) {
+        EXPECT_NE(bit_distance(a, b), 0u);
+      }
+    }
+  }
+}
+
+TEST(VoltagePlan, DefaultIsConsistent) {
+  const VoltagePlan plan;
+  EXPECT_TRUE(plan.consistent());
+}
+
+TEST(VoltagePlan, FigureThreeOrdering) {
+  // Fig. 3: erased < R1 < VFY1 < R2 < VFY2 < R3 < VFY3 < OP.
+  const VoltagePlan plan;
+  EXPECT_LT(plan.erased_mean, plan.read[0]);
+  EXPECT_LT(plan.read[0], plan.verify[0]);
+  EXPECT_LT(plan.verify[0], plan.read[1]);
+  EXPECT_LT(plan.read[1], plan.verify[1]);
+  EXPECT_LT(plan.verify[1], plan.read[2]);
+  EXPECT_LT(plan.read[2], plan.verify[2]);
+  EXPECT_LT(plan.verify[2], plan.over_program);
+}
+
+TEST(VoltagePlan, VerifyLookupMatchesArrays) {
+  const VoltagePlan plan;
+  EXPECT_EQ(plan.verify_for(Level::kL1), plan.verify[0]);
+  EXPECT_EQ(plan.verify_for(Level::kL2), plan.verify[1]);
+  EXPECT_EQ(plan.verify_for(Level::kL3), plan.verify[2]);
+  EXPECT_THROW(plan.verify_for(Level::kL0), std::invalid_argument);
+}
+
+TEST(VoltagePlan, PreVerifySitsBelowVerify) {
+  const VoltagePlan plan;
+  for (Level level : {Level::kL1, Level::kL2, Level::kL3}) {
+    EXPECT_LT(plan.pre_verify_for(level), plan.verify_for(level));
+    EXPECT_NEAR(
+        (plan.verify_for(level) - plan.pre_verify_for(level)).value(),
+        plan.pre_verify_offset.value(), 1e-12);
+  }
+}
+
+TEST(VoltagePlan, ReadClassifiesBands) {
+  const VoltagePlan plan;
+  EXPECT_EQ(plan.read_level(Volts{-3.0}), Level::kL0);
+  EXPECT_EQ(plan.read_level(Volts{1.3}), Level::kL1);
+  EXPECT_EQ(plan.read_level(Volts{2.6}), Level::kL2);
+  EXPECT_EQ(plan.read_level(Volts{4.0}), Level::kL3);
+  // Exactly at a read level the cell conducts as the upper band.
+  EXPECT_EQ(plan.read_level(plan.read[1]), Level::kL2);
+}
+
+TEST(VoltagePlan, OverProgramDetection) {
+  const VoltagePlan plan;
+  EXPECT_FALSE(plan.is_over_programmed(Volts{4.5}));
+  EXPECT_TRUE(plan.is_over_programmed(Volts{5.5}));
+}
+
+TEST(VoltagePlan, InconsistentPlansDetected) {
+  VoltagePlan bad;
+  bad.read[1] = Volts{3.0};  // above VFY2 = 2.5
+  EXPECT_FALSE(bad.consistent());
+  VoltagePlan bad2;
+  bad2.over_program = Volts{3.0};  // below VFY3
+  EXPECT_FALSE(bad2.consistent());
+}
+
+}  // namespace
+}  // namespace xlf::nand

@@ -1,0 +1,132 @@
+#include "src/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/stats.hpp"
+
+namespace xlf {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(1.0 / 12.0), 0.01);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(17);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 80000; ++i) ++counts[rng.below(8)];
+  for (int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.gaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.01);
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng rng(23);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.gaussian(3.3, 0.25));
+  EXPECT_NEAR(stats.mean(), 3.3, 0.01);
+  EXPECT_NEAR(stats.stddev(), 0.25, 0.01);
+  EXPECT_THROW(rng.gaussian(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(29);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.chance(0.125)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.125, 0.01);
+  EXPECT_THROW(rng.chance(1.5), std::invalid_argument);
+}
+
+TEST(Rng, PoissonSmallLambda) {
+  Rng rng(31);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.add(static_cast<double>(rng.poisson(2.5)));
+  }
+  EXPECT_NEAR(stats.mean(), 2.5, 0.05);
+  EXPECT_NEAR(stats.variance(), 2.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeLambdaUsesNormalApprox) {
+  Rng rng(37);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.add(static_cast<double>(rng.poisson(100.0)));
+  }
+  EXPECT_NEAR(stats.mean(), 100.0, 1.0);
+  EXPECT_NEAR(stats.stddev(), 10.0, 0.5);
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng(41);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(43);
+  Rng child = parent.fork();
+  // The child stream must differ from the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next() == child.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace xlf

@@ -1,0 +1,99 @@
+#include "src/util/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace xlf {
+namespace {
+
+TEST(SeriesTable, BuildAndQuery) {
+  SeriesTable table("PE_cycles");
+  const auto sv = table.add_series("RBER_SV");
+  const auto dv = table.add_series("RBER_DV");
+  table.add_row(100.0, {1e-5, 1e-6});
+  table.add_row(1000.0, {2e-5, 2e-6});
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.series(), 2u);
+  EXPECT_DOUBLE_EQ(table.x_at(1), 1000.0);
+  EXPECT_DOUBLE_EQ(table.value_at(0, sv), 1e-5);
+  EXPECT_DOUBLE_EQ(table.value_at(1, dv), 2e-6);
+  EXPECT_EQ(table.label(0), "RBER_SV");
+}
+
+TEST(SeriesTable, RowArityIsChecked) {
+  SeriesTable table("x");
+  table.add_series("a");
+  EXPECT_THROW(table.add_row(1.0, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(SeriesTable, ColumnsLockAfterFirstRow) {
+  SeriesTable table("x");
+  table.add_series("a");
+  table.add_row(1.0, {1.0});
+  EXPECT_THROW(table.add_series("late"), std::invalid_argument);
+}
+
+TEST(SeriesTable, PrintContainsLabelsAndValues) {
+  SeriesTable table("cycles");
+  table.add_series("gain_pct");
+  table.add_row(10.0, {29.6});
+  std::ostringstream os;
+  table.print(os, /*scientific=*/false);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("cycles"), std::string::npos);
+  EXPECT_NE(out.find("gain_pct"), std::string::npos);
+  EXPECT_NE(out.find("29.6"), std::string::npos);
+}
+
+TEST(SeriesTable, ScientificFormatting) {
+  SeriesTable table("x");
+  table.add_series("uber");
+  table.add_row(1.0, {1.23e-11});
+  std::ostringstream os;
+  table.print(os, /*scientific=*/true);
+  EXPECT_NE(os.str().find("e-11"), std::string::npos);
+}
+
+TEST(SeriesTable, CsvRoundTrip) {
+  SeriesTable table("x");
+  table.add_series("y1");
+  table.add_series("y2");
+  table.add_row(1.0, {0.5, -2.0});
+  table.add_row(2.0, {1.5, -4.0});
+
+  const std::string path = "/tmp/xlf_test_series.csv";
+  table.write_csv(path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header, row1, row2;
+  std::getline(in, header);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  EXPECT_EQ(header, "x,y1,y2");
+  EXPECT_EQ(row1, "1,0.5,-2");
+  EXPECT_EQ(row2, "2,1.5,-4");
+  std::remove(path.c_str());
+}
+
+TEST(SeriesTable, CsvBadPathThrows) {
+  SeriesTable table("x");
+  table.add_series("y");
+  table.add_row(1.0, {1.0});
+  EXPECT_THROW(table.write_csv("/nonexistent_dir_xlf/out.csv"),
+               std::runtime_error);
+}
+
+TEST(Banner, MentionsFigure) {
+  std::ostringstream os;
+  print_banner(os, "Figure 5", "RBER characterization");
+  EXPECT_NE(os.str().find("Figure 5"), std::string::npos);
+  EXPECT_NE(os.str().find("RBER characterization"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xlf

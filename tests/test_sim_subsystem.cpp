@@ -1,0 +1,132 @@
+#include "src/sim/subsystem_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/lifetime.hpp"
+
+namespace xlf::sim {
+namespace {
+
+struct Fixture {
+  nand::NandDevice device;
+  controller::MemoryController controller;
+
+  Fixture()
+      : device(device_config()),
+        controller(controller::ControllerConfig{}, device, hv::HvConfig{}) {}
+
+  static nand::DeviceConfig device_config() {
+    nand::DeviceConfig config;
+    config.array.geometry.blocks = 2;
+    config.array.geometry.pages_per_block = 4;
+    return config;
+  }
+};
+
+TEST(SubsystemSim, WriteBurstAccounting) {
+  Fixture fx;
+  SubsystemSimulator simulator(fx.controller);
+  Rng rng(1);
+  const auto requests =
+      WriteBurstWorkload().generate(fx.device.geometry(), 6, rng);
+  const SimStats stats = simulator.run(requests);
+  EXPECT_EQ(stats.writes, 6u);
+  EXPECT_EQ(stats.reads, 0u);
+  EXPECT_EQ(stats.erases, 0u);  // device was erased
+  EXPECT_GT(stats.write_busy.millis(), 6.0);
+  EXPECT_GT(stats.write_throughput(4096).mib(), 0.5);
+  EXPECT_EQ(stats.data_mismatches, 0u);
+}
+
+TEST(SubsystemSim, ReadsAutoPopulateAndVerify) {
+  Fixture fx;
+  SubsystemSimulator simulator(fx.controller);
+  Rng rng(2);
+  const auto requests =
+      SequentialReadWorkload().generate(fx.device.geometry(), 8, rng);
+  const SimStats stats = simulator.run(requests);
+  EXPECT_EQ(stats.reads, 8u);
+  EXPECT_EQ(stats.uncorrectable, 0u);
+  EXPECT_EQ(stats.data_mismatches, 0u);
+  EXPECT_GT(stats.read_throughput(4096).mib(), 10.0);
+}
+
+TEST(SubsystemSim, RewritingForcesErase) {
+  Fixture fx;
+  SubsystemSimulator simulator(fx.controller);
+  Rng rng(3);
+  // 10 writes over 8 pages: at least one block recycles.
+  const auto requests =
+      WriteBurstWorkload().generate(fx.device.geometry(), 10, rng);
+  const SimStats stats = simulator.run(requests);
+  EXPECT_EQ(stats.writes, 10u);
+  EXPECT_GE(stats.erases, 1u);
+}
+
+TEST(SubsystemSim, PrepopulateWritesWholeDevice) {
+  Fixture fx;
+  SubsystemSimulator simulator(fx.controller);
+  simulator.prepopulate();
+  for (std::uint32_t b = 0; b < 2; ++b) {
+    for (std::uint32_t p = 0; p < 4; ++p) {
+      EXPECT_FALSE(fx.device.array().is_erased({b, p}));
+    }
+  }
+  // A pure-read run over the populated device counts no writes.
+  Rng rng(4);
+  const auto requests =
+      SequentialReadWorkload().generate(fx.device.geometry(), 8, rng);
+  const SimStats stats = simulator.run(requests);
+  EXPECT_EQ(stats.reads, 8u);
+  EXPECT_EQ(stats.writes, 0u);
+}
+
+TEST(SubsystemSim, PacedStreamTracksWallClock) {
+  Fixture fx;
+  SubsystemSimulator simulator(fx.controller);
+  simulator.prepopulate();
+  Rng rng(5);
+  // Slow stream: service (~120 us) far faster than the 2 ms cadence.
+  const MultimediaStreamingWorkload stream(BytesPerSecond::mib(2.0), 4096);
+  const auto requests = stream.generate(fx.device.geometry(), 10, rng);
+  const SimStats stats = simulator.run(requests);
+  EXPECT_EQ(stats.qos_misses, 0u);
+  // Elapsed is dominated by the pacing, not the device.
+  EXPECT_GT(stats.elapsed.millis(), 15.0);
+}
+
+TEST(SubsystemSim, OverloadedStreamMissesQos) {
+  Fixture fx;
+  fx.device.set_uniform_wear(1e6);
+  fx.controller.adapt_ecc(1e6);  // t = 65: worst-case decode 159 us
+  SubsystemSimulator simulator(fx.controller);
+  simulator.prepopulate();
+  Rng rng(6);
+  // Demand just above what the aged baseline can serve.
+  const MultimediaStreamingWorkload stream(BytesPerSecond::mib(18.0), 4096);
+  const auto requests = stream.generate(fx.device.geometry(), 30, rng);
+  const SimStats stats = simulator.run(requests);
+  EXPECT_GT(stats.qos_misses, 0u);
+}
+
+TEST(LifetimeRunner, AdaptsAndCollects) {
+  Fixture fx;
+  const MixedWorkload workload(0.7);
+  const LifetimePoint point =
+      run_at_age(fx.controller, workload, 20, 1e6, /*seed=*/7);
+  EXPECT_EQ(point.t_selected, 65u);
+  EXPECT_NEAR(point.rber, 1e-3, 1e-4);
+  EXPECT_LE(point.uber, 1e-11);
+  EXPECT_EQ(point.stats.reads + point.stats.writes, 20u);
+  EXPECT_EQ(point.stats.uncorrectable, 0u);
+}
+
+TEST(LifetimeGrid, SpansPaperAxes) {
+  const auto grid = lifetime_grid(2);
+  EXPECT_NEAR(grid.front(), 1.0, 1e-9);
+  EXPECT_NEAR(grid.back(), 1e6, 1.0);
+  EXPECT_EQ(grid.size(), 13u);
+}
+
+}  // namespace
+}  // namespace xlf::sim

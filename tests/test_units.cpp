@@ -1,0 +1,72 @@
+#include "src/util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xlf {
+namespace {
+
+using namespace xlf::literals;
+
+TEST(Units, LiteralsProduceSiValues) {
+  EXPECT_DOUBLE_EQ((1.5_ms).value(), 1.5e-3);
+  EXPECT_DOUBLE_EQ((75.0_us).value(), 75e-6);
+  EXPECT_DOUBLE_EQ((19.0_V).value(), 19.0);
+  EXPECT_DOUBLE_EQ((250.0_mV).value(), 0.25);
+  EXPECT_DOUBLE_EQ((7.5_mW).value(), 7.5e-3);
+  EXPECT_DOUBLE_EQ((80.0_MHz).value(), 80e6);
+}
+
+TEST(Units, ArithmeticStaysInDimension) {
+  const Seconds total = 75.0_us + 150.0_us;
+  EXPECT_DOUBLE_EQ(total.micros(), 225.0);
+  EXPECT_DOUBLE_EQ((total - 25.0_us).micros(), 200.0);
+  EXPECT_DOUBLE_EQ((2.0 * 10.0_us).micros(), 20.0);
+  EXPECT_DOUBLE_EQ((10.0_us / 4.0).micros(), 2.5);
+}
+
+TEST(Units, RatioIsDimensionless) {
+  const double ratio = 150.0_us / 75.0_us;
+  EXPECT_DOUBLE_EQ(ratio, 2.0);
+}
+
+TEST(Units, CrossDimensionProducts) {
+  const Joules e = 0.16_W * 1.5_ms;
+  EXPECT_NEAR(e.microjoules(), 240.0, 1e-9);
+  const Watts p = e / 1.5_ms;
+  EXPECT_NEAR(p.value(), 0.16, 1e-12);
+  const Watts pi = 18.0_V * Amperes::milliamps(2.0);
+  EXPECT_NEAR(pi.milliwatts(), 36.0, 1e-9);
+}
+
+TEST(Units, ClockPeriod) {
+  EXPECT_NEAR((80.0_MHz).period().value(), 12.5e-9, 1e-18);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(75.0_us, 150.0_us);
+  EXPECT_GT(1.5_ms, 999.0_us);
+  EXPECT_EQ(1000.0_us, 1.0_ms);
+}
+
+TEST(Units, Accumulation) {
+  Seconds acc{0.0};
+  for (int i = 0; i < 10; ++i) acc += 25.0_us;
+  EXPECT_NEAR(acc.micros(), 250.0, 1e-9);
+  acc -= 50.0_us;
+  EXPECT_NEAR(acc.micros(), 200.0, 1e-9);
+}
+
+TEST(Units, ToStringPicksSensiblePrefix) {
+  EXPECT_EQ(to_string(Seconds::micros(159.3)), "159 us");
+  EXPECT_EQ(to_string(Watts::milliwatts(7.5)), "7.5 mW");
+  EXPECT_EQ(to_string(Volts{19.0}), "19 V");
+}
+
+TEST(Units, ThroughputConversion) {
+  const BytesPerSecond bw = BytesPerSecond::mib(10.0);
+  EXPECT_NEAR(bw.mib(), 10.0, 1e-12);
+  EXPECT_NEAR(bw.value(), 10.0 * 1024 * 1024, 1e-6);
+}
+
+}  // namespace
+}  // namespace xlf
