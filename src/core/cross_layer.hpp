@@ -4,6 +4,13 @@
 // the three named operating points, and exposes the full
 // configuration space for Pareto exploration.
 //
+// Role in the trade-off loop: this is the loop's solver. It closes
+// the chain NAND ISPP schedule -> RBER(cycles) -> required BCH t for
+// the UBER target -> ECC decode latency/power -> read/write
+// throughput, turning one (algo, t, age) triple into a Metrics
+// bundle. OperatingPoint says *which* configurations to consider;
+// CrossLayerFramework says *what each one costs and buys*.
+//
 // Conventions follow the paper's evaluation:
 //  * read latency = page read time + worst-case decode latency
 //    (decode dominates: ~150 us vs 75 us, Section 6.3.2);

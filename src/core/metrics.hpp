@@ -1,5 +1,14 @@
 // The metric bundle every cross-layer evaluation produces: the
 // quantities the paper trades against each other.
+//
+// Role in the trade-off loop: Metrics is the loop's output and its
+// currency. Every figure in Section 6 is a projection of this struct
+// — UBER (Fig. 7/10), read/write throughput (Fig. 9/11), ECC latency
+// (Fig. 8), NAND + ECC power (Fig. 6 and the Section 6.3.2 budget) —
+// and MetricsDelta expresses the paper's headline numbers (e.g. +17%
+// read, -40% write, 10 orders of UBER) as deltas vs the baseline
+// point. Pareto exploration in CrossLayerFramework orders candidate
+// configurations by exactly these fields.
 #pragma once
 
 #include <iosfwd>

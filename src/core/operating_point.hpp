@@ -7,6 +7,12 @@
 //                improvement falls through to UBER (Section 6.3.1).
 //  * MaxRead   — ISPP-DV; t relaxed to track RBER_DV(c), shrinking
 //                decode latency at unchanged UBER (Section 6.3.2).
+//
+// Role in the trade-off loop: an OperatingPoint is the loop's input —
+// the co-selected pair of knobs (one physical, one architectural)
+// that the paper argues must move together. CrossLayerFramework
+// resolves a point into a concrete t at the current age, and
+// MemorySubsystem::apply() programs both layers with the result.
 #pragma once
 
 #include <optional>

@@ -9,6 +9,13 @@
 // differentiated storage services, where block ranges carry their own
 // operating point (e.g. an OTP/XIP segment on MinUber and a bulk
 // segment on Baseline).
+//
+// Role in the trade-off loop: MemorySubsystem is the loop's actuator
+// and its entry point for users. apply(point) asks the framework for
+// the resolved (algo, t) at the current wear and commits it to both
+// hardware layers; refresh() re-runs that resolution at epoch
+// boundaries as the device ages; current_metrics() reports where on
+// the trade-off surface the subsystem is now operating.
 #pragma once
 
 #include <map>

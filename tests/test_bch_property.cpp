@@ -126,9 +126,16 @@ INSTANTIATE_TEST_SUITE_P(
         Config{16, 32768, 4}  // the paper's page size, light t
         ),
     [](const ::testing::TestParamInfo<Config>& info) {
-      return "m" + std::to_string(std::get<0>(info.param)) + "_k" +
-             std::to_string(std::get<1>(info.param)) + "_t" +
-             std::to_string(std::get<2>(info.param));
+      // Built with append rather than operator+ chains: GCC 12 at -O2
+      // flags the `const char* + std::string&&` form with a spurious
+      // -Wrestrict (PR 105651), which breaks -Werror builds.
+      std::string name = "m";
+      name += std::to_string(std::get<0>(info.param));
+      name += "_k";
+      name += std::to_string(std::get<1>(info.param));
+      name += "_t";
+      name += std::to_string(std::get<2>(info.param));
+      return name;
     });
 
 }  // namespace

@@ -1,0 +1,94 @@
+// Smoke test guarding the documented entry point: exercises the same
+// public-API sequence as examples/quickstart.cpp (construct the
+// subsystem from defaults, write/read a page, sweep the three named
+// operating points at mid-life, then drive the raw controller knobs)
+// so the README quickstart can never silently rot.
+#include <gtest/gtest.h>
+
+#include "src/core/subsystem.hpp"
+#include "src/util/rng.hpp"
+
+namespace xlf {
+namespace {
+
+TEST(QuickstartSmoke, DefaultsConstructAndExposeGeometry) {
+  core::SubsystemConfig config = core::SubsystemConfig::defaults();
+  core::MemorySubsystem subsystem(config);
+
+  const nand::Geometry& geometry = subsystem.device().geometry();
+  EXPECT_GT(geometry.blocks, 0u);
+  EXPECT_GT(geometry.pages_per_block, 0u);
+  EXPECT_GT(geometry.data_bytes_per_page, 0u);
+  EXPECT_EQ(geometry.data_bits_per_page(),
+            config.device.array.geometry.data_bits_per_page());
+}
+
+TEST(QuickstartSmoke, WriteThenReadRoundTripsAtBaseline) {
+  core::MemorySubsystem subsystem(core::SubsystemConfig::defaults());
+
+  Rng rng(42);
+  BitVec payload(
+      subsystem.device().geometry().data_bits_per_page());
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload.set(i, rng.chance(0.5));
+  }
+
+  const nand::PageAddress addr{0, 0};
+  const controller::WriteResult write = subsystem.write_page(addr, payload);
+  const controller::ReadResult read = subsystem.read_page(addr);
+
+  EXPECT_GT(write.latency.value(), 0.0);
+  EXPECT_GT(write.t_used, 0u);
+  EXPECT_GT(read.latency.value(), 0.0);
+  EXPECT_TRUE(read.data == payload) << "page corrupted through write/read";
+}
+
+TEST(QuickstartSmoke, NamedOperatingPointsEvaluateAtMidLife) {
+  core::MemorySubsystem subsystem(core::SubsystemConfig::defaults());
+  subsystem.device().set_uniform_wear(1e5);
+
+  for (const core::OperatingPoint& point :
+       {core::OperatingPoint::baseline(), core::OperatingPoint::min_uber(),
+        core::OperatingPoint::max_read()}) {
+    subsystem.apply(point);
+    EXPECT_EQ(subsystem.active_point().name, point.name);
+
+    const core::Metrics m = subsystem.current_metrics();
+    EXPECT_GT(m.t, 0u);
+    EXPECT_GT(m.rber, 0.0);
+    EXPECT_LT(m.log10_uber, 0.0);
+    EXPECT_GT(m.read_throughput.value(), 0.0);
+    EXPECT_GT(m.write_throughput.value(), 0.0);
+    EXPECT_GT(m.total_power().value(), 0.0);
+    EXPECT_FALSE(m.summary().empty());
+  }
+}
+
+// MinUber keeps the SV-sized schedule on DV RBER, so at equal wear its
+// UBER must beat Baseline's (the paper's Section 6.3.1 claim).
+TEST(QuickstartSmoke, MinUberBeatsBaselineUberAtMidLife) {
+  core::MemorySubsystem subsystem(core::SubsystemConfig::defaults());
+  subsystem.device().set_uniform_wear(1e5);
+
+  subsystem.apply(core::OperatingPoint::baseline());
+  const core::Metrics baseline = subsystem.current_metrics();
+  subsystem.apply(core::OperatingPoint::min_uber());
+  const core::Metrics min_uber = subsystem.current_metrics();
+
+  EXPECT_LT(min_uber.log10_uber, baseline.log10_uber);
+}
+
+TEST(QuickstartSmoke, RawControllerKnobsMatchQuickstartCustomPoint) {
+  core::MemorySubsystem subsystem(core::SubsystemConfig::defaults());
+
+  subsystem.controller().set_program_algorithm(
+      nand::ProgramAlgorithm::kIsppDv);
+  subsystem.controller().set_correction_capability(20);
+
+  EXPECT_EQ(subsystem.controller().program_algorithm(),
+            nand::ProgramAlgorithm::kIsppDv);
+  EXPECT_EQ(subsystem.controller().correction_capability(), 20u);
+}
+
+}  // namespace
+}  // namespace xlf
