@@ -68,6 +68,9 @@ void BM_Encode(benchmark::State& state) {
 }
 BENCHMARK(BM_Encode)->Arg(3)->Arg(14)->Arg(65);
 
+// The production word-at-a-time kernel vs the per-bit Horner baseline
+// on the same 4 KiB page; the explore engine's throughput rides on
+// this ratio (acceptance: word kernel >= 3x the bitwise path).
 void BM_SyndromesDense(benchmark::State& state) {
   CodecFixture fx(static_cast<unsigned>(state.range(0)));
   Rng rng(3);
@@ -78,6 +81,17 @@ void BM_SyndromesDense(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SyndromesDense)->Arg(3)->Arg(14)->Arg(65);
+
+void BM_SyndromesBitwise(benchmark::State& state) {
+  CodecFixture fx(static_cast<unsigned>(state.range(0)));
+  Rng rng(3);
+  BitVec cw = fx.encoder.encode(random_message(32768, rng));
+  bch::inject_exact(cw, fx.t, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.decoder.syndromes_bitwise(cw));
+  }
+}
+BENCHMARK(BM_SyndromesBitwise)->Arg(3)->Arg(14)->Arg(65);
 
 void BM_SyndromesSparse(benchmark::State& state) {
   CodecFixture fx(static_cast<unsigned>(state.range(0)));

@@ -2,10 +2,15 @@
 // Berlekamp-Massey, and Chien search — the three stages of the
 // paper's Fig. 2 pipeline.
 //
-// Two syndrome paths exist:
+// Three syndrome paths exist:
 //  * `syndromes(received)` — the honest path: evaluate the received
 //    polynomial at alpha^1..alpha^(2t) (even syndromes come free via
-//    the Frobenius identity S_2j = S_j^2).
+//    the Frobenius identity S_2j = S_j^2), scanning the BitVec a
+//    64-bit word at a time against a per-syndrome table of
+//    alpha^(j*b) powers and skipping zero words entirely.
+//  * `syndromes_bitwise(received)` — the textbook per-bit Horner
+//    evaluation the word kernel is verified against (and the baseline
+//    bench_codec_micro measures the speedup over).
 //  * `syndromes_from_errors(positions)` — simulation fast path: when
 //    the simulator knows the transmitted codeword, the syndrome of
 //    the received word equals the syndrome of the (sparse) error
@@ -46,6 +51,8 @@ class Decoder {
 
   // S_1..S_2t of the received word (index 0 holds S_1).
   std::vector<gf::Element> syndromes(const BitVec& received) const;
+  // Reference per-bit Horner evaluation; bit-identical to syndromes().
+  std::vector<gf::Element> syndromes_bitwise(const BitVec& received) const;
   // Same, from the sparse error-position list.
   std::vector<gf::Element> syndromes_from_errors(
       const std::vector<std::size_t>& error_positions) const;

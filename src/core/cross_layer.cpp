@@ -46,6 +46,7 @@ Metrics CrossLayerFramework::evaluate(nand::ProgramAlgorithm algo, unsigned t,
   XLF_EXPECT(t >= config_.ecc_hw.t_min && t <= config_.ecc_hw.t_max);
   Metrics m;
   m.pe_cycles = pe_cycles;
+  m.algo = algo;
   m.t = t;
   m.rber = aging_.rber(algo, pe_cycles);
 
@@ -88,8 +89,8 @@ std::vector<Metrics> CrossLayerFramework::enumerate(double pe_cycles) const {
   return space;
 }
 
-std::vector<Metrics> CrossLayerFramework::pareto_front(
-    std::vector<Metrics> space) {
+std::vector<bool> CrossLayerFramework::pareto_mask(
+    const std::vector<Metrics>& space) {
   const auto dominates = [](const Metrics& a, const Metrics& b) {
     const bool geq = a.read_throughput.value() >= b.read_throughput.value() &&
                      a.write_throughput.value() >= b.write_throughput.value() &&
@@ -101,13 +102,22 @@ std::vector<Metrics> CrossLayerFramework::pareto_front(
                     a.total_power().value() < b.total_power().value();
     return geq && gt;
   };
-  std::vector<Metrics> front;
-  for (const Metrics& candidate : space) {
-    const bool dominated =
-        std::any_of(space.begin(), space.end(), [&](const Metrics& other) {
-          return dominates(other, candidate);
+  std::vector<bool> efficient(space.size());
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    efficient[i] =
+        std::none_of(space.begin(), space.end(), [&](const Metrics& other) {
+          return dominates(other, space[i]);
         });
-    if (!dominated) front.push_back(candidate);
+  }
+  return efficient;
+}
+
+std::vector<Metrics> CrossLayerFramework::pareto_front(
+    std::vector<Metrics> space) {
+  const std::vector<bool> efficient = pareto_mask(space);
+  std::vector<Metrics> front;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    if (efficient[i]) front.push_back(space[i]);
   }
   return front;
 }

@@ -65,6 +65,9 @@ class CrossLayerFramework {
   // Pareto-efficient subset under (read tput up, write tput up,
   // -log10 uber up, total power down).
   static std::vector<Metrics> pareto_front(std::vector<Metrics> space);
+  // Same criterion as a membership mask over `space` (index-aligned),
+  // for callers that must keep front flags attached to their own rows.
+  static std::vector<bool> pareto_mask(const std::vector<Metrics>& space);
 
   const ecc_hw::LatencyModel& latency_model() const { return latency_; }
   const ecc_hw::PowerModel& ecc_power_model() const { return ecc_power_; }

@@ -12,7 +12,8 @@ std::string Metrics::summary() const {
 }
 
 std::ostream& operator<<(std::ostream& os, const Metrics& metrics) {
-  os << "t=" << metrics.t << " rber=" << metrics.rber
+  os << nand::to_string(metrics.algo) << " t=" << metrics.t
+     << " rber=" << metrics.rber
      << " log10(uber)=" << metrics.log10_uber
      << " read=" << to_string(metrics.read_throughput)
      << " write=" << to_string(metrics.write_throughput)

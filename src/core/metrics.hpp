@@ -14,12 +14,14 @@
 #include <iosfwd>
 #include <string>
 
+#include "src/nand/aging.hpp"
 #include "src/util/units.hpp"
 
 namespace xlf::core {
 
 struct Metrics {
   double pe_cycles = 0.0;
+  nand::ProgramAlgorithm algo = nand::ProgramAlgorithm::kIsppSv;
   unsigned t = 0;
   double rber = 0.0;
   double uber = 0.0;           // Eq. (1) at (rber, t)

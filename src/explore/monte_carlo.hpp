@@ -1,0 +1,46 @@
+// Parallel Monte-Carlo validation: N independent subsystem-simulator
+// replicas of one workload at one (operating point, age), fanned out
+// over a ThreadPool and reduced deterministically.
+//
+// Determinism contract: replica r's entire randomness (device noise,
+// request stream, payload data) derives from the r-th Rng::fork() of
+// a root stream, and the forks are drawn serially before any worker
+// starts. Each replica builds a private MemorySubsystem (the bit-true
+// array and controller are stateful and not thread-safe) and writes
+// its SimStats into slot r; the slots merge in replica order on the
+// calling thread. The merged result is therefore bit-identical for
+// any thread count, which tests assert.
+#pragma once
+
+#include <vector>
+
+#include "src/core/subsystem.hpp"
+#include "src/sim/subsystem_sim.hpp"
+#include "src/sim/workload.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace xlf::explore {
+
+struct MonteCarloSpec {
+  core::SubsystemConfig subsystem;
+  core::OperatingPoint point = core::OperatingPoint::baseline();
+  double pe_cycles = 0.0;
+  const sim::Workload* workload = nullptr;  // non-owning, required
+  std::size_t requests_per_replica = 32;
+  std::size_t replicas = 4;
+  std::uint64_t seed = 0x5EEDCA5E;
+  // Fill the device before the measured run (read-heavy workloads).
+  bool prepopulate = false;
+};
+
+struct MonteCarloResult {
+  std::size_t replicas = 0;
+  sim::SimStats merged;
+  // Fraction of page reads that were uncorrectable — the empirical
+  // companion of the analytic UBER (page-level, not per-bit).
+  double uncorrectable_page_rate() const;
+};
+
+MonteCarloResult run_monte_carlo(const MonteCarloSpec& spec, ThreadPool& pool);
+
+}  // namespace xlf::explore

@@ -1,0 +1,178 @@
+#include "src/explore/report.hpp"
+
+#include <cstdio>
+
+namespace xlf::explore {
+namespace {
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+// One field table per report drives both the CSV and the JSON
+// emitters, so the two formats cannot drift apart. `text` marks
+// fields JSON must quote.
+template <class Row>
+struct Field {
+  const char* name;
+  bool text;
+  std::string (*value)(const Row&);
+};
+
+template <class Row, std::size_t N>
+std::string table_csv(const Field<Row> (&fields)[N],
+                      const std::vector<Row>& rows) {
+  std::string out;
+  for (std::size_t f = 0; f < N; ++f) {
+    if (f > 0) out += ",";
+    out += fields[f].name;
+  }
+  out += "\n";
+  for (const Row& row : rows) {
+    for (std::size_t f = 0; f < N; ++f) {
+      if (f > 0) out += ",";
+      out += fields[f].value(row);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+template <class Row, std::size_t N>
+std::string table_json(const Field<Row> (&fields)[N],
+                       const std::vector<Row>& rows) {
+  std::string out = "[";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (r > 0) out += ",";
+    out += "{";
+    for (std::size_t f = 0; f < N; ++f) {
+      if (f > 0) out += ",";
+      out += "\"";
+      out += fields[f].name;
+      out += "\":";
+      // Appends, not operator+ chains: GCC 12's -Wrestrict (PR 105651)
+      // false-fires on const char* + std::string temporaries.
+      if (fields[f].text) out += "\"";
+      out += fields[f].value(rows[r]);
+      if (fields[f].text) out += "\"";
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+const Field<SweepCell> kCellFields[] = {
+    {"pe_cycles", false,
+     [](const SweepCell& c) { return num(c.metrics.pe_cycles); }},
+    {"algo", true,
+     [](const SweepCell& c) {
+       return std::string(nand::to_string(c.metrics.algo));
+     }},
+    {"t", false, [](const SweepCell& c) { return std::to_string(c.metrics.t); }},
+    {"rber", false, [](const SweepCell& c) { return num(c.metrics.rber); }},
+    {"log10_uber", false,
+     [](const SweepCell& c) { return num(c.metrics.log10_uber); }},
+    {"read_latency_us", false,
+     [](const SweepCell& c) { return num(c.metrics.read_latency.micros()); }},
+    {"write_latency_us", false,
+     [](const SweepCell& c) { return num(c.metrics.write_latency.micros()); }},
+    {"read_mib_s", false,
+     [](const SweepCell& c) { return num(c.metrics.read_throughput.mib()); }},
+    {"write_mib_s", false,
+     [](const SweepCell& c) { return num(c.metrics.write_throughput.mib()); }},
+    {"nand_power_mw", false,
+     [](const SweepCell& c) {
+       return num(c.metrics.nand_program_power.milliwatts());
+     }},
+    {"ecc_power_mw", false,
+     [](const SweepCell& c) {
+       return num(c.metrics.ecc_decode_power.milliwatts());
+     }},
+    {"total_power_mw", false,
+     [](const SweepCell& c) {
+       return num(c.metrics.total_power().milliwatts());
+     }},
+    // "true"/"false" are valid bare JSON and unambiguous CSV.
+    {"pareto", false,
+     [](const SweepCell& c) { return std::string(c.pareto ? "true" : "false"); }},
+};
+
+const Field<WorkloadValidation> kQosFields[] = {
+    {"workload", true, [](const WorkloadValidation& v) { return v.workload; }},
+    {"pe_cycles", false,
+     [](const WorkloadValidation& v) { return num(v.pe_cycles); }},
+    {"replicas", false,
+     [](const WorkloadValidation& v) { return std::to_string(v.result.replicas); }},
+    {"reads", false,
+     [](const WorkloadValidation& v) {
+       return std::to_string(v.result.merged.reads);
+     }},
+    {"writes", false,
+     [](const WorkloadValidation& v) {
+       return std::to_string(v.result.merged.writes);
+     }},
+    {"uncorrectable", false,
+     [](const WorkloadValidation& v) {
+       return std::to_string(v.result.merged.uncorrectable);
+     }},
+    {"data_mismatches", false,
+     [](const WorkloadValidation& v) {
+       return std::to_string(v.result.merged.data_mismatches);
+     }},
+    {"qos_misses", false,
+     [](const WorkloadValidation& v) {
+       return std::to_string(v.result.merged.qos_misses);
+     }},
+    {"uncorrectable_page_rate", false,
+     [](const WorkloadValidation& v) {
+       return num(v.result.uncorrectable_page_rate());
+     }},
+    {"read_latency_mean_us", false,
+     [](const WorkloadValidation& v) {
+       return num(v.result.merged.read_latency.mean() * 1e6);
+     }},
+    {"read_latency_max_us", false,
+     [](const WorkloadValidation& v) {
+       return num(v.result.merged.read_latency.max() * 1e6);
+     }},
+    {"write_latency_mean_us", false,
+     [](const WorkloadValidation& v) {
+       return num(v.result.merged.write_latency.mean() * 1e6);
+     }},
+    {"write_latency_max_us", false,
+     [](const WorkloadValidation& v) {
+       return num(v.result.merged.write_latency.max() * 1e6);
+     }},
+    {"simulated_seconds", false,
+     [](const WorkloadValidation& v) {
+       return num(v.result.merged.elapsed.value());
+     }},
+};
+
+}  // namespace
+
+std::string sweep_csv(const SweepResult& result) {
+  return table_csv(kCellFields, result.cells);
+}
+
+std::string sweep_json(const SweepResult& result) {
+  std::string out = "{\"cells_per_age\":";
+  out += std::to_string(result.cells_per_age);
+  out += ",\"space\":";
+  out += table_json(kCellFields, result.cells);
+  out += "}";
+  return out;
+}
+
+std::string qos_csv(const std::vector<WorkloadValidation>& validations) {
+  return table_csv(kQosFields, validations);
+}
+
+std::string qos_json(const std::vector<WorkloadValidation>& validations) {
+  return table_json(kQosFields, validations);
+}
+
+}  // namespace xlf::explore

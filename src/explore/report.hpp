@@ -1,0 +1,31 @@
+// Text emitters for exploration results: the full configuration
+// space, its Pareto front and per-workload QoS statistics as CSV or
+// JSON — the formats tools/xlf_explore ships to plotting pipelines.
+// Output is a pure function of the results, so parallel and serial
+// runs of the same spec print byte-identical reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/explore/monte_carlo.hpp"
+#include "src/explore/sweep.hpp"
+
+namespace xlf::explore {
+
+// A Monte-Carlo validation labelled with the workload it ran.
+struct WorkloadValidation {
+  std::string workload;
+  double pe_cycles = 0.0;
+  MonteCarloResult result;
+};
+
+// Configuration space, one row per cell, with a `pareto` flag column.
+std::string sweep_csv(const SweepResult& result);
+std::string sweep_json(const SweepResult& result);
+
+// Per-workload QoS/reliability table from Monte-Carlo validations.
+std::string qos_csv(const std::vector<WorkloadValidation>& validations);
+std::string qos_json(const std::vector<WorkloadValidation>& validations);
+
+}  // namespace xlf::explore

@@ -1,0 +1,60 @@
+#include "src/explore/sweep.hpp"
+
+#include "src/util/expect.hpp"
+
+namespace xlf::explore {
+
+FrameworkSpec FrameworkSpec::from(const core::SubsystemConfig& config) {
+  FrameworkSpec spec;
+  spec.cross_layer = config.cross_layer;
+  spec.aging = config.device.array.aging;
+  spec.timing = config.device.timing;
+  spec.ispp = config.device.array.ispp;
+  spec.plan = config.device.array.plan;
+  spec.variability = config.device.array.variability;
+  spec.hv = config.hv;
+  return spec;
+}
+
+nand::NandTiming FrameworkSpec::make_timing() const {
+  return nand::NandTiming(timing, ispp, plan, variability, aging);
+}
+
+std::vector<core::Metrics> SweepResult::front() const {
+  std::vector<core::Metrics> out;
+  for (const SweepCell& cell : cells) {
+    if (cell.pareto) out.push_back(cell.metrics);
+  }
+  return out;
+}
+
+SweepResult sweep_space(const SweepSpec& spec, ThreadPool& pool) {
+  XLF_EXPECT(!spec.ages.empty());
+  const auto& hw = spec.framework.cross_layer.ecc_hw;
+  XLF_EXPECT(hw.t_min <= hw.t_max);
+  const std::size_t per_age = 2 * (hw.t_max - hw.t_min + 1);
+
+  SweepResult result;
+  result.cells_per_age = per_age;
+  result.cells.resize(spec.ages.size() * per_age);
+
+  // One task per age point: the ISPP characterisation (the expensive
+  // part) is per (algo, age), so an age task pays it exactly once per
+  // algorithm — the same total work as the serial loop.
+  pool.parallel_for(spec.ages.size(), [&](std::size_t a) {
+    nand::NandTiming timing = spec.framework.make_timing();
+    const core::CrossLayerFramework framework(
+        spec.framework.cross_layer, spec.framework.aging, timing,
+        spec.framework.hv);
+    const std::vector<core::Metrics> space = framework.enumerate(spec.ages[a]);
+    XLF_ENSURE(space.size() == per_age);
+    const std::vector<bool> efficient =
+        core::CrossLayerFramework::pareto_mask(space);
+    for (std::size_t i = 0; i < per_age; ++i) {
+      result.cells[a * per_age + i] = SweepCell{space[i], efficient[i]};
+    }
+  });
+  return result;
+}
+
+}  // namespace xlf::explore

@@ -1,0 +1,65 @@
+// Parallel exploration of the cross-layer configuration space: the
+// full (program algorithm x ECC capability x lifetime) grid the paper
+// builds its trade-off analysis on, fanned out over a ThreadPool.
+//
+// Thread-safety note that shapes the design: CrossLayerFramework
+// evaluates through NandTiming, whose ISPP characterisation cache is
+// mutable and unsynchronised. Sharing one framework across workers
+// would race, so each parallel task builds a private NandTiming +
+// CrossLayerFramework from a FrameworkSpec (plain config structs,
+// freely copyable). Every grid cell's result lands in its
+// preallocated slot, and the per-age Pareto flags are a pure function
+// of that age's cells computed inside the age's own task, so the
+// output is bit-identical whatever the thread count — `threads=1`
+// versus `threads=N` is asserted in tests.
+#pragma once
+
+#include <vector>
+
+#include "src/core/cross_layer.hpp"
+#include "src/core/subsystem.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace xlf::explore {
+
+// The ingredients of a CrossLayerFramework, by value.
+struct FrameworkSpec {
+  core::CrossLayerConfig cross_layer;
+  nand::AgingLaw aging;
+  nand::TimingConfig timing;
+  nand::IsppConfig ispp;
+  nand::VoltagePlan plan;
+  nand::VariabilityConfig variability;
+  hv::HvConfig hv;
+
+  static FrameworkSpec from(const core::SubsystemConfig& config);
+  nand::NandTiming make_timing() const;
+};
+
+struct SweepSpec {
+  FrameworkSpec framework;
+  // P/E cycle grid; see sim::lifetime_grid for the paper's axis.
+  std::vector<double> ages;
+};
+
+// One cell of the configuration space at one age, tagged with its
+// Pareto-front membership *within that age*.
+struct SweepCell {
+  core::Metrics metrics;
+  bool pareto = false;
+};
+
+struct SweepResult {
+  // Age-major, then {SV, DV} x t ascending — the enumerate() order.
+  std::vector<SweepCell> cells;
+  std::size_t cells_per_age = 0;
+
+  // The Pareto-efficient subset, in cell order.
+  std::vector<core::Metrics> front() const;
+};
+
+// Evaluate every (algo, t) cell at every age, one parallel task per
+// age point.
+SweepResult sweep_space(const SweepSpec& spec, ThreadPool& pool);
+
+}  // namespace xlf::explore

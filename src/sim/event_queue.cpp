@@ -28,7 +28,9 @@ bool EventQueue::step() {
 std::size_t EventQueue::run(std::size_t limit) {
   std::size_t executed = 0;
   while (executed < limit && step()) ++executed;
-  XLF_ENSURE(executed < limit && "event limit hit: runaway simulation");
+  // Runaway only if events remain after the budget; draining exactly
+  // `limit` events is a legitimate completion.
+  XLF_ENSURE(heap_.empty() && "event limit hit: runaway simulation");
   return executed;
 }
 

@@ -6,6 +6,23 @@
 
 namespace xlf::sim {
 
+void SimStats::merge(const SimStats& other) {
+  reads += other.reads;
+  writes += other.writes;
+  erases += other.erases;
+  uncorrectable += other.uncorrectable;
+  data_mismatches += other.data_mismatches;
+  corrected_bits += other.corrected_bits;
+  qos_misses += other.qos_misses;
+  elapsed += other.elapsed;
+  read_busy += other.read_busy;
+  write_busy += other.write_busy;
+  ecc_energy += other.ecc_energy;
+  nand_energy += other.nand_energy;
+  read_latency.merge(other.read_latency);
+  write_latency.merge(other.write_latency);
+}
+
 BytesPerSecond SimStats::read_throughput(std::size_t page_bytes) const {
   if (read_busy.value() <= 0.0) return BytesPerSecond{0.0};
   return BytesPerSecond{static_cast<double>(reads * page_bytes) /

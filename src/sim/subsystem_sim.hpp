@@ -39,6 +39,14 @@ struct SimStats {
   RunningStats read_latency;   // seconds
   RunningStats write_latency;  // seconds
 
+  // Fold another run's statistics into this one (Monte-Carlo replica
+  // reduction): counts, busy times and energies sum, the latency
+  // distributions merge, and `elapsed` accumulates total simulated
+  // time across the runs. Merging per-replica stats in a fixed order
+  // reproduces bit-identical totals regardless of how many workers
+  // produced them.
+  void merge(const SimStats& other);
+
   BytesPerSecond read_throughput(std::size_t page_bytes) const;
   BytesPerSecond write_throughput(std::size_t page_bytes) const;
 };

@@ -97,8 +97,13 @@ std::uint64_t Rng::poisson(double lambda) {
     return k;
   }
   // Normal approximation with continuity correction for large lambda.
-  const double draw = gaussian(lambda, std::sqrt(lambda));
-  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+  // The cast must be range-checked on both sides: converting a double
+  // that is negative (left tail) or >= 2^64 (lambda near the integer
+  // range) to uint64_t is undefined behaviour, not a saturation.
+  const double draw = gaussian(lambda, std::sqrt(lambda)) + 0.5;
+  if (draw <= 0.0) return 0;
+  if (draw >= 18446744073709551616.0 /* 2^64 */) return ~0ull;
+  return static_cast<std::uint64_t>(draw);
 }
 
 Rng Rng::fork() { return Rng(next()); }

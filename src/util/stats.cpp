@@ -8,12 +8,8 @@
 namespace xlf {
 
 void RunningStats::add(double x) {
-  if (n_ == 0) {
-    min_ = max_ = x;
-  } else {
-    min_ = std::min(min_, x);
-    max_ = std::max(max_, x);
-  }
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
   ++n_;
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);
@@ -21,9 +17,14 @@ void RunningStats::add(double x) {
 }
 
 void RunningStats::merge(const RunningStats& other) {
+  // Extrema carry +/-infinity identities, so an empty side is inert.
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
   if (other.n_ == 0) return;
   if (n_ == 0) {
-    *this = other;
+    n_ = other.n_;
+    mean_ = other.mean_;
+    m2_ = other.m2_;
     return;
   }
   const double na = static_cast<double>(n_);
@@ -32,8 +33,6 @@ void RunningStats::merge(const RunningStats& other) {
   const double total = na + nb;
   mean_ += delta * nb / total;
   m2_ += other.m2_ + delta * delta * na * nb / total;
-  min_ = std::min(min_, other.min_);
-  max_ = std::max(max_, other.max_);
   n_ += other.n_;
 }
 
@@ -44,8 +43,8 @@ double RunningStats::variance() const {
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
-double RunningStats::min() const { return min_; }
-double RunningStats::max() const { return max_; }
+double RunningStats::min() const { return n_ == 0 ? 0.0 : min_; }
+double RunningStats::max() const { return n_ == 0 ? 0.0 : max_; }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {

@@ -4,14 +4,20 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace xlf {
 
 // Welford running mean/variance; O(1) space, numerically stable.
+// merge() is associative with add(): merging per-worker partials in a
+// fixed order reproduces the serial accumulation exactly, which is what
+// the parallel explore engine's deterministic reduction relies on.
 class RunningStats {
  public:
   void add(double x);
+  // Fold `other` into this; an empty side never disturbs the other's
+  // mean, variance or extrema.
   void merge(const RunningStats& other);
 
   std::size_t count() const { return n_; }
@@ -19,6 +25,7 @@ class RunningStats {
   // Sample variance (n-1 denominator); 0 for fewer than two samples.
   double variance() const;
   double stddev() const;
+  // Extrema of the samples seen; 0 while empty (no samples).
   double min() const;
   double max() const;
 
@@ -26,8 +33,10 @@ class RunningStats {
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  // +/-infinity identities: the extrema stay correct under any merge
+  // order without special-casing an empty side.
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
 };
 
 // Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the

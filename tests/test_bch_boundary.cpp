@@ -1,0 +1,141 @@
+// Correction-boundary regression at the paper's corner capabilities:
+// exactly t injected errors must correct, t+1 must be *detected* as
+// kUncorrectable — for both the bit-true decode() and the simulation
+// fast path decode_with_reference(), at t_min = 3 and t_max = 65 on
+// the full 4 KiB page code over GF(2^16). The word-at-a-time syndrome
+// kernel is also pinned against the per-bit reference here, since this
+// is the code size the explore engine hammers.
+#include "src/bch/decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/bch/encoder.hpp"
+#include "src/bch/error_injection.hpp"
+#include "src/bch/generator.hpp"
+#include "src/util/rng.hpp"
+
+namespace xlf::bch {
+namespace {
+
+BitVec random_message(std::uint32_t k, Rng& rng) {
+  BitVec msg(k);
+  for (std::uint32_t i = 0; i < k; ++i) msg.set(i, rng.chance(0.5));
+  return msg;
+}
+
+struct PageCode {
+  gf::Gf2m field{16};
+  CodeParams params;
+  Encoder encoder;
+  Decoder decoder;
+
+  explicit PageCode(unsigned t)
+      : params{16, 32768, t},
+        encoder(params, generator_polynomial(field, t)),
+        decoder(field, params) {}
+};
+
+void expect_boundary_behaviour(unsigned t, std::uint64_t seed) {
+  PageCode code(t);
+  Rng rng(seed);
+  const BitVec clean = code.encoder.encode(random_message(32768, rng));
+
+  // Exactly t errors: both paths correct back to the clean codeword
+  // and report the injected positions.
+  {
+    BitVec corrupted = clean;
+    const auto injected = inject_exact(corrupted, t, rng);
+    BitVec honest = corrupted;
+    const DecodeResult result = code.decoder.decode(honest);
+    EXPECT_EQ(result.status, DecodeStatus::kCorrected);
+    EXPECT_EQ(result.corrected, t);
+    EXPECT_EQ(honest, clean);
+    std::vector<std::size_t> reported(result.positions.begin(),
+                                      result.positions.end());
+    std::sort(reported.begin(), reported.end());
+    EXPECT_EQ(reported, injected);
+
+    BitVec fast = corrupted;
+    const DecodeResult ref_result =
+        code.decoder.decode_with_reference(fast, clean);
+    EXPECT_EQ(ref_result.status, DecodeStatus::kCorrected);
+    EXPECT_EQ(ref_result.corrected, t);
+    EXPECT_EQ(fast, clean);
+  }
+
+  // t+1 errors: one beyond the design capability; must be detected,
+  // not miscorrected, on both paths (seeds pin patterns where the
+  // locator is inconsistent — the overwhelmingly common case).
+  {
+    BitVec corrupted = clean;
+    inject_exact(corrupted, t + 1, rng);
+    BitVec honest = corrupted;
+    const DecodeResult result = code.decoder.decode(honest);
+    EXPECT_EQ(result.status, DecodeStatus::kUncorrectable);
+    EXPECT_EQ(honest, corrupted);  // detection leaves the word untouched
+
+    BitVec fast = corrupted;
+    const DecodeResult ref_result =
+        code.decoder.decode_with_reference(fast, clean);
+    EXPECT_EQ(ref_result.status, DecodeStatus::kUncorrectable);
+    EXPECT_EQ(fast, corrupted);
+  }
+}
+
+TEST(BchBoundary, TminCorrectsAtTAndDetectsAtTPlusOne) {
+  expect_boundary_behaviour(3, 101);
+  expect_boundary_behaviour(3, 102);
+}
+
+TEST(BchBoundary, TmaxCorrectsAtTAndDetectsAtTPlusOne) {
+  expect_boundary_behaviour(65, 201);
+  expect_boundary_behaviour(65, 202);
+}
+
+TEST(BchBoundary, WordKernelMatchesBitwiseReference) {
+  // The production syndrome kernel vs the per-bit Horner reference on
+  // the paper-scale code, clean and corrupted (dense and sparse-ish
+  // words, including the partial tail word of n = 33808 + parity).
+  for (unsigned t : {3u, 65u}) {
+    PageCode code(t);
+    Rng rng(7 + t);
+    BitVec cw = code.encoder.encode(random_message(32768, rng));
+    EXPECT_EQ(code.decoder.syndromes(cw), code.decoder.syndromes_bitwise(cw));
+    inject_exact(cw, t + 5, rng);
+    EXPECT_EQ(code.decoder.syndromes(cw), code.decoder.syndromes_bitwise(cw));
+    // All-zero words exercise the zero-skip fast path.
+    BitVec zeros(code.params.n());
+    EXPECT_EQ(code.decoder.syndromes(zeros),
+              code.decoder.syndromes_bitwise(zeros));
+    // A lone set bit in the top (partial) word pins the tail handling.
+    BitVec top(code.params.n());
+    top.set(code.params.n() - 1, true);
+    EXPECT_EQ(code.decoder.syndromes(top),
+              code.decoder.syndromes_bitwise(top));
+  }
+}
+
+TEST(BchBoundary, WordKernelMatchesBitwiseOnSmallFields) {
+  // Sweep small fields so codeword lengths land at awkward non-word
+  // multiples.
+  for (unsigned m : {5u, 8u, 11u}) {
+    const gf::Gf2m field(m);
+    const unsigned t = 2;
+    const gf::Gf2Poly g = generator_polynomial(field, t);
+    const auto r = static_cast<std::uint32_t>(g.degree());
+    const std::uint32_t k = field.order() - r - 3;  // shortened oddly
+    const CodeParams params{m, k, t, r};
+    const Encoder encoder(params, g);
+    const Decoder decoder(field, params);
+    Rng rng(m);
+    BitVec cw = encoder.encode(random_message(k, rng));
+    inject_exact(cw, t, rng);
+    EXPECT_EQ(decoder.syndromes(cw), decoder.syndromes_bitwise(cw));
+  }
+}
+
+}  // namespace
+}  // namespace xlf::bch

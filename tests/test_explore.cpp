@@ -1,0 +1,209 @@
+// The explore layer's load-bearing promise: a parallel run is
+// bit-identical to the serial run — same cells, same Pareto flags,
+// same merged Monte-Carlo statistics — for any thread count.
+#include "src/explore/monte_carlo.hpp"
+#include "src/explore/report.hpp"
+#include "src/explore/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace xlf::explore {
+namespace {
+
+core::SubsystemConfig small_subsystem() {
+  core::SubsystemConfig config = core::SubsystemConfig::defaults();
+  config.device.array.geometry.blocks = 2;
+  config.device.array.geometry.pages_per_block = 4;
+  return config;
+}
+
+SweepSpec small_sweep() {
+  SweepSpec spec;
+  spec.framework = FrameworkSpec::from(core::SubsystemConfig::defaults());
+  spec.ages = {1.0, 1e3, 1e5, 1e6};
+  return spec;
+}
+
+void expect_identical(const core::Metrics& a, const core::Metrics& b) {
+  EXPECT_EQ(a.pe_cycles, b.pe_cycles);
+  EXPECT_EQ(a.algo, b.algo);
+  EXPECT_EQ(a.t, b.t);
+  EXPECT_EQ(a.rber, b.rber);
+  EXPECT_EQ(a.uber, b.uber);
+  EXPECT_EQ(a.log10_uber, b.log10_uber);
+  EXPECT_EQ(a.read_latency, b.read_latency);
+  EXPECT_EQ(a.write_latency, b.write_latency);
+  EXPECT_EQ(a.read_throughput, b.read_throughput);
+  EXPECT_EQ(a.write_throughput, b.write_throughput);
+  EXPECT_EQ(a.nand_program_power, b.nand_program_power);
+  EXPECT_EQ(a.ecc_decode_power, b.ecc_decode_power);
+}
+
+TEST(Sweep, ParallelIsBitIdenticalToSerial) {
+  const SweepSpec spec = small_sweep();
+  ThreadPool serial(1), parallel(4);
+  const SweepResult a = sweep_space(spec, serial);
+  const SweepResult b = sweep_space(spec, parallel);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  EXPECT_EQ(a.cells_per_age, b.cells_per_age);
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    expect_identical(a.cells[i].metrics, b.cells[i].metrics);
+    EXPECT_EQ(a.cells[i].pareto, b.cells[i].pareto);
+  }
+  // Byte-identical reports follow from bit-identical cells.
+  EXPECT_EQ(sweep_csv(a), sweep_csv(b));
+  EXPECT_EQ(sweep_json(a), sweep_json(b));
+}
+
+TEST(Sweep, MatchesDirectFrameworkEnumeration) {
+  const SweepSpec spec = small_sweep();
+  ThreadPool pool(2);
+  const SweepResult result = sweep_space(spec, pool);
+
+  nand::NandTiming timing = spec.framework.make_timing();
+  const core::CrossLayerFramework framework(
+      spec.framework.cross_layer, spec.framework.aging, timing,
+      spec.framework.hv);
+  for (std::size_t a = 0; a < spec.ages.size(); ++a) {
+    const auto space = framework.enumerate(spec.ages[a]);
+    ASSERT_EQ(space.size(), result.cells_per_age);
+    for (std::size_t i = 0; i < space.size(); ++i) {
+      expect_identical(result.cells[a * result.cells_per_age + i].metrics,
+                       space[i]);
+    }
+  }
+}
+
+TEST(Sweep, ParetoFlagsMatchCoreFront) {
+  const SweepSpec spec = small_sweep();
+  ThreadPool pool(2);
+  const SweepResult result = sweep_space(spec, pool);
+
+  nand::NandTiming timing = spec.framework.make_timing();
+  const core::CrossLayerFramework framework(
+      spec.framework.cross_layer, spec.framework.aging, timing,
+      spec.framework.hv);
+  for (std::size_t a = 0; a < spec.ages.size(); ++a) {
+    const auto front =
+        core::CrossLayerFramework::pareto_front(framework.enumerate(spec.ages[a]));
+    std::size_t flagged = 0;
+    for (std::size_t i = 0; i < result.cells_per_age; ++i) {
+      if (result.cells[a * result.cells_per_age + i].pareto) ++flagged;
+    }
+    EXPECT_EQ(flagged, front.size());
+  }
+  // front() collects exactly the flagged cells.
+  std::size_t total_flagged = 0;
+  for (const SweepCell& cell : result.cells) total_flagged += cell.pareto;
+  EXPECT_EQ(result.front().size(), total_flagged);
+  EXPECT_GT(total_flagged, 0u);
+}
+
+void expect_identical(const sim::SimStats& a, const sim::SimStats& b) {
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.erases, b.erases);
+  EXPECT_EQ(a.uncorrectable, b.uncorrectable);
+  EXPECT_EQ(a.data_mismatches, b.data_mismatches);
+  EXPECT_EQ(a.corrected_bits, b.corrected_bits);
+  EXPECT_EQ(a.qos_misses, b.qos_misses);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.read_busy, b.read_busy);
+  EXPECT_EQ(a.write_busy, b.write_busy);
+  EXPECT_EQ(a.ecc_energy, b.ecc_energy);
+  EXPECT_EQ(a.nand_energy, b.nand_energy);
+  EXPECT_EQ(a.read_latency.count(), b.read_latency.count());
+  EXPECT_EQ(a.read_latency.mean(), b.read_latency.mean());
+  EXPECT_EQ(a.read_latency.variance(), b.read_latency.variance());
+  EXPECT_EQ(a.read_latency.min(), b.read_latency.min());
+  EXPECT_EQ(a.read_latency.max(), b.read_latency.max());
+  EXPECT_EQ(a.write_latency.count(), b.write_latency.count());
+  EXPECT_EQ(a.write_latency.mean(), b.write_latency.mean());
+  EXPECT_EQ(a.write_latency.max(), b.write_latency.max());
+}
+
+TEST(MonteCarlo, ParallelIsBitIdenticalToSerial) {
+  const sim::MixedWorkload workload(0.7);
+  MonteCarloSpec spec;
+  spec.subsystem = small_subsystem();
+  spec.pe_cycles = 1e5;
+  spec.workload = &workload;
+  spec.requests_per_replica = 10;
+  spec.replicas = 5;
+  spec.seed = 99;
+
+  ThreadPool serial(1), parallel(3);
+  const MonteCarloResult a = run_monte_carlo(spec, serial);
+  const MonteCarloResult b = run_monte_carlo(spec, parallel);
+  EXPECT_EQ(a.replicas, b.replicas);
+  expect_identical(a.merged, b.merged);
+}
+
+TEST(MonteCarlo, AccountsEveryRequestOfEveryReplica) {
+  const sim::SequentialReadWorkload workload;
+  MonteCarloSpec spec;
+  spec.subsystem = small_subsystem();
+  spec.pe_cycles = 1.0;  // beginning of life
+  spec.workload = &workload;
+  spec.requests_per_replica = 8;
+  spec.replicas = 3;
+
+  ThreadPool pool(2);
+  const MonteCarloResult result = run_monte_carlo(spec, pool);
+  EXPECT_EQ(result.merged.reads + result.merged.writes,
+            spec.replicas * spec.requests_per_replica);
+  // A healthy young device under the baseline schedule: nothing
+  // uncorrectable, nothing silently corrupted.
+  EXPECT_EQ(result.merged.uncorrectable, 0u);
+  EXPECT_EQ(result.merged.data_mismatches, 0u);
+  EXPECT_EQ(result.uncorrectable_page_rate(), 0.0);
+}
+
+TEST(MonteCarlo, DifferentSeedsGiveDifferentRuns) {
+  const sim::MixedWorkload workload(0.5);
+  MonteCarloSpec spec;
+  spec.subsystem = small_subsystem();
+  spec.pe_cycles = 1e4;
+  spec.workload = &workload;
+  spec.requests_per_replica = 20;
+  spec.replicas = 2;
+
+  ThreadPool pool(2);
+  spec.seed = 1;
+  const MonteCarloResult a = run_monte_carlo(spec, pool);
+  spec.seed = 2;
+  const MonteCarloResult b = run_monte_carlo(spec, pool);
+  // Mixed request streams derive from the seed, so the read/write
+  // split (or at least the latency accumulation) must differ.
+  EXPECT_TRUE(a.merged.reads != b.merged.reads ||
+              a.merged.write_latency.mean() != b.merged.write_latency.mean() ||
+              a.merged.read_latency.mean() != b.merged.read_latency.mean());
+}
+
+TEST(Report, QosTablesCoverAllValidations) {
+  const sim::SequentialReadWorkload workload;
+  MonteCarloSpec spec;
+  spec.subsystem = small_subsystem();
+  spec.pe_cycles = 1.0;
+  spec.workload = &workload;
+  spec.requests_per_replica = 4;
+  spec.replicas = 2;
+  ThreadPool pool(1);
+  const MonteCarloResult mc = run_monte_carlo(spec, pool);
+
+  const std::vector<WorkloadValidation> rows{
+      {"sequential-read", 1.0, mc}, {"sequential-read-bis", 1.0, mc}};
+  const std::string csv = qos_csv(rows);
+  // Header plus one line per validation.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("sequential-read-bis,"), std::string::npos);
+  const std::string json = qos_json(rows);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"workload\":\"sequential-read\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xlf::explore

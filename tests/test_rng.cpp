@@ -117,6 +117,40 @@ TEST(Rng, PoissonZeroLambda) {
   EXPECT_EQ(rng.poisson(0.0), 0u);
 }
 
+TEST(Rng, PoissonNegativeNormalDrawClampsToZero) {
+  // Adversarial seed (found by search): the first Box-Muller draw is
+  // -5.58 sigma, so the normal-approximation branch at lambda = 30
+  // produces a negative double. Casting that to uint64_t is undefined
+  // behaviour; the clamp must return 0 instead (the sanitizer CI job
+  // guards the cast itself).
+  Rng rng(18526159);
+  EXPECT_EQ(rng.poisson(30.0), 0u);
+}
+
+TEST(Rng, PoissonHugeLambdaSaturatesInsteadOfOverflowing) {
+  // lambda = 2e19 exceeds 2^64 - 1, so every normal-approximation draw
+  // lies beyond the uint64_t range; the unchecked cast was undefined
+  // behaviour. The draw must saturate, not wrap or trap.
+  Rng rng(47);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.poisson(2e19), ~0ull);
+  }
+}
+
+TEST(Rng, PoissonLargeLambdaStaysNearMeanAcrossSeeds) {
+  // Regression sweep over many seeds at a lambda deep in the
+  // normal-approximation branch: every draw must stay a plausible
+  // count (mean +/- 8 sigma), never an overflow artifact.
+  const double lambda = 1e6;
+  const double sigma = 1000.0;
+  for (std::uint64_t seed = 0; seed < 3000; ++seed) {
+    Rng rng(seed);
+    const std::uint64_t draw = rng.poisson(lambda);
+    EXPECT_GT(draw, static_cast<std::uint64_t>(lambda - 8 * sigma));
+    EXPECT_LT(draw, static_cast<std::uint64_t>(lambda + 8 * sigma));
+  }
+}
+
 TEST(Rng, ForkProducesIndependentStream) {
   Rng parent(43);
   Rng child = parent.fork();

@@ -27,6 +27,48 @@ TEST(EventQueue, EqualTimesKeepSchedulingOrder) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+TEST(EventQueue, CollidingTimestampsInterleavedStayDeterministic) {
+  // Collisions at several timestamps, scheduled out of order and also
+  // from inside callbacks: pops must follow (time, insertion order) —
+  // the determinism contract the parallel-equals-serial criterion of
+  // the explore engine rests on.
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(Seconds::micros(20.0), [&] { order.push_back(4); });
+  queue.schedule_at(Seconds::micros(10.0), [&] {
+    order.push_back(1);
+    // Scheduled mid-run at an already-populated timestamp: runs after
+    // the earlier entries at 20 us.
+    queue.schedule_at(Seconds::micros(20.0), [&] { order.push_back(6); });
+  });
+  queue.schedule_at(Seconds::micros(20.0), [&] { order.push_back(5); });
+  queue.schedule_at(Seconds::micros(10.0), [&] { order.push_back(2); });
+  queue.schedule_at(Seconds::micros(10.0), [&] { order.push_back(3); });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(EventQueue, RunDrainingExactlyLimitEventsIsNotRunaway) {
+  EventQueue queue;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule_at(Seconds::micros(static_cast<double>(i)), [&] { ++fired; });
+  }
+  // The budget equals the queue depth: a legitimate completion, not a
+  // runaway simulation.
+  EXPECT_EQ(queue.run(5), 5u);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(EventQueue, RunFlagsRunawayWhenEventsRemain) {
+  EventQueue queue;
+  std::function<void()> forever = [&] {
+    queue.schedule_in(Seconds::micros(1.0), forever);
+  };
+  queue.schedule_in(Seconds::micros(1.0), forever);
+  EXPECT_THROW(queue.run(100), std::logic_error);
+}
+
 TEST(EventQueue, CallbacksMayScheduleMore) {
   EventQueue queue;
   int fired = 0;

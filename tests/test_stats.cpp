@@ -54,6 +54,62 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 1.5);
 }
 
+TEST(RunningStats, EmptySideNeverPollutesExtrema) {
+  // All samples strictly positive: if the empty side's default
+  // min_/max_ leaked into the merge, min() would come back 0.
+  RunningStats a, b;
+  a.add(4.0);
+  a.add(9.0);
+  a.merge(b);  // empty right side
+  EXPECT_DOUBLE_EQ(a.min(), 4.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+
+  RunningStats c;
+  c.merge(a);  // empty left side
+  EXPECT_DOUBLE_EQ(c.min(), 4.0);
+  EXPECT_DOUBLE_EQ(c.max(), 9.0);
+
+  // Same in the all-negative direction, where a polluted max() shows 0.
+  RunningStats d, e;
+  d.add(-7.0);
+  d.add(-2.0);
+  d.merge(e);
+  EXPECT_DOUBLE_EQ(d.max(), -2.0);
+  e.merge(d);
+  EXPECT_DOUBLE_EQ(e.min(), -7.0);
+  EXPECT_DOUBLE_EQ(e.max(), -2.0);
+}
+
+TEST(RunningStats, EmptyStatsReportZeroExtrema) {
+  // Documented convention for empty accumulators (a write-only run has
+  // an empty read-latency distribution that reports still print).
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStats, ChainedShardMergeMatchesSerial) {
+  // The parallel replica reduction folds shards in index order, some
+  // of which may be empty; the result must match one serial stream.
+  Rng rng(77);
+  RunningStats serial;
+  std::vector<RunningStats> shards(8);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.gaussian(-1.0, 2.0);
+    serial.add(x);
+    shards[static_cast<std::size_t>(i) % 5].add(x);  // shards 5..7 stay empty
+  }
+  RunningStats merged;
+  for (const RunningStats& shard : shards) merged.merge(shard);
+  EXPECT_EQ(merged.count(), serial.count());
+  EXPECT_NEAR(merged.mean(), serial.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), serial.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(merged.min(), serial.min());
+  EXPECT_DOUBLE_EQ(merged.max(), serial.max());
+}
+
 TEST(Histogram, BinningAndQuantile) {
   Histogram h(0.0, 10.0, 10);
   for (int i = 0; i < 100; ++i) h.add(0.5);  // all in first bin

@@ -1,0 +1,265 @@
+// xlf_explore — parallel trade-off exploration CLI.
+//
+// Sweeps the full (program algorithm x ECC capability) configuration
+// space over a log-spaced lifetime grid, marks the per-age Pareto
+// front, and optionally validates operating points with Monte-Carlo
+// subsystem-simulator replicas per workload. Emits CSV (default) or
+// JSON on stdout or --out.
+//
+// Determinism contract: for a fixed spec and --seed, the output is
+// byte-identical for every --threads value (parallel tasks write
+// preallocated slots; reduction is serial) — so exploration results
+// are reproducible artifacts, not run-dependent samples.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/explore/monte_carlo.hpp"
+#include "src/explore/report.hpp"
+#include "src/explore/sweep.hpp"
+#include "src/sim/lifetime.hpp"
+#include "src/util/stats.hpp"
+
+namespace {
+
+using namespace xlf;
+
+struct Options {
+  double age_lo = 1.0;
+  double age_hi = 1e6;
+  std::size_t age_points = 13;
+  unsigned threads = 0;  // 0 = hardware concurrency
+  std::string format = "csv";
+  std::string out_path;  // empty = stdout
+  bool pareto_only = false;
+  double uber_target = 1e-11;
+  std::string point = "baseline";
+  std::vector<std::string> workloads{"sequential-read", "random-read",
+                                     "write-burst", "mixed", "streaming"};
+  std::size_t mc_replicas = 0;  // 0 = skip Monte-Carlo
+  std::size_t mc_requests = 32;
+  double mc_age = -1.0;  // <0 = last grid age
+  std::uint64_t seed = 0x5EEDCA5E;
+};
+
+void usage() {
+  std::cerr <<
+      "usage: xlf_explore [options]\n"
+      "  --ages LO:HI:POINTS   log-spaced P/E grid (default 1:1e6:13)\n"
+      "  --threads N           total threads, 1 = serial (default: hardware)\n"
+      "  --format csv|json     output format (default csv)\n"
+      "  --out PATH            write to PATH instead of stdout\n"
+      "  --pareto-only         emit only Pareto-front rows of the space\n"
+      "  --uber-target X       UBER target for the ECC schedule (1e-11)\n"
+      "  --point NAME          baseline|min-uber|max-read (baseline)\n"
+      "  --workloads LIST      comma list of sequential-read,random-read,\n"
+      "                        write-burst,mixed,streaming\n"
+      "  --mc-replicas R       Monte-Carlo replicas per workload (0 = off)\n"
+      "  --mc-requests N       requests per replica (32)\n"
+      "  --mc-age CYCLES       age for the validation (default: last grid age)\n"
+      "  --seed S              root seed for all replica streams\n";
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "xlf_explore: missing value for " << argv[i] << "\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = nullptr;
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      std::exit(0);
+    } else if (arg == "--pareto-only") {
+      opt.pareto_only = true;
+    } else if (arg == "--ages") {
+      if ((v = value(i)) == nullptr) return false;
+      const auto parts = split(v, ':');
+      if (parts.size() != 3) {
+        std::cerr << "xlf_explore: --ages expects LO:HI:POINTS\n";
+        return false;
+      }
+      opt.age_lo = std::atof(parts[0].c_str());
+      opt.age_hi = std::atof(parts[1].c_str());
+      opt.age_points = static_cast<std::size_t>(std::atoll(parts[2].c_str()));
+    } else if (arg == "--threads") {
+      if ((v = value(i)) == nullptr) return false;
+      const long threads = std::atol(v);
+      if (threads < 0 || threads > 4096) {
+        std::cerr << "xlf_explore: --threads must be in [0, 4096]\n";
+        return false;
+      }
+      opt.threads = static_cast<unsigned>(threads);
+    } else if (arg == "--format") {
+      if ((v = value(i)) == nullptr) return false;
+      opt.format = v;
+    } else if (arg == "--out") {
+      if ((v = value(i)) == nullptr) return false;
+      opt.out_path = v;
+    } else if (arg == "--uber-target") {
+      if ((v = value(i)) == nullptr) return false;
+      opt.uber_target = std::atof(v);
+    } else if (arg == "--point") {
+      if ((v = value(i)) == nullptr) return false;
+      opt.point = v;
+    } else if (arg == "--workloads") {
+      if ((v = value(i)) == nullptr) return false;
+      opt.workloads = split(v, ',');
+    } else if (arg == "--mc-replicas") {
+      if ((v = value(i)) == nullptr) return false;
+      opt.mc_replicas = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--mc-requests") {
+      if ((v = value(i)) == nullptr) return false;
+      opt.mc_requests = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--mc-age") {
+      if ((v = value(i)) == nullptr) return false;
+      opt.mc_age = std::atof(v);
+    } else if (arg == "--seed") {
+      if ((v = value(i)) == nullptr) return false;
+      opt.seed = std::strtoull(v, nullptr, 0);
+    } else {
+      std::cerr << "xlf_explore: unknown option " << arg << "\n";
+      usage();
+      return false;
+    }
+  }
+  if (opt.format != "csv" && opt.format != "json") {
+    std::cerr << "xlf_explore: --format must be csv or json\n";
+    return false;
+  }
+  if (opt.age_points < 2 || opt.age_lo <= 0.0 || opt.age_hi <= opt.age_lo) {
+    std::cerr << "xlf_explore: invalid --ages grid\n";
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<sim::Workload> make_workload(const std::string& name) {
+  if (name == "sequential-read") {
+    return std::make_unique<sim::SequentialReadWorkload>();
+  }
+  if (name == "random-read") {
+    return std::make_unique<sim::RandomReadWorkload>();
+  }
+  if (name == "write-burst") {
+    return std::make_unique<sim::WriteBurstWorkload>();
+  }
+  if (name == "mixed") {
+    return std::make_unique<sim::MixedWorkload>(0.7);
+  }
+  if (name == "streaming") {
+    return std::make_unique<sim::MultimediaStreamingWorkload>(
+        BytesPerSecond::mib(8.0));
+  }
+  return nullptr;
+}
+
+core::OperatingPoint make_point(const std::string& name) {
+  if (name == "min-uber") return core::OperatingPoint::min_uber();
+  if (name == "max-read") return core::OperatingPoint::max_read();
+  return core::OperatingPoint::baseline();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+
+  ThreadPool pool(opt.threads);
+
+  core::SubsystemConfig subsystem = core::SubsystemConfig::defaults();
+  subsystem.cross_layer.uber_target = opt.uber_target;
+
+  explore::SweepSpec sweep_spec;
+  sweep_spec.framework = explore::FrameworkSpec::from(subsystem);
+  sweep_spec.ages = log_space(opt.age_lo, opt.age_hi, opt.age_points);
+
+  explore::SweepResult space = explore::sweep_space(sweep_spec, pool);
+  if (opt.pareto_only) {
+    explore::SweepResult front;
+    // Front sizes vary per age, so the filtered rows are no longer an
+    // ages x cells_per_age grid; 0 signals the irregular layout.
+    front.cells_per_age = 0;
+    for (const explore::SweepCell& cell : space.cells) {
+      if (cell.pareto) front.cells.push_back(cell);
+    }
+    space = std::move(front);
+  }
+
+  std::vector<explore::WorkloadValidation> validations;
+  if (opt.mc_replicas > 0) {
+    const double mc_age =
+        opt.mc_age >= 0.0 ? opt.mc_age : sweep_spec.ages.back();
+    // One root stream per workload, derived serially from --seed so
+    // adding a workload never reshuffles the others' replicas.
+    Rng workload_seeder(opt.seed);
+    for (const std::string& name : opt.workloads) {
+      const std::uint64_t workload_seed = workload_seeder.next();
+      const std::unique_ptr<sim::Workload> workload = make_workload(name);
+      if (workload == nullptr) {
+        std::cerr << "xlf_explore: unknown workload " << name << "\n";
+        return 2;
+      }
+      explore::MonteCarloSpec mc;
+      mc.subsystem = subsystem;
+      mc.point = make_point(opt.point);
+      mc.pe_cycles = mc_age;
+      mc.workload = workload.get();
+      mc.requests_per_replica = opt.mc_requests;
+      mc.replicas = opt.mc_replicas;
+      mc.seed = workload_seed;
+      validations.push_back(explore::WorkloadValidation{
+          workload->name(), mc_age, explore::run_monte_carlo(mc, pool)});
+    }
+  }
+
+  std::string report;
+  if (opt.format == "csv") {
+    report = explore::sweep_csv(space);
+    if (!validations.empty()) {
+      report += "\n";
+      report += explore::qos_csv(validations);
+    }
+  } else {
+    report = "{\"sweep\":" + explore::sweep_json(space);
+    report += ",\"qos\":" + explore::qos_json(validations);
+    report += "}";
+  }
+
+  if (opt.out_path.empty()) {
+    std::cout << report;
+  } else {
+    std::ofstream file(opt.out_path);
+    if (!file) {
+      std::cerr << "xlf_explore: cannot open " << opt.out_path << "\n";
+      return 1;
+    }
+    file << report;
+  }
+  return 0;
+}
