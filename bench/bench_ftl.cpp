@@ -1,0 +1,108 @@
+// Microbenchmarks for the FTL hot paths: L2P lookup and GC victim
+// selection at full-device scale. These are the operations a real
+// controller performs on every host request and every GC trigger, so
+// they join the perf trajectory next to the codec microbenches.
+//
+// Pure data-structure benchmarks — no bit-true NAND array behind them
+// — so the device here can be SSD-sized (4 dies x 4096 blocks x 64
+// pages) instead of the simulation-scale geometries the tests use.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ftl/allocator.hpp"
+#include "src/ftl/mapping.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace xlf;
+
+constexpr std::uint32_t kDies = 4;
+constexpr std::uint32_t kBlocks = 4096;
+constexpr std::uint32_t kPagesPerBlock = 64;
+constexpr std::uint32_t kLogical =
+    static_cast<std::uint32_t>(0.9 * kDies * kBlocks * kPagesPerBlock);
+
+// A fully mapped device: every logical page points somewhere.
+ftl::PageMap full_map() {
+  ftl::PageMap map(kDies, kBlocks, kPagesPerBlock, kLogical);
+  std::uint32_t die = 0, block = 0, page = 0;
+  for (ftl::Lpa lpa = 0; lpa < kLogical; ++lpa) {
+    map.map(lpa, ftl::Ppa{die, block, page});
+    if (++page == kPagesPerBlock) {
+      page = 0;
+      if (++block == kBlocks) {
+        block = 0;
+        ++die;
+      }
+    }
+  }
+  return map;
+}
+
+void BM_L2pLookup(benchmark::State& state) {
+  const ftl::PageMap map = full_map();
+  Rng rng(42);
+  // Pre-drawn addresses so the generator stays out of the loop.
+  std::vector<ftl::Lpa> lpas(4096);
+  for (auto& lpa : lpas) lpa = static_cast<ftl::Lpa>(rng.below(kLogical));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const ftl::Ppa ppa = map.lookup(lpas[i++ & 4095]);
+    benchmark::DoNotOptimize(ppa);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_L2pLookup);
+
+// One die's worth of closed blocks with a skewed valid-count profile,
+// scanned by each policy the way Ftl::ensure_capacity does.
+struct VictimFixture {
+  ftl::DieAllocator alloc;
+  std::vector<std::uint32_t> valid;
+
+  VictimFixture()
+      : alloc(ftl::AllocatorConfig{kBlocks, kPagesPerBlock,
+                                   ftl::WearLeveling::kDynamic}),
+        valid(kBlocks) {
+    Rng rng(7);
+    // Close all but a few blocks; hot blocks are mostly invalid.
+    for (std::uint32_t b = 0; b + 4 < kBlocks; ++b) {
+      for (std::uint32_t p = 0; p < kPagesPerBlock; ++p) {
+        alloc.take_page(ftl::DieAllocator::Stream::kHost);
+      }
+      valid[b] = static_cast<std::uint32_t>(rng.below(kPagesPerBlock + 1));
+      alloc.stamp_write(b, rng.below(1u << 20));
+    }
+  }
+};
+
+void BM_GcVictimGreedy(benchmark::State& state) {
+  const VictimFixture fixture;
+  const auto valid_count = [&](std::uint32_t b) { return fixture.valid[b]; };
+  for (auto _ : state) {
+    auto victim = fixture.alloc.pick_victim(ftl::GcPolicy::kGreedy,
+                                            valid_count, 1u << 20);
+    benchmark::DoNotOptimize(victim);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GcVictimGreedy);
+
+void BM_GcVictimCostBenefit(benchmark::State& state) {
+  const VictimFixture fixture;
+  const auto valid_count = [&](std::uint32_t b) { return fixture.valid[b]; };
+  for (auto _ : state) {
+    auto victim = fixture.alloc.pick_victim(ftl::GcPolicy::kCostBenefit,
+                                            valid_count, 1u << 20);
+    benchmark::DoNotOptimize(victim);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GcVictimCostBenefit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -66,12 +66,13 @@ WriteResult MemoryController::write_page(nand::PageAddress addr,
   WriteResult result;
   registers_.set_busy(true);
 
-  // Host burst across the OCP socket into the page buffer.
+  // Host burst across the OCP socket into the page buffer. This is
+  // the channel-contended share of the write in a multi-die SSD.
   const OcpRequest request{OcpCommand::kWrite, 0,
                            static_cast<std::uint32_t>(data.size() / 8)};
   ocp_.record(request);
-  result.latency += ocp_.transfer_time(request);
-  result.latency += buffer_.load(data);
+  result.io_latency = ocp_.transfer_time(request) + buffer_.load(data);
+  result.latency += result.io_latency;
 
   // ECC encode.
   const EncodeOutcome encoded = ecc_.encode(buffer_.unload());
@@ -135,11 +136,12 @@ ReadResult MemoryController::read_page(nand::PageAddress addr) {
   reliability_.observe_decode(observed_errors, params.n());
   registers_.record_decode(decoded.result.corrected, result.uncorrectable);
 
-  // Host burst out.
+  // Host burst out — the channel-contended share of the read.
   const OcpRequest request{OcpCommand::kRead, 0,
                            static_cast<std::uint32_t>(result.data.size() / 8)};
   ocp_.record(request);
-  result.latency += ocp_.transfer_time(request);
+  result.io_latency = ocp_.transfer_time(request);
+  result.latency += result.io_latency;
 
   registers_.set_busy(false);
   registers_.set_error(!result.ok);

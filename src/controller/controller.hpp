@@ -40,6 +40,11 @@ struct ControllerConfig {
 struct WriteResult {
   bool ok = true;
   Seconds latency{0.0};       // host-visible busy time
+  // Portion of `latency` spent bursting data over the shared host
+  // interconnect (OCP + page-buffer load). In a multi-die SSD this
+  // share contends on the channel while the rest (encode + program)
+  // overlaps across dies on the same channel.
+  Seconds io_latency{0.0};
   Joules ecc_energy{0.0};
   Joules nand_energy{0.0};
   unsigned t_used = 0;
@@ -49,6 +54,9 @@ struct ReadResult {
   bool ok = true;
   BitVec data;
   Seconds latency{0.0};
+  // Channel share of `latency` (the outbound OCP burst); see
+  // WriteResult::io_latency.
+  Seconds io_latency{0.0};
   Joules ecc_energy{0.0};
   Joules nand_energy{0.0};
   unsigned corrected_bits = 0;
@@ -75,6 +83,7 @@ class MemoryController {
   EccUnit& ecc() { return ecc_; }
   const OcpSocket& ocp() const { return ocp_; }
   nand::NandDevice& device() { return *device_; }
+  const nand::NandDevice& device() const { return *device_; }
 
   // --- data plane -----------------------------------------------------
   // Write 4 KB of user data to a page. The data flows: OCP burst ->

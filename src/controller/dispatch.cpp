@@ -1,0 +1,66 @@
+#include "src/controller/dispatch.hpp"
+
+#include <algorithm>
+
+#include "src/util/expect.hpp"
+
+namespace xlf::controller {
+
+DieDispatcher::DieDispatcher(const DispatchConfig& config) : config_(config) {
+  XLF_EXPECT(config.channels >= 1);
+  XLF_EXPECT(config.dies_per_channel >= 1);
+  const std::size_t dies =
+      static_cast<std::size_t>(config.channels) * config.dies_per_channel;
+  die_free_.assign(dies, Seconds{0.0});
+  die_busy_.assign(dies, Seconds{0.0});
+  channel_free_.assign(config.channels, Seconds{0.0});
+  channel_busy_.assign(config.channels, Seconds{0.0});
+}
+
+std::size_t DieDispatcher::channel_of(std::size_t die) const {
+  XLF_EXPECT(die < die_free_.size());
+  return die % channel_free_.size();
+}
+
+DispatchSlot DieDispatcher::submit_write(std::size_t die, Seconds arrival,
+                                         Seconds io_time, Seconds cell_time) {
+  XLF_EXPECT(die < die_free_.size());
+  const std::size_t channel = channel_of(die);
+  // The inbound burst needs channel and die together (the die's page
+  // buffer is the burst target), then programming holds only the die.
+  const Seconds start =
+      std::max({arrival, die_free_[die], channel_free_[channel]});
+  const Seconds burst_done = start + io_time;
+  const Seconds completion = burst_done + cell_time;
+  channel_free_[channel] = burst_done;
+  channel_busy_[channel] += io_time;
+  die_free_[die] = completion;
+  die_busy_[die] += completion - start;
+  return DispatchSlot{start, completion, completion - arrival};
+}
+
+DispatchSlot DieDispatcher::submit_read(std::size_t die, Seconds arrival,
+                                        Seconds io_time, Seconds cell_time) {
+  XLF_EXPECT(die < die_free_.size());
+  const std::size_t channel = channel_of(die);
+  const Seconds start = std::max(arrival, die_free_[die]);
+  const Seconds sensed = start + cell_time;
+  // The outbound burst waits for the channel; the die holds its data
+  // until the burst drains it.
+  const Seconds burst_start = std::max(sensed, channel_free_[channel]);
+  const Seconds completion = burst_start + io_time;
+  channel_free_[channel] = completion;
+  channel_busy_[channel] += io_time;
+  die_free_[die] = completion;
+  die_busy_[die] += completion - start;
+  return DispatchSlot{start, completion, completion - arrival};
+}
+
+void DieDispatcher::reset() {
+  std::fill(die_free_.begin(), die_free_.end(), Seconds{0.0});
+  std::fill(die_busy_.begin(), die_busy_.end(), Seconds{0.0});
+  std::fill(channel_free_.begin(), channel_free_.end(), Seconds{0.0});
+  std::fill(channel_busy_.begin(), channel_busy_.end(), Seconds{0.0});
+}
+
+}  // namespace xlf::controller

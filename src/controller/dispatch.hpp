@@ -1,0 +1,81 @@
+// Multi-die dispatch: the timing model that turns N channels x M dies
+// of per-die MemoryControllers into one SSD-level device.
+//
+// Each die owns a serial timeline (one outstanding NAND operation at a
+// time) and each channel owns a serial timeline for data bursts (the
+// dies of a channel share its bus). An operation splits into the
+// channel share (`io_time`, the OCP/page-buffer burst a
+// MemoryController reports as io_latency) and the cell share
+// (`cell_time`, encode + program or sense + decode), and the
+// dispatcher resolves when both resources are free:
+//
+//   write: burst in over the channel, then program occupies the die
+//          (the die is held from burst start: its page buffer fills);
+//   read:  sense occupies the die, then the outbound burst waits for
+//          the channel; the die is held until its data has left.
+//
+// The dispatcher is pure deterministic arithmetic over Seconds — no
+// threads, no clock of its own. The open-loop simulator feeds it
+// arrival times from the EventQueue and schedules completions at the
+// returned times, which keeps SSD-level runs bit-reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/units.hpp"
+
+namespace xlf::controller {
+
+struct DispatchConfig {
+  std::uint32_t channels = 1;
+  std::uint32_t dies_per_channel = 1;
+};
+
+// Outcome of placing one operation on the die/channel timelines.
+struct DispatchSlot {
+  Seconds start{0.0};       // when the die begins serving it
+  Seconds completion{0.0};  // when the host sees it done
+  Seconds queued{0.0};      // completion - arrival (queueing + service)
+};
+
+class DieDispatcher {
+ public:
+  explicit DieDispatcher(const DispatchConfig& config);
+
+  std::size_t dies() const { return die_free_.size(); }
+  std::size_t channels() const { return channel_free_.size(); }
+  // Dies stripe round-robin across channels so consecutive die
+  // indices (= consecutive LPAs under the FTL's modulo affinity) land
+  // on different buses.
+  std::size_t channel_of(std::size_t die) const;
+
+  // Place a write arriving at `arrival`: channel burst of `io_time`
+  // followed by `cell_time` on the die.
+  DispatchSlot submit_write(std::size_t die, Seconds arrival, Seconds io_time,
+                            Seconds cell_time);
+  // Place a read arriving at `arrival`: `cell_time` on the die, then
+  // an outbound burst of `io_time` on the channel.
+  DispatchSlot submit_read(std::size_t die, Seconds arrival, Seconds io_time,
+                           Seconds cell_time);
+
+  // Earliest instant the die could start a new operation.
+  Seconds die_free_at(std::size_t die) const { return die_free_.at(die); }
+  // Accumulated busy time per die / channel (utilisation numerators).
+  Seconds die_busy(std::size_t die) const { return die_busy_.at(die); }
+  Seconds channel_busy(std::size_t channel) const {
+    return channel_busy_.at(channel);
+  }
+
+  void reset();
+
+ private:
+  DispatchConfig config_;
+  std::vector<Seconds> die_free_;
+  std::vector<Seconds> channel_free_;
+  std::vector<Seconds> die_busy_;
+  std::vector<Seconds> channel_busy_;
+};
+
+}  // namespace xlf::controller

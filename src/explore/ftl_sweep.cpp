@@ -1,0 +1,65 @@
+#include "src/explore/ftl_sweep.hpp"
+
+#include "src/sim/host_workload.hpp"
+#include "src/util/expect.hpp"
+
+namespace xlf::explore {
+
+FtlSweepResult ftl_sweep(const FtlSweepSpec& spec, ThreadPool& pool) {
+  XLF_EXPECT(!spec.topologies.empty());
+  XLF_EXPECT(!spec.queue_depths.empty());
+  XLF_EXPECT(!spec.gc_policies.empty());
+  XLF_EXPECT(spec.requests > 0);
+
+  const std::size_t combos = spec.topologies.size() *
+                             spec.queue_depths.size() *
+                             spec.gc_policies.size();
+
+  // Serially pre-forked randomness, one stream per combo: adding a
+  // combo or reordering workers never reshuffles another combo's run.
+  Rng root(spec.seed);
+  std::vector<Rng> streams;
+  streams.reserve(combos);
+  for (std::size_t i = 0; i < combos; ++i) streams.push_back(root.fork());
+
+  FtlSweepResult result;
+  result.rows.resize(combos);
+
+  pool.parallel_for(combos, [&](std::size_t index) {
+    const std::size_t per_topology =
+        spec.queue_depths.size() * spec.gc_policies.size();
+    const std::size_t t = index / per_topology;
+    const std::size_t q = (index % per_topology) / spec.gc_policies.size();
+    const std::size_t g = index % spec.gc_policies.size();
+
+    ftl::SsdConfig config = spec.base;
+    config.topology = spec.topologies[t];
+    config.ftl.gc_policy = spec.gc_policies[g];
+
+    Rng stream = streams[index];
+    ftl::Ssd ssd(config);
+
+    sim::SsdSimConfig sim_config;
+    sim_config.queue_depth = spec.queue_depths[q];
+    sim_config.data_seed = stream.next();
+    sim::SsdSimulator simulator(ssd, sim_config);
+    if (spec.prepopulate) simulator.prepopulate();
+
+    const sim::HotColdWorkload workload(spec.hot_fraction,
+                                        spec.hot_write_fraction,
+                                        spec.read_fraction, spec.mean_gap);
+    const std::vector<sim::HostRequest> requests =
+        workload.generate(ssd.logical_pages(), spec.requests, stream);
+
+    FtlSweepRow row;
+    row.channels = config.topology.channels;
+    row.dies_per_channel = config.topology.dies_per_channel;
+    row.queue_depth = spec.queue_depths[q];
+    row.gc_policy = spec.gc_policies[g];
+    row.stats = simulator.run(requests);
+    result.rows[index] = std::move(row);
+  });
+  return result;
+}
+
+}  // namespace xlf::explore

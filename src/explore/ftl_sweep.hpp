@@ -1,0 +1,56 @@
+// Parallel FTL-policy exploration: sweep (SSD topology x queue depth
+// x GC policy) combinations of the multi-die stack under one
+// host-level workload, and report write amplification, per-die
+// utilisation, QoS (latency distribution) and the per-block
+// reliability spread next to the device-level metrics the space
+// sweep produces.
+//
+// Determinism contract (same as sweep/monte_carlo): every combo's
+// randomness comes from its own serially pre-forked Rng stream, each
+// combo builds a private Ssd + simulator and writes its row into a
+// preallocated slot, and rows emit in combo order — so the output is
+// byte-identical for any thread count.
+#pragma once
+
+#include <vector>
+
+#include "src/ftl/ssd.hpp"
+#include "src/sim/ssd_sim.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace xlf::explore {
+
+struct FtlSweepSpec {
+  // Template for every combo; topology / queue depth / GC policy are
+  // overridden per grid point.
+  ftl::SsdConfig base;
+  std::vector<controller::DispatchConfig> topologies{{1, 1}, {2, 1}};
+  std::vector<std::size_t> queue_depths{1, 4};
+  std::vector<ftl::GcPolicy> gc_policies{ftl::GcPolicy::kGreedy,
+                                         ftl::GcPolicy::kCostBenefit};
+  // Hot/cold overwrite traffic driving GC (see HotColdWorkload).
+  double hot_fraction = 0.25;
+  double hot_write_fraction = 0.85;
+  double read_fraction = 0.3;
+  Seconds mean_gap{0.0};
+  std::size_t requests = 200;
+  bool prepopulate = true;
+  std::uint64_t seed = 0x55DF71;
+};
+
+struct FtlSweepRow {
+  std::uint32_t channels = 0;
+  std::uint32_t dies_per_channel = 0;
+  std::size_t queue_depth = 0;
+  ftl::GcPolicy gc_policy = ftl::GcPolicy::kGreedy;
+  sim::SsdSimStats stats;
+};
+
+struct FtlSweepResult {
+  // Topology-major, then queue depth, then GC policy.
+  std::vector<FtlSweepRow> rows;
+};
+
+FtlSweepResult ftl_sweep(const FtlSweepSpec& spec, ThreadPool& pool);
+
+}  // namespace xlf::explore

@@ -54,9 +54,20 @@ std::string table_json(const Field<Row> (&fields)[N],
       out += "\":";
       // Appends, not operator+ chains: GCC 12's -Wrestrict (PR 105651)
       // false-fires on const char* + std::string temporaries.
-      if (fields[f].text) out += "\"";
-      out += fields[f].value(rows[r]);
-      if (fields[f].text) out += "\"";
+      const std::string value = fields[f].value(rows[r]);
+      if (fields[f].text) {
+        out += "\"";
+        out += value;
+        out += "\"";
+      } else if (value == "nan" || value == "-nan" || value == "inf" ||
+                 value == "-inf") {
+        // Unobserved statistics (e.g. the max latency of a
+        // zero-request stream) print as NaN in CSV; JSON has no NaN
+        // literal, so they render as null.
+        out += "null";
+      } else {
+        out += value;
+      }
     }
     out += "}";
   }
@@ -152,6 +163,75 @@ const Field<WorkloadValidation> kQosFields[] = {
      }},
 };
 
+const Field<FtlSweepRow> kFtlFields[] = {
+    {"channels", false,
+     [](const FtlSweepRow& r) { return std::to_string(r.channels); }},
+    {"dies_per_channel", false,
+     [](const FtlSweepRow& r) { return std::to_string(r.dies_per_channel); }},
+    {"queue_depth", false,
+     [](const FtlSweepRow& r) { return std::to_string(r.queue_depth); }},
+    {"gc_policy", true,
+     [](const FtlSweepRow& r) {
+       return std::string(ftl::to_string(r.gc_policy));
+     }},
+    {"host_writes", false,
+     [](const FtlSweepRow& r) { return std::to_string(r.stats.writes); }},
+    {"host_reads", false,
+     [](const FtlSweepRow& r) { return std::to_string(r.stats.reads); }},
+    {"write_amplification", false,
+     [](const FtlSweepRow& r) { return num(r.stats.write_amplification); }},
+    {"gc_relocations", false,
+     [](const FtlSweepRow& r) {
+       return std::to_string(r.stats.gc_relocations);
+     }},
+    {"erases", false,
+     [](const FtlSweepRow& r) { return std::to_string(r.stats.erases); }},
+    {"wl_swaps", false,
+     [](const FtlSweepRow& r) { return std::to_string(r.stats.wl_swaps); }},
+    {"uncorrectable", false,
+     [](const FtlSweepRow& r) {
+       return std::to_string(r.stats.uncorrectable);
+     }},
+    {"data_mismatches", false,
+     [](const FtlSweepRow& r) {
+       return std::to_string(r.stats.data_mismatches);
+     }},
+    {"min_t", false,
+     [](const FtlSweepRow& r) { return std::to_string(r.stats.min_t_used); }},
+    {"max_t", false,
+     [](const FtlSweepRow& r) { return std::to_string(r.stats.max_t_used); }},
+    {"wear_min", false,
+     [](const FtlSweepRow& r) { return num(r.stats.wear_min); }},
+    {"wear_max", false,
+     [](const FtlSweepRow& r) { return num(r.stats.wear_max); }},
+    {"read_latency_mean_us", false,
+     [](const FtlSweepRow& r) {
+       return num(r.stats.read_latency.mean() * 1e6);
+     }},
+    {"read_latency_max_us", false,
+     [](const FtlSweepRow& r) {
+       return num(r.stats.read_latency.max() * 1e6);
+     }},
+    {"write_latency_mean_us", false,
+     [](const FtlSweepRow& r) {
+       return num(r.stats.write_latency.mean() * 1e6);
+     }},
+    {"write_latency_max_us", false,
+     [](const FtlSweepRow& r) {
+       return num(r.stats.write_latency.max() * 1e6);
+     }},
+    {"die_util_min", false,
+     [](const FtlSweepRow& r) { return num(r.stats.die_util_min()); }},
+    {"die_util_mean", false,
+     [](const FtlSweepRow& r) { return num(r.stats.die_util_mean()); }},
+    {"die_util_max", false,
+     [](const FtlSweepRow& r) { return num(r.stats.die_util_max()); }},
+    {"gc_busy_s", false,
+     [](const FtlSweepRow& r) { return num(r.stats.gc_busy.value()); }},
+    {"simulated_seconds", false,
+     [](const FtlSweepRow& r) { return num(r.stats.elapsed.value()); }},
+};
+
 }  // namespace
 
 std::string sweep_csv(const SweepResult& result) {
@@ -173,6 +253,14 @@ std::string qos_csv(const std::vector<WorkloadValidation>& validations) {
 
 std::string qos_json(const std::vector<WorkloadValidation>& validations) {
   return table_json(kQosFields, validations);
+}
+
+std::string ftl_csv(const FtlSweepResult& result) {
+  return table_csv(kFtlFields, result.rows);
+}
+
+std::string ftl_json(const FtlSweepResult& result) {
+  return table_json(kFtlFields, result.rows);
 }
 
 }  // namespace xlf::explore

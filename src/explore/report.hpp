@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "src/explore/ftl_sweep.hpp"
 #include "src/explore/monte_carlo.hpp"
 #include "src/explore/sweep.hpp"
 
@@ -27,5 +28,11 @@ std::string sweep_json(const SweepResult& result);
 // Per-workload QoS/reliability table from Monte-Carlo validations.
 std::string qos_csv(const std::vector<WorkloadValidation>& validations);
 std::string qos_json(const std::vector<WorkloadValidation>& validations);
+
+// FTL sweep table: one row per (topology, queue depth, GC policy)
+// combo — write amplification, utilisation, latency QoS, and the
+// per-block wear/t spread.
+std::string ftl_csv(const FtlSweepResult& result);
+std::string ftl_json(const FtlSweepResult& result);
 
 }  // namespace xlf::explore

@@ -38,14 +38,16 @@ SweepResult sweep_space(const SweepSpec& spec, ThreadPool& pool) {
   result.cells_per_age = per_age;
   result.cells.resize(spec.ages.size() * per_age);
 
-  // One task per age point: the ISPP characterisation (the expensive
-  // part) is per (algo, age), so an age task pays it exactly once per
-  // algorithm — the same total work as the serial loop.
+  // One framework shared by every age task: NandTiming's trace cache
+  // is internally synchronised and key-deterministic, so workers no
+  // longer build private clones. One task per age point — the ISPP
+  // characterisation (the expensive part) is per (algo, age), so an
+  // age task pays it exactly once per algorithm.
+  nand::NandTiming timing = spec.framework.make_timing();
+  const core::CrossLayerFramework framework(
+      spec.framework.cross_layer, spec.framework.aging, timing,
+      spec.framework.hv);
   pool.parallel_for(spec.ages.size(), [&](std::size_t a) {
-    nand::NandTiming timing = spec.framework.make_timing();
-    const core::CrossLayerFramework framework(
-        spec.framework.cross_layer, spec.framework.aging, timing,
-        spec.framework.hv);
     const std::vector<core::Metrics> space = framework.enumerate(spec.ages[a]);
     XLF_ENSURE(space.size() == per_age);
     const std::vector<bool> efficient =

@@ -2,16 +2,16 @@
 // full (program algorithm x ECC capability x lifetime) grid the paper
 // builds its trade-off analysis on, fanned out over a ThreadPool.
 //
-// Thread-safety note that shapes the design: CrossLayerFramework
-// evaluates through NandTiming, whose ISPP characterisation cache is
-// mutable and unsynchronised. Sharing one framework across workers
-// would race, so each parallel task builds a private NandTiming +
-// CrossLayerFramework from a FrameworkSpec (plain config structs,
-// freely copyable). Every grid cell's result lands in its
-// preallocated slot, and the per-age Pareto flags are a pure function
-// of that age's cells computed inside the age's own task, so the
-// output is bit-identical whatever the thread count — `threads=1`
-// versus `threads=N` is asserted in tests.
+// All age tasks share ONE NandTiming + CrossLayerFramework:
+// NandTiming's ISPP characterisation cache is internally locked, and
+// a cached entry is a pure function of its key (each characterisation
+// seeds its own Rng from the key), so concurrent workers read
+// identical values no matter which thread populated the cache. Every
+// grid cell's result lands in its preallocated slot, and the per-age
+// Pareto flags are a pure function of that age's cells computed
+// inside the age's own task, so the output is bit-identical whatever
+// the thread count — `threads=1` versus `threads=N` is asserted in
+// tests.
 #pragma once
 
 #include <vector>

@@ -1,0 +1,126 @@
+#include "src/ftl/allocator.hpp"
+
+#include "src/util/expect.hpp"
+
+namespace xlf::ftl {
+
+const char* to_string(GcPolicy policy) {
+  switch (policy) {
+    case GcPolicy::kGreedy:
+      return "greedy";
+    case GcPolicy::kCostBenefit:
+      return "cost-benefit";
+  }
+  return "?";
+}
+
+const char* to_string(WearLeveling wl) {
+  switch (wl) {
+    case WearLeveling::kNone:
+      return "none";
+    case WearLeveling::kDynamic:
+      return "dynamic";
+    case WearLeveling::kStatic:
+      return "static";
+  }
+  return "?";
+}
+
+DieAllocator::DieAllocator(const AllocatorConfig& config) : config_(config) {
+  XLF_EXPECT(config.blocks >= 3 && "need host + GC frontiers plus free slack");
+  XLF_EXPECT(config.pages_per_block >= 1);
+  states_.assign(config.blocks, State::kFree);
+  erase_counts_.assign(config.blocks, 0);
+  last_write_.assign(config.blocks, 0);
+  free_count_ = config.blocks;
+}
+
+DieAllocator::Frontier& DieAllocator::frontier(Stream stream) {
+  return stream == Stream::kHost ? host_ : gc_;
+}
+
+const DieAllocator::Frontier& DieAllocator::frontier(Stream stream) const {
+  return stream == Stream::kHost ? host_ : gc_;
+}
+
+bool DieAllocator::needs_block(Stream stream) const {
+  const Frontier& f = frontier(stream);
+  return !f.open || f.next_page >= config_.pages_per_block;
+}
+
+std::uint32_t DieAllocator::pick_free_block() const {
+  XLF_EXPECT(free_count_ > 0 && "allocating with an empty free list");
+  std::optional<std::uint32_t> best;
+  for (std::uint32_t b = 0; b < config_.blocks; ++b) {
+    if (states_[b] != State::kFree) continue;
+    if (config_.wear_leveling == WearLeveling::kNone) return b;  // lowest id
+    // Dynamic wear leveling: lowest erase count, lowest id on ties.
+    if (!best.has_value() || erase_counts_[b] < erase_counts_[*best]) {
+      best = b;
+    }
+  }
+  XLF_ENSURE(best.has_value());
+  return *best;
+}
+
+std::pair<std::uint32_t, std::uint32_t> DieAllocator::take_page(Stream stream) {
+  Frontier& f = frontier(stream);
+  if (!f.open || f.next_page >= config_.pages_per_block) {
+    const std::uint32_t block = pick_free_block();
+    states_[block] = State::kOpen;
+    --free_count_;
+    f.block = block;
+    f.next_page = 0;
+    f.open = true;
+  }
+  const std::pair<std::uint32_t, std::uint32_t> slot{f.block, f.next_page};
+  ++f.next_page;
+  if (f.next_page >= config_.pages_per_block) {
+    // Fully written: the block becomes a GC candidate.
+    states_[f.block] = State::kClosed;
+    f.open = false;
+  }
+  return slot;
+}
+
+void DieAllocator::stamp_write(std::uint32_t block, std::uint64_t stamp) {
+  XLF_EXPECT(block < config_.blocks);
+  last_write_[block] = stamp;
+}
+
+void DieAllocator::on_erase(std::uint32_t block) {
+  XLF_EXPECT(block < config_.blocks);
+  XLF_EXPECT(states_[block] == State::kClosed &&
+             "only closed blocks are erased");
+  states_[block] = State::kFree;
+  ++erase_counts_[block];
+  ++free_count_;
+}
+
+std::uint32_t DieAllocator::erase_count(std::uint32_t block) const {
+  XLF_EXPECT(block < config_.blocks);
+  return erase_counts_[block];
+}
+
+std::uint32_t DieAllocator::min_erase_count() const {
+  return *std::min_element(erase_counts_.begin(), erase_counts_.end());
+}
+
+std::uint32_t DieAllocator::max_erase_count() const {
+  return *std::max_element(erase_counts_.begin(), erase_counts_.end());
+}
+
+std::optional<std::uint32_t> DieAllocator::pick_coldest() const {
+  std::optional<std::uint32_t> best;
+  for (std::uint32_t b = 0; b < config_.blocks; ++b) {
+    if (states_[b] != State::kClosed) continue;
+    if (!best.has_value() || erase_counts_[b] < erase_counts_[*best] ||
+        (erase_counts_[b] == erase_counts_[*best] &&
+         last_write_[b] < last_write_[*best])) {
+      best = b;
+    }
+  }
+  return best;
+}
+
+}  // namespace xlf::ftl

@@ -1,0 +1,247 @@
+#include "src/ftl/ftl.hpp"
+
+#include <algorithm>
+
+#include "src/util/expect.hpp"
+#include "src/util/log.hpp"
+
+namespace xlf::ftl {
+
+Ftl::Ftl(const FtlConfig& config,
+         std::vector<controller::MemoryController*> dies)
+    : config_(config),
+      controllers_(std::move(dies)),
+      map_(1, 1, 2, 1),  // placeholder; rebuilt below once validated
+      clock_(0) {
+  XLF_EXPECT(!controllers_.empty());
+  XLF_EXPECT(config_.gc_free_blocks >= 1);
+  XLF_EXPECT(config_.logical_fraction > 0.0 && config_.logical_fraction < 1.0);
+  XLF_EXPECT(config_.pe_cycles_per_erase >= 1.0);
+
+  const nand::Geometry& geometry = controllers_.front()->device().geometry();
+  for (const auto* c : controllers_) {
+    XLF_EXPECT(c != nullptr);
+    XLF_EXPECT(c->device().geometry().blocks == geometry.blocks);
+    XLF_EXPECT(c->device().geometry().pages_per_block ==
+               geometry.pages_per_block);
+  }
+  const std::uint32_t die_count = this->dies();
+  const std::size_t physical =
+      static_cast<std::size_t>(die_count) * geometry.pages();
+  const auto logical = static_cast<std::uint32_t>(
+      static_cast<double>(physical) * config_.logical_fraction);
+  XLF_EXPECT(logical >= 1 && "logical_fraction leaves no logical space");
+
+  // GC progress needs slack on every die: the host and GC frontiers
+  // plus the free-block floor must fit beside the die's share of the
+  // logical space (lpa % dies affinity).
+  const std::uint32_t per_die_logical_max =
+      logical / die_count + (logical % die_count != 0 ? 1 : 0);
+  const std::uint32_t slack_blocks = config_.gc_free_blocks + 2;
+  XLF_EXPECT(geometry.blocks > slack_blocks);
+  XLF_EXPECT(per_die_logical_max <=
+                 (geometry.blocks - slack_blocks) * geometry.pages_per_block &&
+             "not enough over-provisioning per die for GC to make progress");
+
+  map_ = PageMap(die_count, geometry.blocks, geometry.pages_per_block, logical);
+  AllocatorConfig alloc_config;
+  alloc_config.blocks = geometry.blocks;
+  alloc_config.pages_per_block = geometry.pages_per_block;
+  alloc_config.wear_leveling = config_.wear_leveling;
+  allocators_.assign(die_count, DieAllocator(alloc_config));
+  block_t_.assign(die_count, std::vector<unsigned>(geometry.blocks, 0));
+}
+
+unsigned Ftl::adapt_block_t(std::uint32_t die, std::uint32_t block) {
+  // The paper's schedule at block granularity: the reliability
+  // manager re-selects t for the target block's own P/E count, and
+  // the controller keeps per-page metadata so older pages still
+  // decode at the t they were written with.
+  const unsigned t = ctrl(die).adapt_ecc(device(die).wear(block));
+  block_t_[die][block] = t;
+  stats_.min_t_used = std::min(stats_.min_t_used, t);
+  stats_.max_t_used = std::max(stats_.max_t_used, t);
+  return t;
+}
+
+Seconds Ftl::erase_block(std::uint32_t die, std::uint32_t block) {
+  nand::NandDevice& dev = device(die);
+  // Accelerated aging: bump the wear before the physical erase adds
+  // its own cycle, so one FTL erase stands for pe_cycles_per_erase
+  // cycles of the compressed deployment.
+  if (config_.pe_cycles_per_erase > 1.0) {
+    dev.set_wear(block, dev.wear(block) + config_.pe_cycles_per_erase - 1.0);
+  }
+  const Seconds busy = ctrl(die).erase_block(block);
+  map_.on_erase(die, block);
+  allocators_[die].on_erase(block);
+  ++stats_.erases;
+  return busy;
+}
+
+Seconds Ftl::relocate_valid_pages(std::uint32_t die, std::uint32_t block,
+                                  FtlOpResult& result) {
+  Seconds busy{0.0};
+  DieAllocator& alloc = allocators_[die];
+  const std::uint32_t ppb =
+      controllers_.front()->device().geometry().pages_per_block;
+  for (std::uint32_t p = 0; p < ppb; ++p) {
+    const Ppa src{die, block, p};
+    if (!map_.valid(src)) continue;
+    const Lpa owner = map_.lpa_at(src);
+
+    const controller::ReadResult rd = ctrl(die).read_page({block, p});
+    if (rd.uncorrectable) ++stats_.gc_uncorrectable;
+
+    const auto [dst_block, dst_page] = alloc.take_page(DieAllocator::Stream::kGc);
+    adapt_block_t(die, dst_block);
+    const controller::WriteResult wr =
+        ctrl(die).write_page({dst_block, dst_page}, rd.data);
+
+    map_.map(owner, Ppa{die, dst_block, dst_page});
+    // Relocated data keeps the current logical time without advancing
+    // it: GC traffic must not make victims look freshly written.
+    alloc.stamp_write(dst_block, clock_);
+
+    busy += rd.latency + wr.latency;
+    result.ecc_energy += rd.ecc_energy + wr.ecc_energy;
+    result.nand_energy += rd.nand_energy + wr.nand_energy;
+    ++result.relocations;
+    ++stats_.gc_relocations;
+  }
+  return busy;
+}
+
+Seconds Ftl::maybe_static_swap(std::uint32_t die, FtlOpResult& result) {
+  DieAllocator& alloc = allocators_[die];
+  if (alloc.max_erase_count() - alloc.min_erase_count() <=
+      config_.static_wl_spread) {
+    return Seconds{0.0};
+  }
+  if (alloc.free_count() == 0) return Seconds{0.0};
+  const std::optional<std::uint32_t> cold = alloc.pick_coldest();
+  if (!cold.has_value()) return Seconds{0.0};
+  // Evict the cold block's pinned data so the low-wear block rejoins
+  // the free pool, where dynamic allocation hands it to hot traffic.
+  Seconds busy = relocate_valid_pages(die, *cold, result);
+  busy += erase_block(die, *cold);
+  ++stats_.wl_swaps;
+  return busy;
+}
+
+Seconds Ftl::ensure_capacity(std::uint32_t die, FtlOpResult& result) {
+  Seconds busy{0.0};
+  DieAllocator& alloc = allocators_[die];
+  const nand::Geometry& geometry = controllers_.front()->device().geometry();
+  // Hard bound on GC iterations: every round reclaims at least one
+  // invalid page, so a pass over every physical page is a safe guard
+  // against a policy bug spinning forever.
+  std::size_t rounds = 0;
+  const std::size_t max_rounds =
+      static_cast<std::size_t>(geometry.blocks) * geometry.pages_per_block + 1;
+  while (alloc.free_count() <= config_.gc_free_blocks) {
+    const std::optional<std::uint32_t> victim = alloc.pick_victim(
+        config_.gc_policy,
+        [&](std::uint32_t b) { return map_.valid_count(die, b); }, clock_);
+    if (!victim.has_value()) break;  // nothing reclaimable yet
+    busy += relocate_valid_pages(die, *victim, result);
+    busy += erase_block(die, *victim);
+    XLF_ENSURE(++rounds <= max_rounds);
+  }
+  if (config_.wear_leveling == WearLeveling::kStatic) {
+    busy += maybe_static_swap(die, result);
+  }
+  return busy;
+}
+
+FtlOpResult Ftl::write(Lpa lpa, const BitVec& data) {
+  XLF_EXPECT(lpa < logical_pages());
+  FtlOpResult result;
+  const std::uint32_t die = die_of(lpa);
+  result.die = die;
+
+  const Seconds overhead = ensure_capacity(die, result);
+
+  const auto [block, page] =
+      allocators_[die].take_page(DieAllocator::Stream::kHost);
+  result.t_used = adapt_block_t(die, block);
+  const controller::WriteResult wr = ctrl(die).write_page({block, page}, data);
+  result.ok = wr.ok;
+  map_.map(lpa, Ppa{die, block, page});
+  allocators_[die].stamp_write(block, ++clock_);
+
+  result.io_time = wr.io_latency;
+  result.cell_time = (wr.latency - wr.io_latency) + overhead;
+  result.gc_time = overhead;
+  result.ecc_energy += wr.ecc_energy;
+  result.nand_energy += wr.nand_energy;
+  ++stats_.host_writes;
+  return result;
+}
+
+FtlOpResult Ftl::read(Lpa lpa) {
+  XLF_EXPECT(lpa < logical_pages());
+  FtlOpResult result;
+  result.die = die_of(lpa);
+  if (!map_.mapped(lpa)) {
+    // Never-written LPA: serviced from the map alone as a zero page,
+    // no flash touched (a real FTL returns a deallocated pattern).
+    result.unmapped = true;
+    result.data = BitVec(
+        controllers_.front()->device().geometry().data_bits_per_page());
+    ++stats_.unmapped_reads;
+    return result;
+  }
+  const Ppa ppa = map_.lookup(lpa);
+  const controller::ReadResult rd =
+      ctrl(ppa.die).read_page({ppa.block, ppa.page});
+  result.ok = rd.ok;
+  result.data = rd.data;
+  result.corrected_bits = rd.corrected_bits;
+  result.uncorrectable = rd.uncorrectable;
+  result.io_time = rd.io_latency;
+  result.cell_time = rd.latency - rd.io_latency;
+  result.ecc_energy += rd.ecc_energy;
+  result.nand_energy += rd.nand_energy;
+  ++stats_.host_reads;
+  return result;
+}
+
+double Ftl::wear(std::uint32_t die, std::uint32_t block) const {
+  XLF_EXPECT(die < dies());
+  return controllers_[die]->device().wear(block);
+}
+
+std::uint32_t Ftl::erase_count(std::uint32_t die, std::uint32_t block) const {
+  XLF_EXPECT(die < dies());
+  return allocators_[die].erase_count(block);
+}
+
+unsigned Ftl::block_t(std::uint32_t die, std::uint32_t block) const {
+  XLF_EXPECT(die < dies());
+  return block_t_.at(die).at(block);
+}
+
+double Ftl::min_wear() const {
+  double w = std::numeric_limits<double>::infinity();
+  for (std::uint32_t d = 0; d < dies(); ++d) {
+    const nand::Geometry& geometry = controllers_[d]->device().geometry();
+    for (std::uint32_t b = 0; b < geometry.blocks; ++b) {
+      w = std::min(w, wear(d, b));
+    }
+  }
+  return w;
+}
+
+double Ftl::max_wear() const {
+  double w = 0.0;
+  for (std::uint32_t d = 0; d < dies(); ++d) {
+    const nand::Geometry& geometry = controllers_[d]->device().geometry();
+    for (std::uint32_t b = 0; b < geometry.blocks; ++b) {
+      w = std::max(w, wear(d, b));
+    }
+  }
+  return w;
+}
+
+}  // namespace xlf::ftl

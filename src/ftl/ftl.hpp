@@ -1,0 +1,169 @@
+// The flash translation layer: logical-block addressing over N dies
+// of (NAND device + memory controller) pairs.
+//
+// What it adds over the raw controller stack:
+//  * out-of-place writes through the L2P map (no host-visible
+//    erase-before-write);
+//  * greedy / cost-benefit garbage collection with hot/cold frontier
+//    separation, charged to the die as foreground time;
+//  * dynamic + static wear leveling over FTL-visible erase counters;
+//  * accelerated aging (`pe_cycles_per_erase`) so a short simulated
+//    run can traverse the device lifetime the paper's schedule spans;
+//  * wear-aware per-block operating points: before every program the
+//    target block's own P/E count is fed to the controller's
+//    reliability manager, which re-selects the BCH correction
+//    capability t — the paper's (algo, t) schedule applied at block
+//    granularity. Hot blocks (high wear from GC churn) get a larger t
+//    than cold blocks in the same run, and every page remembers the t
+//    it was written with, so reads decode correctly either way.
+//
+// LPA -> die affinity is `lpa % dies` (page-level striping):
+// sequential host streams fan out across channels, and each die's GC
+// is self-contained.
+//
+// Single-threaded and deterministic: the FTL mutates controller and
+// map state at issue time; the caller (SsdSimulator) turns the
+// returned io/cell durations into timeline events.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/controller/controller.hpp"
+#include "src/ftl/allocator.hpp"
+#include "src/ftl/mapping.hpp"
+
+namespace xlf::ftl {
+
+struct FtlConfig {
+  GcPolicy gc_policy = GcPolicy::kGreedy;
+  WearLeveling wear_leveling = WearLeveling::kDynamic;
+  // GC reclaims until a die's free-block count exceeds this floor
+  // (>= 1 guarantees relocation frontiers can always open a block).
+  std::uint32_t gc_free_blocks = 1;
+  // Share of physical pages exposed as logical capacity; the rest is
+  // over-provisioning. Each die must keep room for its two write
+  // frontiers plus the free floor beside its logical share, which at
+  // the simulated block counts (a handful per die — the bit-true
+  // array is expensive) caps the usable fraction well below a real
+  // drive's ~0.93.
+  double logical_fraction = 0.6;
+  // Static wear leveling swaps a cold block out when the die's erase
+  // spread (max - min) exceeds this.
+  std::uint32_t static_wl_spread = 8;
+  // Lifetime compression: device wear advances this many P/E cycles
+  // per FTL erase, so block ages diverge across the paper's schedule
+  // within an affordable number of simulated operations.
+  double pe_cycles_per_erase = 1.0;
+};
+
+// One host operation's outcome, with the service-time split the
+// multi-die dispatcher needs (io = channel share, cell = die share;
+// GC and wear-leveling overhead is folded into the cell share of the
+// write that triggered it — foreground GC).
+struct FtlOpResult {
+  bool ok = true;
+  bool unmapped = false;  // read of a never-written LPA (serviced as zeros)
+  std::uint32_t die = 0;
+  Seconds io_time{0.0};
+  Seconds cell_time{0.0};
+  Seconds gc_time{0.0};  // portion of cell_time spent on GC + WL
+  unsigned t_used = 0;   // writes: correction capability selected
+  BitVec data;           // reads: decoded payload
+  unsigned corrected_bits = 0;
+  bool uncorrectable = false;
+  std::size_t relocations = 0;  // GC copies triggered by this op
+  Joules ecc_energy{0.0};
+  Joules nand_energy{0.0};
+};
+
+struct FtlStats {
+  std::uint64_t host_writes = 0;
+  std::uint64_t host_reads = 0;
+  std::uint64_t unmapped_reads = 0;
+  std::uint64_t gc_relocations = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t wl_swaps = 0;
+  // Relocation reads that came back uncorrectable (data propagated
+  // as decoded; the mismatch surfaces in the simulator's verify).
+  std::uint64_t gc_uncorrectable = 0;
+  // Spread of the per-block correction capability the reliability
+  // manager assigned across all programs of the run.
+  unsigned min_t_used = std::numeric_limits<unsigned>::max();
+  unsigned max_t_used = 0;
+
+  // (host + GC) writes per host write; the FTL's defining overhead.
+  double write_amplification() const {
+    if (host_writes == 0) return 0.0;
+    return static_cast<double>(host_writes + gc_relocations) /
+           static_cast<double>(host_writes);
+  }
+};
+
+class Ftl {
+ public:
+  // One controller per die; non-owning, all dies must share a
+  // geometry. The FTL drives each controller's reliability manager
+  // and ECC configuration per block.
+  Ftl(const FtlConfig& config,
+      std::vector<controller::MemoryController*> dies);
+
+  const FtlConfig& config() const { return config_; }
+  std::uint32_t dies() const {
+    return static_cast<std::uint32_t>(controllers_.size());
+  }
+  std::uint32_t logical_pages() const { return map_.logical_pages(); }
+  std::uint32_t die_of(Lpa lpa) const { return lpa % dies(); }
+  const PageMap& map() const { return map_; }
+  const FtlStats& stats() const { return stats_; }
+
+  bool mapped(Lpa lpa) const { return map_.mapped(lpa); }
+
+  // Out-of-place host write; may trigger GC / wear leveling on the
+  // target die first (charged to the result's cell share).
+  FtlOpResult write(Lpa lpa, const BitVec& data);
+  // Host read through the map. Unmapped LPAs are serviced as zero
+  // pages without touching flash (`unmapped` flag set).
+  FtlOpResult read(Lpa lpa);
+
+  // --- wear / configuration visibility --------------------------------
+  double wear(std::uint32_t die, std::uint32_t block) const;
+  std::uint32_t erase_count(std::uint32_t die, std::uint32_t block) const;
+  // Last correction capability assigned to the block (0 = never
+  // programmed since construction).
+  unsigned block_t(std::uint32_t die, std::uint32_t block) const;
+  double min_wear() const;
+  double max_wear() const;
+
+ private:
+  controller::MemoryController& ctrl(std::uint32_t die) {
+    return *controllers_[die];
+  }
+  nand::NandDevice& device(std::uint32_t die) {
+    return controllers_[die]->device();
+  }
+  // Reliability manager pass for the target block's own wear; records
+  // the chosen t.
+  unsigned adapt_block_t(std::uint32_t die, std::uint32_t block);
+  // Reclaim until the die's free count clears the floor; returns die
+  // busy time spent.
+  Seconds ensure_capacity(std::uint32_t die, FtlOpResult& result);
+  // Move every valid page of `block` to the GC frontier.
+  Seconds relocate_valid_pages(std::uint32_t die, std::uint32_t block,
+                               FtlOpResult& result);
+  // Erase + wear acceleration + allocator/map bookkeeping.
+  Seconds erase_block(std::uint32_t die, std::uint32_t block);
+  // One static wear-leveling swap when the spread warrants it.
+  Seconds maybe_static_swap(std::uint32_t die, FtlOpResult& result);
+
+  FtlConfig config_;
+  std::vector<controller::MemoryController*> controllers_;
+  PageMap map_;
+  std::vector<DieAllocator> allocators_;
+  std::vector<std::vector<unsigned>> block_t_;  // [die][block]
+  std::uint64_t clock_ = 0;  // logical write stamp (cost-benefit age)
+  FtlStats stats_;
+};
+
+}  // namespace xlf::ftl

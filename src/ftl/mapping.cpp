@@ -1,0 +1,98 @@
+#include "src/ftl/mapping.hpp"
+
+#include "src/util/expect.hpp"
+
+namespace xlf::ftl {
+
+PageMap::PageMap(std::uint32_t dies, std::uint32_t blocks_per_die,
+                 std::uint32_t pages_per_block, std::uint32_t logical_pages)
+    : dies_(dies),
+      blocks_per_die_(blocks_per_die),
+      pages_per_block_(pages_per_block),
+      logical_pages_(logical_pages) {
+  XLF_EXPECT(dies >= 1);
+  XLF_EXPECT(blocks_per_die >= 1);
+  XLF_EXPECT(pages_per_block >= 1);
+  const std::size_t physical =
+      static_cast<std::size_t>(dies) * blocks_per_die * pages_per_block;
+  XLF_EXPECT(logical_pages >= 1);
+  // Strictly fewer logical than physical pages: the slack is the
+  // over-provisioning GC lives off.
+  XLF_EXPECT(logical_pages < physical);
+  l2p_.assign(logical_pages, Ppa{});
+  p2l_.assign(physical, kUnmapped);
+  valid_counts_.assign(static_cast<std::size_t>(dies) * blocks_per_die, 0);
+}
+
+std::size_t PageMap::page_index(const Ppa& ppa) const {
+  return (static_cast<std::size_t>(ppa.die) * blocks_per_die_ + ppa.block) *
+             pages_per_block_ +
+         ppa.page;
+}
+
+void PageMap::check(const Ppa& ppa) const {
+  XLF_EXPECT(ppa.die < dies_);
+  XLF_EXPECT(ppa.block < blocks_per_die_);
+  XLF_EXPECT(ppa.page < pages_per_block_);
+}
+
+bool PageMap::mapped(Lpa lpa) const {
+  XLF_EXPECT(lpa < logical_pages_);
+  return l2p_[lpa].valid();
+}
+
+Ppa PageMap::lookup(Lpa lpa) const {
+  XLF_EXPECT(lpa < logical_pages_);
+  return l2p_[lpa];
+}
+
+void PageMap::map(Lpa lpa, Ppa ppa) {
+  XLF_EXPECT(lpa < logical_pages_);
+  check(ppa);
+  const std::size_t target = page_index(ppa);
+  XLF_EXPECT(p2l_[target] == kUnmapped && "mapping onto a live page");
+  const Ppa old = l2p_[lpa];
+  if (old.valid()) {
+    const std::size_t previous = page_index(old);
+    XLF_ENSURE(p2l_[previous] == lpa);
+    p2l_[previous] = kUnmapped;
+    --valid_counts_[static_cast<std::size_t>(old.die) * blocks_per_die_ +
+                    old.block];
+  }
+  l2p_[lpa] = ppa;
+  p2l_[target] = lpa;
+  ++valid_counts_[static_cast<std::size_t>(ppa.die) * blocks_per_die_ +
+                  ppa.block];
+}
+
+bool PageMap::valid(Ppa ppa) const {
+  check(ppa);
+  return p2l_[page_index(ppa)] != kUnmapped;
+}
+
+Lpa PageMap::lpa_at(Ppa ppa) const {
+  check(ppa);
+  return p2l_[page_index(ppa)];
+}
+
+std::uint32_t PageMap::valid_count(std::uint32_t die,
+                                   std::uint32_t block) const {
+  XLF_EXPECT(die < dies_);
+  XLF_EXPECT(block < blocks_per_die_);
+  return valid_counts_[static_cast<std::size_t>(die) * blocks_per_die_ + block];
+}
+
+void PageMap::on_erase(std::uint32_t die, std::uint32_t block) {
+  XLF_EXPECT(die < dies_);
+  XLF_EXPECT(block < blocks_per_die_);
+  XLF_EXPECT(valid_count(die, block) == 0 &&
+             "erasing a block with live data (relocate first)");
+  const std::size_t base =
+      (static_cast<std::size_t>(die) * blocks_per_die_ + block) *
+      pages_per_block_;
+  for (std::uint32_t p = 0; p < pages_per_block_; ++p) {
+    p2l_[base + p] = kUnmapped;
+  }
+}
+
+}  // namespace xlf::ftl

@@ -79,11 +79,25 @@ const IsppTrace& NandTiming::sample_trace(ProgramAlgorithm algo,
   const long age_key =
       std::lround(std::log10(std::max(pe_cycles, 1.0)) * 12.0);
   const auto key = std::make_tuple(static_cast<int>(algo), pattern_key, age_key);
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    it = cache_.emplace(key, characterize(algo, pe_cycles, pattern)).first;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
   }
-  return it->second;
+  // Characterise at the key's canonical age, not the exact request:
+  // the entry is then a pure function of the key, so concurrent
+  // first callers — even for *different* ages quantising to the same
+  // key — compute bit-identical traces and any try_emplace race is
+  // harmless (the loser's duplicate is discarded). Computing outside
+  // the lock keeps cold-cache characterisations parallel across
+  // workers, which is where the sweep's speedup lives.
+  const double canonical_age =
+      std::pow(10.0, static_cast<double>(age_key) / 12.0);
+  IsppTrace trace = characterize(algo, canonical_age, pattern);
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  // The returned reference outlives the lock safely — map nodes are
+  // stable and entries are never erased.
+  return cache_.try_emplace(key, std::move(trace)).first->second;
 }
 
 Seconds NandTiming::program_time(ProgramAlgorithm algo,

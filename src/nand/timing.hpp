@@ -9,6 +9,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 
 #include "src/nand/aging.hpp"
@@ -48,7 +49,16 @@ class NandTiming {
   // Characteristic ISPP trace for one page program at the given age.
   // `pattern` restricts every programmed cell to one target level
   // (the Fig. 6 L1/L2/L3 patterns); nullopt = uniform random data.
-  // Results are cached on a log-spaced age grid.
+  // Results are cached on a log-spaced age grid (12 keys per decade)
+  // and characterised at the key's canonical age, so an entry is a
+  // pure function of (algo, pattern, quantised age). Thread-safe:
+  // lookups and insertion are lock-guarded while the characterisation
+  // itself runs outside the lock (cold-cache keys characterise in
+  // parallel), and key-purity makes a duplicate-compute race
+  // value-identical — concurrent callers always observe the same
+  // bits regardless of which thread populated the entry. The returned
+  // reference stays valid for the lifetime of this object (std::map
+  // nodes are stable and never erased).
   const IsppTrace& sample_trace(ProgramAlgorithm algo, double pe_cycles,
                                 std::optional<Level> pattern = std::nullopt) const;
 
@@ -72,6 +82,11 @@ class NandTiming {
   VariabilitySampler variability_;
   IsppEngine engine_;
   // Cache key: (algo, pattern index or -1, quantised log10 cycles).
+  // Guarded by cache_mutex_; characterisation runs under the lock so
+  // an entry is computed exactly once. The mutex makes NandTiming
+  // non-copyable — callers that used to clone private instances as a
+  // thread-safety workaround (the explore sweep) share one instead.
+  mutable std::mutex cache_mutex_;
   mutable std::map<std::tuple<int, int, long>, IsppTrace> cache_;
 };
 

@@ -1,0 +1,108 @@
+#include "src/sim/host_workload.hpp"
+
+#include <cmath>
+
+#include "src/util/expect.hpp"
+
+namespace xlf::sim {
+namespace {
+
+// Exponential inter-arrival with the given mean (Poisson stream);
+// zero mean short-circuits to back-to-back arrivals without drawing,
+// so the pressure case stays on the same random stream as paced runs.
+Seconds draw_gap(Seconds mean, Rng& rng) {
+  if (mean.value() <= 0.0) return Seconds{0.0};
+  return Seconds{-mean.value() * std::log(1.0 - rng.uniform())};
+}
+
+}  // namespace
+
+HotColdWorkload::HotColdWorkload(double hot_fraction,
+                                 double hot_write_fraction,
+                                 double read_fraction, Seconds mean_gap)
+    : hot_fraction_(hot_fraction),
+      hot_write_fraction_(hot_write_fraction),
+      read_fraction_(read_fraction),
+      mean_gap_(mean_gap) {
+  XLF_EXPECT(hot_fraction > 0.0 && hot_fraction <= 1.0);
+  XLF_EXPECT(hot_write_fraction >= 0.0 && hot_write_fraction <= 1.0);
+  XLF_EXPECT(read_fraction >= 0.0 && read_fraction < 1.0);
+}
+
+std::vector<HostRequest> HotColdWorkload::generate(std::uint32_t logical_pages,
+                                                   std::size_t count,
+                                                   Rng& rng) const {
+  XLF_EXPECT(logical_pages >= 2);
+  const auto hot_pages = static_cast<std::uint32_t>(std::max(
+      1.0, static_cast<double>(logical_pages) * hot_fraction_));
+  std::vector<HostRequest> out;
+  out.reserve(count);
+  std::vector<ftl::Lpa> written;
+  for (std::size_t i = 0; i < count; ++i) {
+    HostRequest request;
+    request.gap = draw_gap(mean_gap_, rng);
+    if (!written.empty() && rng.chance(read_fraction_)) {
+      request.type = OpType::kRead;
+      request.lpa = written[rng.below(written.size())];
+    } else {
+      request.type = OpType::kWrite;
+      if (rng.chance(hot_write_fraction_)) {
+        // Hot set: the low end of the LPA space.
+        request.lpa = static_cast<ftl::Lpa>(rng.below(hot_pages));
+      } else {
+        request.lpa = static_cast<ftl::Lpa>(
+            hot_pages + rng.below(logical_pages - hot_pages));
+      }
+      written.push_back(request.lpa);
+    }
+    out.push_back(request);
+  }
+  return out;
+}
+
+SequentialOverwriteWorkload::SequentialOverwriteWorkload(Seconds mean_gap)
+    : mean_gap_(mean_gap) {}
+
+std::vector<HostRequest> SequentialOverwriteWorkload::generate(
+    std::uint32_t logical_pages, std::size_t count, Rng& rng) const {
+  XLF_EXPECT(logical_pages >= 1);
+  std::vector<HostRequest> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(HostRequest{
+        OpType::kWrite,
+        static_cast<ftl::Lpa>(i % logical_pages),
+        draw_gap(mean_gap_, rng)});
+  }
+  return out;
+}
+
+UniformOverwriteWorkload::UniformOverwriteWorkload(double read_fraction,
+                                                   Seconds mean_gap)
+    : read_fraction_(read_fraction), mean_gap_(mean_gap) {
+  XLF_EXPECT(read_fraction >= 0.0 && read_fraction < 1.0);
+}
+
+std::vector<HostRequest> UniformOverwriteWorkload::generate(
+    std::uint32_t logical_pages, std::size_t count, Rng& rng) const {
+  XLF_EXPECT(logical_pages >= 1);
+  std::vector<HostRequest> out;
+  out.reserve(count);
+  std::vector<ftl::Lpa> written;
+  for (std::size_t i = 0; i < count; ++i) {
+    HostRequest request;
+    request.gap = draw_gap(mean_gap_, rng);
+    if (!written.empty() && rng.chance(read_fraction_)) {
+      request.type = OpType::kRead;
+      request.lpa = written[rng.below(written.size())];
+    } else {
+      request.type = OpType::kWrite;
+      request.lpa = static_cast<ftl::Lpa>(rng.below(logical_pages));
+      written.push_back(request.lpa);
+    }
+    out.push_back(request);
+  }
+  return out;
+}
+
+}  // namespace xlf::sim

@@ -1,0 +1,92 @@
+// Host-level (LBA) workload generators for the open-loop SSD
+// simulator. Unlike the physical-address workloads in workload.hpp,
+// these address the FTL's logical page space, and their defining
+// feature is *overwrite*: re-writing live LPAs is what invalidates
+// physical pages, triggers garbage collection, and spreads wear — the
+// machinery the per-block adaptive configuration pays off on.
+//
+// Arrival gaps are inter-arrival times of an open-loop stream (the
+// host issues on its own clock, not on completions). A zero mean gap
+// degenerates to maximum pressure (back-to-back arrivals).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/ftl/mapping.hpp"
+#include "src/sim/workload.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/units.hpp"
+
+namespace xlf::sim {
+
+struct HostRequest {
+  OpType type = OpType::kWrite;
+  ftl::Lpa lpa = 0;
+  // Inter-arrival time before this request enters the host queue.
+  Seconds gap{0.0};
+};
+
+class HostWorkload {
+ public:
+  virtual ~HostWorkload() = default;
+  virtual std::string name() const = 0;
+  // Generate `count` requests over an LPA space of `logical_pages`.
+  virtual std::vector<HostRequest> generate(std::uint32_t logical_pages,
+                                            std::size_t count,
+                                            Rng& rng) const = 0;
+};
+
+// Skewed overwrite traffic: a `hot_fraction` slice of the LPA space
+// receives `hot_write_fraction` of all writes (the classic hot/cold
+// split; 0.2/0.8 approximates the usual "80% of writes hit 20% of
+// data"). Reads, a `read_fraction` of requests, target LPAs the
+// stream has already written, so every read hits mapped data.
+class HotColdWorkload final : public HostWorkload {
+ public:
+  HotColdWorkload(double hot_fraction, double hot_write_fraction,
+                  double read_fraction, Seconds mean_gap = Seconds{0.0});
+  std::string name() const override { return "hot-cold"; }
+  std::vector<HostRequest> generate(std::uint32_t logical_pages,
+                                    std::size_t count,
+                                    Rng& rng) const override;
+
+ private:
+  double hot_fraction_;
+  double hot_write_fraction_;
+  double read_fraction_;
+  Seconds mean_gap_;
+};
+
+// Sequential overwrite: cycles through the LPA space writing every
+// page in order, pass after pass — uniform wear, GC of fully invalid
+// blocks (the write-amplification floor).
+class SequentialOverwriteWorkload final : public HostWorkload {
+ public:
+  explicit SequentialOverwriteWorkload(Seconds mean_gap = Seconds{0.0});
+  std::string name() const override { return "seq-overwrite"; }
+  std::vector<HostRequest> generate(std::uint32_t logical_pages,
+                                    std::size_t count,
+                                    Rng& rng) const override;
+
+ private:
+  Seconds mean_gap_;
+};
+
+// Uniformly random overwrites (no skew): the GC stress case — every
+// block ends up a mix of valid and invalid pages.
+class UniformOverwriteWorkload final : public HostWorkload {
+ public:
+  UniformOverwriteWorkload(double read_fraction,
+                           Seconds mean_gap = Seconds{0.0});
+  std::string name() const override { return "uniform-overwrite"; }
+  std::vector<HostRequest> generate(std::uint32_t logical_pages,
+                                    std::size_t count,
+                                    Rng& rng) const override;
+
+ private:
+  double read_fraction_;
+  Seconds mean_gap_;
+};
+
+}  // namespace xlf::sim

@@ -1,0 +1,181 @@
+#include "src/sim/ssd_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/expect.hpp"
+
+namespace xlf::sim {
+
+double SsdSimStats::die_util_min() const {
+  if (die_utilisation.empty()) return 0.0;
+  return *std::min_element(die_utilisation.begin(), die_utilisation.end());
+}
+
+double SsdSimStats::die_util_max() const {
+  if (die_utilisation.empty()) return 0.0;
+  return *std::max_element(die_utilisation.begin(), die_utilisation.end());
+}
+
+double SsdSimStats::die_util_mean() const {
+  if (die_utilisation.empty()) return 0.0;
+  double sum = 0.0;
+  for (double u : die_utilisation) sum += u;
+  return sum / static_cast<double>(die_utilisation.size());
+}
+
+SsdSimulator::SsdSimulator(ftl::Ssd& ssd, const SsdSimConfig& config)
+    : ssd_(&ssd), config_(config), data_rng_(config.data_seed) {
+  XLF_EXPECT(config.queue_depth >= 1);
+}
+
+BitVec SsdSimulator::random_payload() {
+  const std::uint32_t bits = ssd_->die_geometry().data_bits_per_page();
+  BitVec data(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (data_rng_.chance(0.5)) data.set(i, true);
+  }
+  return data;
+}
+
+void SsdSimulator::prepopulate() {
+  for (ftl::Lpa lpa = 0; lpa < ssd_->logical_pages(); ++lpa) {
+    BitVec payload = random_payload();
+    ssd_->ftl().write(lpa, payload);
+    written_[lpa] = std::move(payload);
+  }
+}
+
+void SsdSimulator::try_issue(SsdSimStats& stats) {
+  while (outstanding_ < config_.queue_depth && !host_queue_.empty()) {
+    const auto [index, arrival] = host_queue_.front();
+    host_queue_.pop_front();
+    const HostRequest& request = (*requests_)[index];
+    const Seconds now = queue_.now();
+    controller::DieDispatcher& dispatcher = ssd_->dispatcher();
+
+    if (request.type == OpType::kWrite) {
+      BitVec payload = random_payload();
+      const ftl::FtlOpResult res = ssd_->ftl().write(request.lpa, payload);
+      written_[request.lpa] = std::move(payload);
+      stats.gc_busy += res.gc_time;
+      stats.ecc_energy += res.ecc_energy;
+      stats.nand_energy += res.nand_energy;
+      ++stats.writes;
+      const controller::DispatchSlot slot =
+          dispatcher.submit_write(res.die, now, res.io_time, res.cell_time);
+      ++outstanding_;
+      queue_.schedule_at(slot.completion, [this, &stats, arrival, slot] {
+        stats.write_latency.add((slot.completion - arrival).value());
+        --outstanding_;
+        try_issue(stats);
+      });
+      continue;
+    }
+
+    // Read path. FTL state resolves at issue; the payload check runs
+    // against the host's record as of this instant.
+    const ftl::FtlOpResult res = ssd_->ftl().read(request.lpa);
+    if (res.unmapped) {
+      ++stats.unmapped_reads;
+      // Serviced from the map with no flash access: completes now.
+      ++outstanding_;
+      queue_.schedule_at(now, [this, &stats, arrival, now] {
+        stats.read_latency.add((now - arrival).value());
+        --outstanding_;
+        try_issue(stats);
+      });
+      continue;
+    }
+    stats.corrected_bits += res.corrected_bits;
+    stats.ecc_energy += res.ecc_energy;
+    stats.nand_energy += res.nand_energy;
+    ++stats.reads;
+    if (res.uncorrectable) {
+      ++stats.uncorrectable;
+    } else if (config_.verify_data) {
+      const auto it = written_.find(request.lpa);
+      if (it != written_.end() && !(res.data == it->second)) {
+        ++stats.data_mismatches;
+      }
+    }
+    const controller::DispatchSlot slot =
+        dispatcher.submit_read(res.die, now, res.io_time, res.cell_time);
+    ++outstanding_;
+    queue_.schedule_at(slot.completion, [this, &stats, arrival, slot] {
+      stats.read_latency.add((slot.completion - arrival).value());
+      --outstanding_;
+      try_issue(stats);
+    });
+  }
+}
+
+SsdSimStats SsdSimulator::run(const std::vector<HostRequest>& requests) {
+  SsdSimStats stats;
+  requests_ = &requests;
+  host_queue_.clear();
+  outstanding_ = 0;
+
+  const Seconds start = queue_.now();
+  const ftl::FtlStats ftl_before = ssd_->ftl().stats();
+  std::vector<Seconds> die_busy_before(ssd_->dies());
+  std::vector<Seconds> channel_busy_before(ssd_->dispatcher().channels());
+  for (std::size_t d = 0; d < die_busy_before.size(); ++d) {
+    die_busy_before[d] = ssd_->dispatcher().die_busy(d);
+  }
+  for (std::size_t c = 0; c < channel_busy_before.size(); ++c) {
+    channel_busy_before[c] = ssd_->dispatcher().channel_busy(c);
+  }
+
+  // Open loop: every arrival is on the calendar before the first
+  // event fires; completions never delay arrivals, only issue.
+  Seconds arrival = start;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    arrival += requests[i].gap;
+    queue_.schedule_at(arrival, [this, i, arrival, &stats] {
+      host_queue_.emplace_back(i, arrival);
+      try_issue(stats);
+    });
+  }
+  queue_.run();
+  XLF_ENSURE(outstanding_ == 0 && host_queue_.empty());
+
+  stats.elapsed = queue_.now() - start;
+  const ftl::FtlStats& ftl_after = ssd_->ftl().stats();
+  stats.gc_relocations = ftl_after.gc_relocations - ftl_before.gc_relocations;
+  stats.erases = ftl_after.erases - ftl_before.erases;
+  stats.wl_swaps = ftl_after.wl_swaps - ftl_before.wl_swaps;
+  const std::uint64_t host_writes =
+      ftl_after.host_writes - ftl_before.host_writes;
+  stats.write_amplification =
+      host_writes == 0
+          ? 0.0
+          : static_cast<double>(host_writes + stats.gc_relocations) /
+                static_cast<double>(host_writes);
+  // Lifetime spread (includes prepopulation): normalise the "never
+  // wrote" sentinel away.
+  stats.min_t_used =
+      ftl_after.max_t_used == 0 ? 0 : ftl_after.min_t_used;
+  stats.max_t_used = ftl_after.max_t_used;
+  stats.wear_min = ssd_->ftl().min_wear();
+  stats.wear_max = ssd_->ftl().max_wear();
+
+  stats.die_utilisation.resize(ssd_->dies());
+  stats.channel_utilisation.resize(channel_busy_before.size());
+  const double elapsed = std::max(stats.elapsed.value(),
+                                  std::numeric_limits<double>::min());
+  for (std::size_t d = 0; d < stats.die_utilisation.size(); ++d) {
+    stats.die_utilisation[d] =
+        (ssd_->dispatcher().die_busy(d) - die_busy_before[d]).value() /
+        elapsed;
+  }
+  for (std::size_t c = 0; c < stats.channel_utilisation.size(); ++c) {
+    stats.channel_utilisation[c] =
+        (ssd_->dispatcher().channel_busy(c) - channel_busy_before[c]).value() /
+        elapsed;
+  }
+  requests_ = nullptr;
+  return stats;
+}
+
+}  // namespace xlf::sim

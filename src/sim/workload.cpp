@@ -1,5 +1,8 @@
 #include "src/sim/workload.hpp"
 
+#include <algorithm>
+#include <cstdio>
+
 #include "src/util/expect.hpp"
 
 namespace xlf::sim {
@@ -98,6 +101,56 @@ std::vector<Request> record_trace(const Workload& workload,
                                   std::size_t count, std::uint64_t seed) {
   Rng rng(seed);
   return workload.generate(geometry, count, rng);
+}
+
+std::string trace_to_text(const std::vector<Request>& trace) {
+  std::string out;
+  char line[80];
+  for (const Request& request : trace) {
+    // %.17g round-trips any binary64 exactly through strtod.
+    std::snprintf(line, sizeof line, "%c %u %u %.17g\n",
+                  request.type == OpType::kRead ? 'R' : 'W',
+                  request.addr.block, request.addr.page, request.gap.value());
+    out += line;
+  }
+  return out;
+}
+
+std::vector<Request> trace_from_text(const std::string& text) {
+  std::vector<Request> trace;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    char op = 0;
+    unsigned block = 0, page = 0;
+    double gap = 0.0;
+    const int fields =
+        std::sscanf(line.c_str(), " %c %u %u %lg", &op, &block, &page, &gap);
+    XLF_EXPECT(fields == 4 && "malformed trace line");
+    XLF_EXPECT(op == 'R' || op == 'W');
+    trace.push_back(Request{op == 'R' ? OpType::kRead : OpType::kWrite,
+                            nand::PageAddress{block, page}, Seconds{gap}});
+  }
+  return trace;
+}
+
+TraceReplayWorkload::TraceReplayWorkload(std::vector<Request> trace)
+    : trace_(std::move(trace)) {}
+
+std::vector<Request> TraceReplayWorkload::generate(
+    const nand::Geometry& geometry, std::size_t count, Rng&) const {
+  std::vector<Request> out;
+  out.reserve(std::min(count, trace_.size()));
+  for (std::size_t i = 0; i < trace_.size() && i < count; ++i) {
+    XLF_EXPECT(trace_[i].addr.block < geometry.blocks);
+    XLF_EXPECT(trace_[i].addr.page < geometry.pages_per_block);
+    out.push_back(trace_[i]);
+  }
+  return out;
 }
 
 }  // namespace xlf::sim

@@ -93,4 +93,25 @@ std::vector<Request> record_trace(const Workload& workload,
                                   const nand::Geometry& geometry,
                                   std::size_t count, std::uint64_t seed);
 
+// Text serialisation of a recorded trace — one request per line,
+// "R|W <block> <page> <gap seconds>". Gaps print with 17 significant
+// digits, so to_text/from_text round-trips every double bit-exactly.
+std::string trace_to_text(const std::vector<Request>& trace);
+std::vector<Request> trace_from_text(const std::string& text);
+
+// Replays a recorded (or deserialised) trace through the Workload
+// interface: generate() returns the stored requests verbatim — the
+// rng is unused and `count` caps the replay length.
+class TraceReplayWorkload final : public Workload {
+ public:
+  explicit TraceReplayWorkload(std::vector<Request> trace);
+  std::string name() const override { return "trace-replay"; }
+  std::size_t size() const { return trace_.size(); }
+  std::vector<Request> generate(const nand::Geometry& geometry,
+                                std::size_t count, Rng& rng) const override;
+
+ private:
+  std::vector<Request> trace_;
+};
+
 }  // namespace xlf::sim

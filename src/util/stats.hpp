@@ -25,7 +25,9 @@ class RunningStats {
   // Sample variance (n-1 denominator); 0 for fewer than two samples.
   double variance() const;
   double stddev() const;
-  // Extrema of the samples seen; 0 while empty (no samples).
+  // Extrema of the samples seen; NaN while empty (no samples), so a
+  // zero-request stream cannot masquerade as a measured 0.0 in
+  // reports.
   double min() const;
   double max() const;
 

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/nand/device.hpp"
 #include "src/nand/timing.hpp"
 #include "src/util/rng.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace xlf::nand {
 namespace {
@@ -162,6 +165,31 @@ TEST(Device, UniformWearApplies) {
   device.set_uniform_wear(1234.0);
   for (std::uint32_t b = 0; b < 3; ++b) {
     EXPECT_DOUBLE_EQ(device.wear(b), 1234.0);
+  }
+}
+
+TEST(Timing, SharedCacheIsThreadSafeAndValueStable) {
+  // The ISPP characterisation cache is the one mutable piece of
+  // NandTiming; concurrent first-touch from many workers must neither
+  // race nor change any value versus a serial reference instance.
+  const NandTiming shared = make_timing();
+  const NandTiming reference = make_timing();
+  const std::vector<double> ages{1.0, 10.0, 1e2, 1e3, 1e4, 1e5, 1e6};
+
+  ThreadPool pool(8);
+  std::vector<double> sv(ages.size()), dv(ages.size());
+  pool.parallel_for(ages.size(), [&](std::size_t i) {
+    // Both algorithms from every worker: maximum cache contention.
+    sv[i] = shared.program_time(ProgramAlgorithm::kIsppSv, ages[i]).value();
+    dv[i] = shared.program_time(ProgramAlgorithm::kIsppDv, ages[i]).value();
+  });
+  for (std::size_t i = 0; i < ages.size(); ++i) {
+    EXPECT_EQ(sv[i],
+              reference.program_time(ProgramAlgorithm::kIsppSv, ages[i]).value())
+        << ages[i];
+    EXPECT_EQ(dv[i],
+              reference.program_time(ProgramAlgorithm::kIsppDv, ages[i]).value())
+        << ages[i];
   }
 }
 

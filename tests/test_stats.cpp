@@ -80,14 +80,32 @@ TEST(RunningStats, EmptySideNeverPollutesExtrema) {
   EXPECT_DOUBLE_EQ(e.max(), -2.0);
 }
 
-TEST(RunningStats, EmptyStatsReportZeroExtrema) {
-  // Documented convention for empty accumulators (a write-only run has
-  // an empty read-latency distribution that reports still print).
+TEST(RunningStats, EmptyStatsReportNanExtrema) {
+  // Documented convention for empty accumulators: a zero-request
+  // stream (e.g. a write-only run's read-latency distribution) must
+  // not report a fabricated 0.0 extremum into CSV reports — NaN marks
+  // the side as unobserved.
   const RunningStats s;
   EXPECT_EQ(s.count(), 0u);
-  EXPECT_DOUBLE_EQ(s.min(), 0.0);
-  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStats, NanExtremaClearOnFirstSample) {
+  RunningStats s;
+  EXPECT_TRUE(std::isnan(s.min()));
+  s.add(-3.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), -3.0);
+
+  // Merging a populated accumulator into an empty one also clears the
+  // NaN state (the infinity identities, not the reported NaN, drive
+  // the merge).
+  RunningStats empty;
+  empty.merge(s);
+  EXPECT_DOUBLE_EQ(empty.min(), -3.0);
+  EXPECT_DOUBLE_EQ(empty.max(), -3.0);
 }
 
 TEST(RunningStats, ChainedShardMergeMatchesSerial) {

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/explore/ftl_sweep.hpp"
 #include "src/explore/monte_carlo.hpp"
 #include "src/explore/report.hpp"
 #include "src/explore/sweep.hpp"
@@ -45,6 +46,21 @@ struct Options {
   std::size_t mc_requests = 32;
   double mc_age = -1.0;  // <0 = last grid age
   std::uint64_t seed = 0x5EEDCA5E;
+
+  // FTL sweep mode (replaces the configuration-space sweep).
+  bool ftl_sweep = false;
+  std::string ftl_topologies = "1x1,2x1";  // channels x dies/channel
+  std::string ftl_qd = "1,4";
+  std::string ftl_gc = "greedy,cost-benefit";
+  std::size_t ftl_requests = 200;
+  std::uint32_t ftl_blocks = 8;
+  std::uint32_t ftl_pages = 4;
+  double ftl_initial_wear = 1e4;
+  double ftl_wear_per_erase = 3e4;
+  double ftl_logical_fraction = 0.6;
+  double ftl_read_fraction = 0.3;
+  double ftl_hot_fraction = 0.25;
+  double ftl_hot_writes = 0.85;
 };
 
 void usage() {
@@ -62,7 +78,23 @@ void usage() {
       "  --mc-replicas R       Monte-Carlo replicas per workload (0 = off)\n"
       "  --mc-requests N       requests per replica (32)\n"
       "  --mc-age CYCLES       age for the validation (default: last grid age)\n"
-      "  --seed S              root seed for all replica streams\n";
+      "  --seed S              root seed for all replica streams\n"
+      "FTL sweep mode (multi-die SSD: L2P + GC + wear leveling):\n"
+      "  --ftl-sweep           sweep FTL policy x queue depth x topology\n"
+      "                        instead of the configuration space\n"
+      "  --ftl-topologies L    comma list of CxD (channels x dies/channel,\n"
+      "                        default 1x1,2x1)\n"
+      "  --ftl-qd LIST         queue depths (default 1,4)\n"
+      "  --ftl-gc LIST         greedy,cost-benefit (default both)\n"
+      "  --ftl-requests N      host requests per combo (200)\n"
+      "  --ftl-blocks B        blocks per die (8)\n"
+      "  --ftl-pages P         pages per block (4)\n"
+      "  --ftl-initial-wear C  uniform starting P/E cycles (1e4)\n"
+      "  --ftl-wear-per-erase C  lifetime compression per erase (3e4)\n"
+      "  --ftl-logical-fraction F  logical share of physical pages (0.6)\n"
+      "  --ftl-read-fraction F hot-cold workload read share (0.3)\n"
+      "  --ftl-hot-fraction F  hot slice of the LPA space (0.25)\n"
+      "  --ftl-hot-writes F    write share hitting the hot slice (0.85)\n";
 }
 
 std::vector<std::string> split(const std::string& s, char sep) {
@@ -141,6 +173,44 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (arg == "--seed") {
       if ((v = value(i)) == nullptr) return false;
       opt.seed = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--ftl-sweep") {
+      opt.ftl_sweep = true;
+    } else if (arg == "--ftl-topologies") {
+      if ((v = value(i)) == nullptr) return false;
+      opt.ftl_topologies = v;
+    } else if (arg == "--ftl-qd") {
+      if ((v = value(i)) == nullptr) return false;
+      opt.ftl_qd = v;
+    } else if (arg == "--ftl-gc") {
+      if ((v = value(i)) == nullptr) return false;
+      opt.ftl_gc = v;
+    } else if (arg == "--ftl-requests") {
+      if ((v = value(i)) == nullptr) return false;
+      opt.ftl_requests = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--ftl-blocks") {
+      if ((v = value(i)) == nullptr) return false;
+      opt.ftl_blocks = static_cast<std::uint32_t>(std::atol(v));
+    } else if (arg == "--ftl-pages") {
+      if ((v = value(i)) == nullptr) return false;
+      opt.ftl_pages = static_cast<std::uint32_t>(std::atol(v));
+    } else if (arg == "--ftl-initial-wear") {
+      if ((v = value(i)) == nullptr) return false;
+      opt.ftl_initial_wear = std::atof(v);
+    } else if (arg == "--ftl-wear-per-erase") {
+      if ((v = value(i)) == nullptr) return false;
+      opt.ftl_wear_per_erase = std::atof(v);
+    } else if (arg == "--ftl-logical-fraction") {
+      if ((v = value(i)) == nullptr) return false;
+      opt.ftl_logical_fraction = std::atof(v);
+    } else if (arg == "--ftl-read-fraction") {
+      if ((v = value(i)) == nullptr) return false;
+      opt.ftl_read_fraction = std::atof(v);
+    } else if (arg == "--ftl-hot-fraction") {
+      if ((v = value(i)) == nullptr) return false;
+      opt.ftl_hot_fraction = std::atof(v);
+    } else if (arg == "--ftl-hot-writes") {
+      if ((v = value(i)) == nullptr) return false;
+      opt.ftl_hot_writes = std::atof(v);
     } else {
       std::cerr << "xlf_explore: unknown option " << arg << "\n";
       usage();
@@ -184,6 +254,55 @@ core::OperatingPoint make_point(const std::string& name) {
   return core::OperatingPoint::baseline();
 }
 
+bool make_ftl_spec(const Options& opt, explore::FtlSweepSpec& spec) {
+  spec.base.die.device.array.geometry.blocks = opt.ftl_blocks;
+  spec.base.die.device.array.geometry.pages_per_block = opt.ftl_pages;
+  spec.base.die.cross_layer.uber_target = opt.uber_target;
+  spec.base.die.controller.reliability.uber_target = opt.uber_target;
+  spec.base.initial_pe_cycles = opt.ftl_initial_wear;
+  spec.base.ftl.pe_cycles_per_erase = opt.ftl_wear_per_erase;
+  spec.base.ftl.logical_fraction = opt.ftl_logical_fraction;
+  spec.base.point = make_point(opt.point);
+  spec.requests = opt.ftl_requests;
+  spec.read_fraction = opt.ftl_read_fraction;
+  spec.hot_fraction = opt.ftl_hot_fraction;
+  spec.hot_write_fraction = opt.ftl_hot_writes;
+  spec.seed = opt.seed;
+
+  spec.topologies.clear();
+  for (const std::string& part : split(opt.ftl_topologies, ',')) {
+    unsigned channels = 0, dies = 0;
+    if (std::sscanf(part.c_str(), "%ux%u", &channels, &dies) != 2 ||
+        channels == 0 || dies == 0) {
+      std::cerr << "xlf_explore: --ftl-topologies expects CxD entries, got "
+                << part << "\n";
+      return false;
+    }
+    spec.topologies.push_back(controller::DispatchConfig{channels, dies});
+  }
+  spec.queue_depths.clear();
+  for (const std::string& part : split(opt.ftl_qd, ',')) {
+    const long qd = std::atol(part.c_str());
+    if (qd < 1) {
+      std::cerr << "xlf_explore: --ftl-qd entries must be >= 1\n";
+      return false;
+    }
+    spec.queue_depths.push_back(static_cast<std::size_t>(qd));
+  }
+  spec.gc_policies.clear();
+  for (const std::string& part : split(opt.ftl_gc, ',')) {
+    if (part == "greedy") {
+      spec.gc_policies.push_back(ftl::GcPolicy::kGreedy);
+    } else if (part == "cost-benefit") {
+      spec.gc_policies.push_back(ftl::GcPolicy::kCostBenefit);
+    } else {
+      std::cerr << "xlf_explore: unknown GC policy " << part << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -191,6 +310,31 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, opt)) return 2;
 
   ThreadPool pool(opt.threads);
+
+  if (opt.ftl_sweep) {
+    explore::FtlSweepSpec ftl_spec;
+    if (!make_ftl_spec(opt, ftl_spec)) return 2;
+    const explore::FtlSweepResult result = explore::ftl_sweep(ftl_spec, pool);
+    std::string report;
+    if (opt.format == "csv") {
+      report = explore::ftl_csv(result);
+    } else {
+      report = "{\"ftl\":";
+      report += explore::ftl_json(result);
+      report += "}";
+    }
+    if (opt.out_path.empty()) {
+      std::cout << report;
+    } else {
+      std::ofstream file(opt.out_path);
+      if (!file) {
+        std::cerr << "xlf_explore: cannot open " << opt.out_path << "\n";
+        return 1;
+      }
+      file << report;
+    }
+    return 0;
+  }
 
   core::SubsystemConfig subsystem = core::SubsystemConfig::defaults();
   subsystem.cross_layer.uber_target = opt.uber_target;
