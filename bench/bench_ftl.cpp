@@ -8,11 +8,13 @@
 // pages) instead of the simulation-scale geometries the tests use.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "src/ftl/allocator.hpp"
 #include "src/ftl/mapping.hpp"
+#include "src/policy/registry.hpp"
 #include "src/util/rng.hpp"
 
 namespace {
@@ -58,14 +60,21 @@ void BM_L2pLookup(benchmark::State& state) {
 BENCHMARK(BM_L2pLookup);
 
 // One die's worth of closed blocks with a skewed valid-count profile,
-// scanned by each policy the way Ftl::ensure_capacity does.
+// scanned by each policy the way Ftl::ensure_capacity does. Each
+// scoring rule runs twice: through the policy::GcPolicy virtual
+// interface (the production path since the policy-plane redesign) and
+// as a hand-inlined lambda over the same pick_victim_scored scan —
+// the delta pins the virtual-dispatch cost of the new interface on
+// the GC hot path.
 struct VictimFixture {
   ftl::DieAllocator alloc;
   std::vector<std::uint32_t> valid;
 
   VictimFixture()
-      : alloc(ftl::AllocatorConfig{kBlocks, kPagesPerBlock,
-                                   ftl::WearLeveling::kDynamic}),
+      : alloc(ftl::AllocatorConfig{
+            kBlocks, kPagesPerBlock,
+            policy::PolicyRegistry<policy::WearPolicy>::instance()
+                .make_shared("dynamic")}),
         valid(kBlocks) {
     Rng rng(7);
     // Close all but a few blocks; hot blocks are mostly invalid.
@@ -79,29 +88,68 @@ struct VictimFixture {
   }
 };
 
-void BM_GcVictimGreedy(benchmark::State& state) {
+void BM_GcVictimGreedyVirtual(benchmark::State& state) {
   const VictimFixture fixture;
+  const auto policy =
+      policy::PolicyRegistry<policy::GcPolicy>::instance().make("greedy");
   const auto valid_count = [&](std::uint32_t b) { return fixture.valid[b]; };
   for (auto _ : state) {
-    auto victim = fixture.alloc.pick_victim(ftl::GcPolicy::kGreedy,
-                                            valid_count, 1u << 20);
+    auto victim = fixture.alloc.pick_victim(*policy, valid_count, 1u << 20);
     benchmark::DoNotOptimize(victim);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_GcVictimGreedy);
+BENCHMARK(BM_GcVictimGreedyVirtual);
 
-void BM_GcVictimCostBenefit(benchmark::State& state) {
+void BM_GcVictimGreedyInlined(benchmark::State& state) {
   const VictimFixture fixture;
   const auto valid_count = [&](std::uint32_t b) { return fixture.valid[b]; };
+  const auto score = [](const policy::GcBlockView& view) {
+    return static_cast<double>(view.pages_per_block - view.valid_pages);
+  };
   for (auto _ : state) {
-    auto victim = fixture.alloc.pick_victim(ftl::GcPolicy::kCostBenefit,
-                                            valid_count, 1u << 20);
+    auto victim =
+        fixture.alloc.pick_victim_scored(score, valid_count, 1u << 20);
     benchmark::DoNotOptimize(victim);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_GcVictimCostBenefit);
+BENCHMARK(BM_GcVictimGreedyInlined);
+
+void BM_GcVictimCostBenefitVirtual(benchmark::State& state) {
+  const VictimFixture fixture;
+  const auto policy =
+      policy::PolicyRegistry<policy::GcPolicy>::instance().make(
+          "cost-benefit");
+  const auto valid_count = [&](std::uint32_t b) { return fixture.valid[b]; };
+  for (auto _ : state) {
+    auto victim = fixture.alloc.pick_victim(*policy, valid_count, 1u << 20);
+    benchmark::DoNotOptimize(victim);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GcVictimCostBenefitVirtual);
+
+void BM_GcVictimCostBenefitInlined(benchmark::State& state) {
+  const VictimFixture fixture;
+  const auto valid_count = [&](std::uint32_t b) { return fixture.valid[b]; };
+  const auto score = [](const policy::GcBlockView& view) {
+    const double u =
+        static_cast<double>(view.valid_pages) / view.pages_per_block;
+    const double age =
+        static_cast<double>(view.now - std::min<std::uint64_t>(
+                                           view.now, view.last_write)) +
+        1.0;
+    return age * (1.0 - u) / (2.0 * std::max(u, 1e-9));
+  };
+  for (auto _ : state) {
+    auto victim =
+        fixture.alloc.pick_victim_scored(score, valid_count, 1u << 20);
+    benchmark::DoNotOptimize(victim);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GcVictimCostBenefitInlined);
 
 }  // namespace
 

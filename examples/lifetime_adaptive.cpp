@@ -16,7 +16,7 @@ using namespace xlf;
 int main() {
   std::cout << "=== self-adaptive ECC over the device lifetime ===\n\n";
   core::SubsystemConfig config = core::SubsystemConfig::defaults();
-  config.controller.policy = controller::ReliabilityPolicy::kFeedback;
+  config.controller.tuning_policy = "feedback";
   // Snappier estimator for the demo's coarse age steps.
   config.controller.reliability.ewma_alpha = 0.15;
   core::MemorySubsystem subsystem(config);

@@ -20,7 +20,8 @@ MemoryController::MemoryController(const ControllerConfig& config,
       ocp_(config.ocp),
       buffer_(config.page_buffer),
       ecc_(config.codec, config.ecc_hw),
-      reliability_(config.reliability, config.policy, device.config().array.aging),
+      reliability_(config.reliability, config.tuning_policy,
+                   device.config().array.aging),
       nand_power_(hv_config, device.timing()) {
   // The codeword for t_max must fit the device page.
   const bch::CodeParams worst{config.codec.m, config.codec.k,

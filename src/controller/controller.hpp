@@ -29,7 +29,10 @@ struct ControllerConfig {
   OcpConfig ocp;
   PageBufferConfig page_buffer;
   ReliabilityConfig reliability;
-  ReliabilityPolicy policy = ReliabilityPolicy::kModelBased;
+  // Reliability-manager tuning strategy, resolved through
+  // PolicyRegistry<policy::TuningPolicy> ("static", "model_based",
+  // "feedback", or any policy registered by a downstream TU).
+  std::string tuning_policy = "model_based";
   nand::LoadStrategy load_strategy = nand::LoadStrategy::kFullSequence;
   // Use the decoder's sparse-syndrome fast path with the known
   // written codeword as reference (simulation accelerator; bit-exact

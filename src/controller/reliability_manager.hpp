@@ -1,22 +1,26 @@
 // The integrated reliability manager (paper Section 3): selects the
-// minimal BCH correction capability meeting the UBER target, either
-// from the device's known wear state and RBER law (model-based) or
-// from live corrected-bit feedback out of the ECC unit
-// (self-adaptive). Eq. (1) closes the loop in both cases.
+// minimal BCH correction capability meeting the UBER target through a
+// pluggable policy::TuningPolicy — the built-ins are `static` (hold
+// the configured t), `model_based` (t from the device's known wear
+// state and RBER law) and `feedback` (t from live corrected-bit
+// feedback out of the ECC unit, the self-adaptive path). Eq. (1)
+// closes the loop in the model-based and feedback cases.
+//
+// The manager owns all mutable state (the EWMA estimator, the
+// saturation flag); the policy object is immutable and consulted per
+// decision with a TuningContext snapshot, so one policy instance is
+// safely shared across dies and threads.
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <string>
 
 #include "src/bch/code_params.hpp"
 #include "src/nand/aging.hpp"
+#include "src/policy/policy.hpp"
 
 namespace xlf::controller {
-
-enum class ReliabilityPolicy {
-  kStatic,      // hold whatever t was configured
-  kModelBased,  // t from wear counter + RBER aging law
-  kFeedback,    // t from EWMA of observed corrected-bit density
-};
 
 struct ReliabilityConfig {
   double uber_target = 1e-11;  // Section 6.2
@@ -35,11 +39,16 @@ struct ReliabilityConfig {
 
 class ReliabilityManager {
  public:
+  // `policy_name` is looked up in PolicyRegistry<TuningPolicy>;
+  // unknown names throw listing the registered policies.
   ReliabilityManager(const ReliabilityConfig& config,
-                     ReliabilityPolicy policy, const nand::AgingLaw& law);
+                     const std::string& policy_name,
+                     const nand::AgingLaw& law);
 
-  ReliabilityPolicy policy() const { return policy_; }
-  void set_policy(ReliabilityPolicy policy) { policy_ = policy; }
+  const std::string& policy_name() const { return policy_name_; }
+  const policy::TuningPolicy& tuning_policy() const { return *policy_; }
+  // Swap the tuning strategy at runtime (estimator state is kept).
+  void set_policy(const std::string& policy_name);
   const ReliabilityConfig& config() const { return config_; }
 
   // --- model-based path ------------------------------------------------
@@ -54,8 +63,9 @@ class ReliabilityManager {
   void observe_decode(unsigned corrected_bits, std::uint32_t codeword_bits);
   double estimated_rber() const;
   bool estimate_ready() const { return pages_seen_ >= config_.warmup_pages; }
-  // Recommended t given the policy and current state; `fallback_t` is
-  // returned by the static policy and by feedback before warm-up.
+  // Recommended t per the active policy and current state;
+  // `fallback_t` is returned by policies that decline to retune (the
+  // static policy, feedback before warm-up).
   unsigned recommended_t(nand::ProgramAlgorithm algo, double pe_cycles,
                          unsigned fallback_t) const;
 
@@ -63,10 +73,16 @@ class ReliabilityManager {
   bool saturated() const { return saturated_; }
 
  private:
+  // Bridges a TuningPolicy's t_for_rber calls back to the manager so
+  // the saturation flag tracks exactly the selections that consulted
+  // the UBER equation. Nested for private access; defined in the cpp.
+  struct Host;
+
   unsigned t_for_rber(double rber) const;
 
   ReliabilityConfig config_;
-  ReliabilityPolicy policy_;
+  std::string policy_name_;
+  std::shared_ptr<const policy::TuningPolicy> policy_;
   nand::AgingLaw law_;
   double rber_estimate_ = 0.0;
   unsigned pages_seen_ = 0;

@@ -1,0 +1,107 @@
+// Declarative experiment specs: one JSON document describes a whole
+// exploration run — which engine (configuration-space sweep or FTL
+// policy sweep), the device/FTL configuration under test, the sweep
+// axes (including arbitrary policy-name combinations from the
+// PolicyRegistry), and the optional Monte-Carlo validation — and
+// tools/xlf_explore --spec executes it. The spec is the write-once
+// artifact of an experiment: the same file reproduces the same bytes
+// on any machine at any thread count (the engines' determinism
+// contract), which is what makes sweeps citable results rather than
+// run-dependent samples.
+//
+// Parsing is strict: unknown keys, unknown policy names, malformed
+// topologies and out-of-range values all throw std::invalid_argument
+// with the offending key/value (and, for policies, the registered
+// alternatives) in the message.
+//
+// Spec shape (all keys optional unless noted; defaults mirror the
+// CLI's):
+//
+//   {
+//     "mode": "ftl-sweep" | "space",        // required
+//     "seed": 123,
+//     "uber_target": 1e-11,
+//     "point": "baseline" | "min-uber" | "max-read",
+//     // --- mode: "space" ---------------------------------------
+//     "ages": {"lo": 1, "hi": 1e6, "points": 13},
+//     "pareto_only": false,
+//     "monte_carlo": {                       // omit to skip MC
+//       "replicas": 4, "requests": 32, "age": 1e6,
+//       "workloads": ["sequential-read", "mixed"]
+//     },
+//     // --- mode: "ftl-sweep" -----------------------------------
+//     "geometry": {"blocks": 8, "pages_per_block": 4},
+//     "initial_pe_cycles": 1e4,
+//     "ftl": {"pe_cycles_per_erase": 3e4, "logical_fraction": 0.6,
+//             "gc_free_blocks": 1, "static_wl_spread": 8,
+//             "scrub_retention_hours": 1000},
+//     "workload": {"requests": 200, "read_fraction": 0.3,
+//                  "hot_fraction": 0.25, "hot_write_fraction": 0.85,
+//                  "prepopulate": true},
+//     "sweep": {"topologies": ["1x1", "2x1"], "queue_depths": [1, 4],
+//               "gc_policies": ["greedy", "cost-benefit"],
+//               "wear_policies": ["dynamic"],
+//               "tuning_policies": ["model_based"],
+//               "refresh_policies": ["none"]}
+//   }
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/explore/ftl_sweep.hpp"
+#include "src/util/json.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace xlf::explore {
+
+struct ExperimentSpec {
+  enum class Mode { kSpace, kFtlSweep };
+
+  // The starting point both the JSON parser and the CLI's flag path
+  // refine: simulation-affordable FTL geometry (8 blocks x 4 pages
+  // per die), mid-life pre-conditioning and compressed aging — the
+  // same values the CLI flags default to.
+  static ExperimentSpec defaults();
+
+  Mode mode = Mode::kSpace;
+  std::uint64_t seed = 0x5EEDCA5E;
+  double uber_target = 1e-11;
+  std::string point = "baseline";
+
+  // --- space mode -----------------------------------------------------
+  double age_lo = 1.0;
+  double age_hi = 1e6;
+  std::size_t age_points = 13;
+  bool pareto_only = false;
+  // Monte-Carlo validation (replicas == 0 skips it).
+  std::size_t mc_replicas = 0;
+  std::size_t mc_requests = 32;
+  double mc_age = -1.0;  // < 0 = last grid age
+  std::vector<std::string> mc_workloads{"sequential-read", "random-read",
+                                        "write-burst", "mixed", "streaming"};
+
+  // --- ftl-sweep mode -------------------------------------------------
+  FtlSweepSpec ftl;
+};
+
+// Parses one "CxD" topology token (channels x dies per channel, both
+// >= 1), e.g. "2x1"; nullopt on malformed input. Shared by the spec
+// parser and the CLI flag path so the accepted format cannot drift.
+std::optional<controller::DispatchConfig> parse_topology(
+    const std::string& text);
+
+// Builds a spec from parsed JSON / raw text / a file on disk.
+// Validation is strict (see file comment).
+ExperimentSpec parse_experiment(const JsonValue& root);
+ExperimentSpec parse_experiment_text(const std::string& text);
+ExperimentSpec load_experiment(const std::string& path);
+
+// Executes the spec and renders the report — the same bytes the CLI's
+// flag-driven paths produce for equivalent parameters. `format` must
+// be "csv" or "json".
+std::string run_experiment(const ExperimentSpec& spec, ThreadPool& pool,
+                           const std::string& format);
+
+}  // namespace xlf::explore

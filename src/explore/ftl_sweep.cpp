@@ -9,11 +9,16 @@ FtlSweepResult ftl_sweep(const FtlSweepSpec& spec, ThreadPool& pool) {
   XLF_EXPECT(!spec.topologies.empty());
   XLF_EXPECT(!spec.queue_depths.empty());
   XLF_EXPECT(!spec.gc_policies.empty());
+  XLF_EXPECT(!spec.wear_policies.empty());
+  XLF_EXPECT(!spec.tuning_policies.empty());
+  XLF_EXPECT(!spec.refresh_policies.empty());
   XLF_EXPECT(spec.requests > 0);
 
+  const std::size_t policy_combos =
+      spec.gc_policies.size() * spec.wear_policies.size() *
+      spec.tuning_policies.size() * spec.refresh_policies.size();
   const std::size_t combos = spec.topologies.size() *
-                             spec.queue_depths.size() *
-                             spec.gc_policies.size();
+                             spec.queue_depths.size() * policy_combos;
 
   // Serially pre-forked randomness, one stream per combo: adding a
   // combo or reordering workers never reshuffles another combo's run.
@@ -26,15 +31,26 @@ FtlSweepResult ftl_sweep(const FtlSweepSpec& spec, ThreadPool& pool) {
   result.rows.resize(combos);
 
   pool.parallel_for(combos, [&](std::size_t index) {
-    const std::size_t per_topology =
-        spec.queue_depths.size() * spec.gc_policies.size();
-    const std::size_t t = index / per_topology;
-    const std::size_t q = (index % per_topology) / spec.gc_policies.size();
-    const std::size_t g = index % spec.gc_policies.size();
+    // Decompose: topology-major, then queue depth, then the policy
+    // axes gc > wear > tuning > refresh (refresh innermost).
+    std::size_t rest = index;
+    const std::size_t r = rest % spec.refresh_policies.size();
+    rest /= spec.refresh_policies.size();
+    const std::size_t u = rest % spec.tuning_policies.size();
+    rest /= spec.tuning_policies.size();
+    const std::size_t w = rest % spec.wear_policies.size();
+    rest /= spec.wear_policies.size();
+    const std::size_t g = rest % spec.gc_policies.size();
+    rest /= spec.gc_policies.size();
+    const std::size_t q = rest % spec.queue_depths.size();
+    const std::size_t t = rest / spec.queue_depths.size();
 
     ftl::SsdConfig config = spec.base;
     config.topology = spec.topologies[t];
     config.ftl.gc_policy = spec.gc_policies[g];
+    config.ftl.wear_policy = spec.wear_policies[w];
+    config.ftl.refresh_policy = spec.refresh_policies[r];
+    config.die.controller.tuning_policy = spec.tuning_policies[u];
 
     Rng stream = streams[index];
     ftl::Ssd ssd(config);
@@ -56,7 +72,17 @@ FtlSweepResult ftl_sweep(const FtlSweepSpec& spec, ThreadPool& pool) {
     row.dies_per_channel = config.topology.dies_per_channel;
     row.queue_depth = spec.queue_depths[q];
     row.gc_policy = spec.gc_policies[g];
+    row.wear_policy = spec.wear_policies[w];
+    row.tuning_policy = spec.tuning_policies[u];
+    row.refresh_policy = spec.refresh_policies[r];
     row.stats = simulator.run(requests);
+    // One maintenance scrub after the request stream: the refresh
+    // policy's effect shows up as preventive relocations in the row.
+    // Unconditional — a policy that refreshes nothing (the "none"
+    // built-in, or any downstream no-op) just reports zeros.
+    const ftl::ScrubResult scrubbed = ssd.ftl().scrub();
+    row.stats.refresh_blocks = scrubbed.blocks_refreshed;
+    row.stats.refresh_relocations = scrubbed.pages_relocated;
     result.rows[index] = std::move(row);
   });
   return result;

@@ -1,9 +1,18 @@
 // Parallel FTL-policy exploration: sweep (SSD topology x queue depth
-// x GC policy) combinations of the multi-die stack under one
+// x policy combination) grids of the multi-die stack under one
 // host-level workload, and report write amplification, per-die
 // utilisation, QoS (latency distribution) and the per-block
 // reliability spread next to the device-level metrics the space
 // sweep produces.
+//
+// Policies are swept by registry name along four independent axes —
+// GC victim selection, wear leveling, reliability tuning and
+// background refresh — so any combination of registered strategies
+// (including ones registered by downstream translation units) is
+// reachable without code changes. The grid is the cartesian product
+// topology x queue depth x gc x wear x tuning x refresh, in that
+// nesting order; axes default to a single entry, so the historical
+// (topology x QD x GC) grid is the default shape.
 //
 // Determinism contract (same as sweep/monte_carlo): every combo's
 // randomness comes from its own serially pre-forked Rng stream, each
@@ -12,6 +21,7 @@
 // byte-identical for any thread count.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "src/ftl/ssd.hpp"
@@ -21,13 +31,16 @@
 namespace xlf::explore {
 
 struct FtlSweepSpec {
-  // Template for every combo; topology / queue depth / GC policy are
-  // overridden per grid point.
+  // Template for every combo; topology / queue depth / policy names
+  // are overridden per grid point.
   ftl::SsdConfig base;
   std::vector<controller::DispatchConfig> topologies{{1, 1}, {2, 1}};
   std::vector<std::size_t> queue_depths{1, 4};
-  std::vector<ftl::GcPolicy> gc_policies{ftl::GcPolicy::kGreedy,
-                                         ftl::GcPolicy::kCostBenefit};
+  // Policy axes (PolicyRegistry names of the matching interface).
+  std::vector<std::string> gc_policies{"greedy", "cost-benefit"};
+  std::vector<std::string> wear_policies{"dynamic"};
+  std::vector<std::string> tuning_policies{"model_based"};
+  std::vector<std::string> refresh_policies{"none"};
   // Hot/cold overwrite traffic driving GC (see HotColdWorkload).
   double hot_fraction = 0.25;
   double hot_write_fraction = 0.85;
@@ -42,12 +55,16 @@ struct FtlSweepRow {
   std::uint32_t channels = 0;
   std::uint32_t dies_per_channel = 0;
   std::size_t queue_depth = 0;
-  ftl::GcPolicy gc_policy = ftl::GcPolicy::kGreedy;
+  std::string gc_policy;
+  std::string wear_policy;
+  std::string tuning_policy;
+  std::string refresh_policy;
   sim::SsdSimStats stats;
 };
 
 struct FtlSweepResult {
-  // Topology-major, then queue depth, then GC policy.
+  // Topology-major, then queue depth, then gc / wear / tuning /
+  // refresh policy (innermost).
   std::vector<FtlSweepRow> rows;
 };
 

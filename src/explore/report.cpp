@@ -171,9 +171,13 @@ const Field<FtlSweepRow> kFtlFields[] = {
     {"queue_depth", false,
      [](const FtlSweepRow& r) { return std::to_string(r.queue_depth); }},
     {"gc_policy", true,
-     [](const FtlSweepRow& r) {
-       return std::string(ftl::to_string(r.gc_policy));
-     }},
+     [](const FtlSweepRow& r) { return r.gc_policy; }},
+    {"wear_policy", true,
+     [](const FtlSweepRow& r) { return r.wear_policy; }},
+    {"tuning_policy", true,
+     [](const FtlSweepRow& r) { return r.tuning_policy; }},
+    {"refresh_policy", true,
+     [](const FtlSweepRow& r) { return r.refresh_policy; }},
     {"host_writes", false,
      [](const FtlSweepRow& r) { return std::to_string(r.stats.writes); }},
     {"host_reads", false,
@@ -188,6 +192,14 @@ const Field<FtlSweepRow> kFtlFields[] = {
      [](const FtlSweepRow& r) { return std::to_string(r.stats.erases); }},
     {"wl_swaps", false,
      [](const FtlSweepRow& r) { return std::to_string(r.stats.wl_swaps); }},
+    {"refresh_blocks", false,
+     [](const FtlSweepRow& r) {
+       return std::to_string(r.stats.refresh_blocks);
+     }},
+    {"refresh_relocations", false,
+     [](const FtlSweepRow& r) {
+       return std::to_string(r.stats.refresh_relocations);
+     }},
     {"uncorrectable", false,
      [](const FtlSweepRow& r) {
        return std::to_string(r.stats.uncorrectable);

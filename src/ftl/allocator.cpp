@@ -1,34 +1,26 @@
 #include "src/ftl/allocator.hpp"
 
+#include <algorithm>
+#include <string>
+
+#include "src/policy/registry.hpp"
 #include "src/util/expect.hpp"
 
 namespace xlf::ftl {
 
-const char* to_string(GcPolicy policy) {
-  switch (policy) {
-    case GcPolicy::kGreedy:
-      return "greedy";
-    case GcPolicy::kCostBenefit:
-      return "cost-benefit";
-  }
-  return "?";
-}
-
-const char* to_string(WearLeveling wl) {
-  switch (wl) {
-    case WearLeveling::kNone:
-      return "none";
-    case WearLeveling::kDynamic:
-      return "dynamic";
-    case WearLeveling::kStatic:
-      return "static";
-  }
-  return "?";
-}
-
 DieAllocator::DieAllocator(const AllocatorConfig& config) : config_(config) {
-  XLF_EXPECT(config.blocks >= 3 && "need host + GC frontiers plus free slack");
-  XLF_EXPECT(config.pages_per_block >= 1);
+  XLF_EXPECT_MSG(config.blocks >= 3,
+                 "blocks=" + std::to_string(config.blocks) +
+                     " is too small: a die needs >= 3 blocks (host + GC "
+                     "frontiers plus free slack)");
+  XLF_EXPECT_MSG(config.pages_per_block >= 1,
+                 "pages_per_block=" + std::to_string(config.pages_per_block) +
+                     " must be >= 1");
+  if (config_.wear == nullptr) {
+    config_.wear =
+        policy::PolicyRegistry<policy::WearPolicy>::instance().make_shared(
+            "dynamic");
+  }
   states_.assign(config.blocks, State::kFree);
   erase_counts_.assign(config.blocks, 0);
   last_write_.assign(config.blocks, 0);
@@ -51,12 +43,16 @@ bool DieAllocator::needs_block(Stream stream) const {
 std::uint32_t DieAllocator::pick_free_block() const {
   XLF_EXPECT(free_count_ > 0 && "allocating with an empty free list");
   std::optional<std::uint32_t> best;
+  double best_score = 0.0;
   for (std::uint32_t b = 0; b < config_.blocks; ++b) {
     if (states_[b] != State::kFree) continue;
-    if (config_.wear_leveling == WearLeveling::kNone) return b;  // lowest id
-    // Dynamic wear leveling: lowest erase count, lowest id on ties.
-    if (!best.has_value() || erase_counts_[b] < erase_counts_[*best]) {
+    // Wear policy preference; strict > keeps the lowest-id winner on
+    // ties ("none" scores everything 0 and so picks by id, "dynamic"
+    // scores -erase_count and so picks the least-erased block).
+    const double score = config_.wear->free_block_score(erase_counts_[b]);
+    if (!best.has_value() || score > best_score) {
       best = b;
+      best_score = score;
     }
   }
   XLF_ENSURE(best.has_value());

@@ -8,39 +8,36 @@
 // that state machine plus the FTL-visible erase counters the wear
 // leveler and the per-block ECC adaptation read.
 //
-// Victim selection implements the two textbook policies:
-//  * greedy — fewest valid pages (cheapest copy-out now);
-//  * cost-benefit — maximise age * (1-u) / (2u), which lets a
-//    slightly fuller but long-cold block win over a just-written
-//    sparse one (Rosenblum & Ousterhout's LFS cleaner formula).
+// Policy decisions are delegated to the xlf::policy plane:
+//  * GC victim selection scores closed blocks through a
+//    policy::GcPolicy ("greedy", "cost-benefit", or any registered
+//    strategy) — pick_victim is also available as the pick_victim_scored
+//    template for inlined scoring (benchmarks pin the virtual-dispatch
+//    cost against it);
+//  * free-block preference comes from the policy::WearPolicy's
+//    free_block_score ("none" = by id, "dynamic"/"static" = lowest
+//    erase count).
 //
 // Deterministic throughout: all ties break toward the lowest block
-// id, so simulation runs are bit-reproducible.
+// id, so simulation runs are bit-reproducible whatever the policy.
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "src/policy/policy.hpp"
+
 namespace xlf::ftl {
-
-enum class GcPolicy { kGreedy, kCostBenefit };
-
-enum class WearLeveling {
-  kNone,     // free blocks picked by id; no cold-data swaps
-  kDynamic,  // free blocks picked by lowest erase count
-  kStatic,   // dynamic + periodic cold-block swap on wide wear spread
-};
-
-const char* to_string(GcPolicy policy);
-const char* to_string(WearLeveling wl);
 
 struct AllocatorConfig {
   std::uint32_t blocks = 0;
   std::uint32_t pages_per_block = 0;
-  WearLeveling wear_leveling = WearLeveling::kDynamic;
+  // Shared, immutable wear-leveling strategy; nullptr resolves to the
+  // registry's "dynamic" built-in (the historical default).
+  std::shared_ptr<const policy::WearPolicy> wear;
 };
 
 class DieAllocator {
@@ -70,14 +67,27 @@ class DieAllocator {
   std::uint32_t min_erase_count() const;
   std::uint32_t max_erase_count() const;
 
-  // GC victim among closed blocks with at least one invalid page;
-  // `valid_count(block)` supplies the live-page signal, `now` the
-  // logical clock for cost-benefit aging. nullopt when nothing is
-  // reclaimable.
+  // GC victim among closed blocks with at least one invalid page:
+  // the highest-scoring candidate under `score`, lowest block id on
+  // ties. `valid_count(block)` supplies the live-page signal, `now`
+  // the logical clock. nullopt when nothing is reclaimable. The
+  // template keeps the score call inlinable for hand-rolled scans;
+  // the GcPolicy overload below is the policy-plane entry point.
+  template <class ScoreFn, class ValidCountFn>
+  std::optional<std::uint32_t> pick_victim_scored(
+      const ScoreFn& score, const ValidCountFn& valid_count,
+      std::uint64_t now) const;
+
   template <class ValidCountFn>
-  std::optional<std::uint32_t> pick_victim(GcPolicy policy,
+  std::optional<std::uint32_t> pick_victim(const policy::GcPolicy& policy,
                                            const ValidCountFn& valid_count,
-                                           std::uint64_t now) const;
+                                           std::uint64_t now) const {
+    return pick_victim_scored(
+        [&policy](const policy::GcBlockView& view) {
+          return policy.score(view);
+        },
+        valid_count, now);
+  }
 
   // Coldest closed block (lowest erase count, oldest stamp as the
   // tiebreak) — the static wear leveler's swap source. nullopt when
@@ -109,9 +119,9 @@ class DieAllocator {
   std::size_t free_count_ = 0;
 };
 
-template <class ValidCountFn>
-std::optional<std::uint32_t> DieAllocator::pick_victim(
-    GcPolicy policy, const ValidCountFn& valid_count,
+template <class ScoreFn, class ValidCountFn>
+std::optional<std::uint32_t> DieAllocator::pick_victim_scored(
+    const ScoreFn& score, const ValidCountFn& valid_count,
     std::uint64_t now) const {
   std::optional<std::uint32_t> best;
   double best_score = 0.0;
@@ -119,28 +129,18 @@ std::optional<std::uint32_t> DieAllocator::pick_victim(
     if (states_[b] != State::kClosed) continue;
     const std::uint32_t valid = valid_count(b);
     if (valid >= config_.pages_per_block) continue;  // nothing to reclaim
-    double score = 0.0;
-    switch (policy) {
-      case GcPolicy::kGreedy:
-        // Fewest valid pages wins; score rises as valid drops.
-        score = static_cast<double>(config_.pages_per_block - valid);
-        break;
-      case GcPolicy::kCostBenefit: {
-        const double u =
-            static_cast<double>(valid) / config_.pages_per_block;
-        const double age =
-            static_cast<double>(now - std::min(now, last_write_[b])) + 1.0;
-        // benefit/cost = free-space gain * age over twice the copy
-        // cost; u == 0 degenerates to "free block's worth per unit
-        // cost", handled by the u floor.
-        score = age * (1.0 - u) / (2.0 * std::max(u, 1e-9));
-        break;
-      }
-    }
+    policy::GcBlockView view;
+    view.block = b;
+    view.valid_pages = valid;
+    view.pages_per_block = config_.pages_per_block;
+    view.erase_count = erase_counts_[b];
+    view.last_write = last_write_[b];
+    view.now = now;
+    const double candidate = score(view);
     // Strict > keeps the lowest-id winner on ties (deterministic).
-    if (!best.has_value() || score > best_score) {
+    if (!best.has_value() || candidate > best_score) {
       best = b;
-      best_score = score;
+      best_score = candidate;
     }
   }
   return best;

@@ -1,7 +1,9 @@
 #include "src/ftl/ftl.hpp"
 
 #include <algorithm>
+#include <sstream>
 
+#include "src/policy/registry.hpp"
 #include "src/util/expect.hpp"
 #include "src/util/log.hpp"
 
@@ -14,9 +16,36 @@ Ftl::Ftl(const FtlConfig& config,
       map_(1, 1, 2, 1),  // placeholder; rebuilt below once validated
       clock_(0) {
   XLF_EXPECT(!controllers_.empty());
-  XLF_EXPECT(config_.gc_free_blocks >= 1);
-  XLF_EXPECT(config_.logical_fraction > 0.0 && config_.logical_fraction < 1.0);
-  XLF_EXPECT(config_.pe_cycles_per_erase >= 1.0);
+  XLF_EXPECT_MSG(config_.gc_free_blocks >= 1,
+                 "gc_free_blocks=" + std::to_string(config_.gc_free_blocks) +
+                     " must be >= 1 so relocation frontiers can always open "
+                     "a block");
+  XLF_EXPECT_MSG(
+      config_.logical_fraction > 0.0 && config_.logical_fraction < 1.0,
+      [&] {
+        std::ostringstream msg;
+        msg << "logical_fraction=" << config_.logical_fraction
+            << " must lie in (0, 1): the share above the logical space is "
+               "the over-provisioning GC lives on";
+        return msg.str();
+      }());
+  XLF_EXPECT_MSG(config_.pe_cycles_per_erase >= 1.0, [&] {
+    std::ostringstream msg;
+    msg << "pe_cycles_per_erase=" << config_.pe_cycles_per_erase
+        << " must be >= 1 (every FTL erase is at least one physical cycle)";
+    return msg.str();
+  }());
+
+  // Resolve the policy plane up front: a typo in any policy name
+  // fails construction with the registered alternatives listed.
+  gc_policy_ = policy::PolicyRegistry<policy::GcPolicy>::instance().make_shared(
+      config_.gc_policy);
+  wear_policy_ =
+      policy::PolicyRegistry<policy::WearPolicy>::instance().make_shared(
+          config_.wear_policy);
+  refresh_policy_ =
+      policy::PolicyRegistry<policy::RefreshPolicy>::instance().make_shared(
+          config_.refresh_policy);
 
   const nand::Geometry& geometry = controllers_.front()->device().geometry();
   for (const auto* c : controllers_) {
@@ -30,7 +59,13 @@ Ftl::Ftl(const FtlConfig& config,
       static_cast<std::size_t>(die_count) * geometry.pages();
   const auto logical = static_cast<std::uint32_t>(
       static_cast<double>(physical) * config_.logical_fraction);
-  XLF_EXPECT(logical >= 1 && "logical_fraction leaves no logical space");
+  XLF_EXPECT_MSG(logical >= 1, [&] {
+    std::ostringstream msg;
+    msg << "logical_fraction=" << config_.logical_fraction
+        << " leaves no logical space: " << physical << " physical pages x "
+        << config_.logical_fraction << " rounds down to 0 logical pages";
+    return msg.str();
+  }());
 
   // GC progress needs slack on every die: the host and GC frontiers
   // plus the free-block floor must fit beside the die's share of the
@@ -38,16 +73,35 @@ Ftl::Ftl(const FtlConfig& config,
   const std::uint32_t per_die_logical_max =
       logical / die_count + (logical % die_count != 0 ? 1 : 0);
   const std::uint32_t slack_blocks = config_.gc_free_blocks + 2;
-  XLF_EXPECT(geometry.blocks > slack_blocks);
-  XLF_EXPECT(per_die_logical_max <=
-                 (geometry.blocks - slack_blocks) * geometry.pages_per_block &&
-             "not enough over-provisioning per die for GC to make progress");
+  XLF_EXPECT_MSG(geometry.blocks > slack_blocks, [&] {
+    std::ostringstream msg;
+    msg << "blocks=" << geometry.blocks << " per die cannot host the "
+        << slack_blocks << " slack blocks GC needs (gc_free_blocks="
+        << config_.gc_free_blocks << " + 2 write frontiers)";
+    return msg.str();
+  }());
+  XLF_EXPECT_MSG(
+      per_die_logical_max <=
+          (geometry.blocks - slack_blocks) * geometry.pages_per_block,
+      [&] {
+        std::ostringstream msg;
+        msg << "logical_fraction=" << config_.logical_fraction
+            << " leaves less than gc_free_blocks+2=" << slack_blocks
+            << " blocks of slack per die: up to " << per_die_logical_max
+            << " logical pages land on one die but only "
+            << (geometry.blocks - slack_blocks) * geometry.pages_per_block
+            << " fit beside the slack (" << die_count << " dies, blocks="
+            << geometry.blocks << ", pages_per_block="
+            << geometry.pages_per_block
+            << "); lower logical_fraction or gc_free_blocks, or grow the die";
+        return msg.str();
+      }());
 
   map_ = PageMap(die_count, geometry.blocks, geometry.pages_per_block, logical);
   AllocatorConfig alloc_config;
   alloc_config.blocks = geometry.blocks;
   alloc_config.pages_per_block = geometry.pages_per_block;
-  alloc_config.wear_leveling = config_.wear_leveling;
+  alloc_config.wear = wear_policy_;
   allocators_.assign(die_count, DieAllocator(alloc_config));
   block_t_.assign(die_count, std::vector<unsigned>(geometry.blocks, 0));
 }
@@ -113,11 +167,15 @@ Seconds Ftl::relocate_valid_pages(std::uint32_t die, std::uint32_t block,
 }
 
 Seconds Ftl::maybe_static_swap(std::uint32_t die, FtlOpResult& result) {
+  // The capability probe keeps non-swapping policies off the erase-
+  // counter scans below — this runs on every host write.
+  if (!wear_policy_->swaps()) return Seconds{0.0};
   DieAllocator& alloc = allocators_[die];
-  if (alloc.max_erase_count() - alloc.min_erase_count() <=
-      config_.static_wl_spread) {
-    return Seconds{0.0};
-  }
+  policy::WearContext ctx;
+  ctx.min_erase_count = alloc.min_erase_count();
+  ctx.max_erase_count = alloc.max_erase_count();
+  ctx.configured_spread = config_.static_wl_spread;
+  if (!wear_policy_->should_swap(ctx)) return Seconds{0.0};
   if (alloc.free_count() == 0) return Seconds{0.0};
   const std::optional<std::uint32_t> cold = alloc.pick_coldest();
   if (!cold.has_value()) return Seconds{0.0};
@@ -141,16 +199,14 @@ Seconds Ftl::ensure_capacity(std::uint32_t die, FtlOpResult& result) {
       static_cast<std::size_t>(geometry.blocks) * geometry.pages_per_block + 1;
   while (alloc.free_count() <= config_.gc_free_blocks) {
     const std::optional<std::uint32_t> victim = alloc.pick_victim(
-        config_.gc_policy,
+        *gc_policy_,
         [&](std::uint32_t b) { return map_.valid_count(die, b); }, clock_);
     if (!victim.has_value()) break;  // nothing reclaimable yet
     busy += relocate_valid_pages(die, *victim, result);
     busy += erase_block(die, *victim);
     XLF_ENSURE(++rounds <= max_rounds);
   }
-  if (config_.wear_leveling == WearLeveling::kStatic) {
-    busy += maybe_static_swap(die, result);
-  }
+  busy += maybe_static_swap(die, result);
   return busy;
 }
 
@@ -205,6 +261,66 @@ FtlOpResult Ftl::read(Lpa lpa) {
   result.nand_energy += rd.nand_energy;
   ++stats_.host_reads;
   return result;
+}
+
+ScrubResult Ftl::scrub() {
+  ScrubResult scrub_result;
+  const nand::Geometry& geometry = controllers_.front()->device().geometry();
+  for (std::uint32_t d = 0; d < dies(); ++d) {
+    const nand::AgingLaw& law = device(d).config().array.aging;
+    const controller::ReliabilityConfig& rel =
+        ctrl(d).reliability().config();
+    // Snapshot the candidates before relocating anything: a refresh
+    // fills the GC frontier, which can close a *new* block mid-pass,
+    // and freshly re-programmed data must not be offered again in the
+    // same pass (it would double-copy and double-count).
+    std::vector<std::uint32_t> candidates;
+    for (std::uint32_t b = 0; b < geometry.blocks; ++b) {
+      // Only closed blocks with live data are scrub candidates: open
+      // frontiers are in active use and free blocks hold nothing.
+      if (allocators_[d].is_closed(b) && map_.valid_count(d, b) > 0) {
+        candidates.push_back(b);
+      }
+    }
+    for (const std::uint32_t b : candidates) {
+      // Re-check at visit time: an earlier refresh in this pass may
+      // have recycled the block through the free list.
+      if (!allocators_[d].is_closed(b)) continue;
+      if (map_.valid_count(d, b) == 0) continue;
+      ++scrub_result.blocks_checked;
+
+      policy::RefreshContext ctx;
+      ctx.algo = ctrl(d).program_algorithm();
+      ctx.pe_cycles = device(d).wear(b);
+      ctx.page_t = block_t_[d][b];
+      ctx.retention_hours = config_.scrub_retention_hours;
+      ctx.budget = {rel.uber_target, rel.m, rel.k, rel.t_min, rel.t_max};
+      ctx.law = &law;
+      if (!refresh_policy_->should_refresh(ctx)) continue;
+
+      // Refresh = relocate live data to fresh pages (re-encoded at a
+      // re-adapted t) and reclaim the block. The copies ride the GC
+      // frontier and counters, and are additionally accounted as
+      // refresh traffic.
+      FtlOpResult relocation;
+      const std::uint64_t relocations_before = stats_.gc_relocations;
+      scrub_result.busy += relocate_valid_pages(d, b, relocation);
+      scrub_result.busy += erase_block(d, b);
+      scrub_result.ecc_energy += relocation.ecc_energy;
+      scrub_result.nand_energy += relocation.nand_energy;
+      const std::uint64_t moved = stats_.gc_relocations - relocations_before;
+      scrub_result.pages_relocated += moved;
+      stats_.refresh_relocations += moved;
+      ++scrub_result.blocks_refreshed;
+      ++stats_.refresh_blocks;
+    }
+  }
+  if (scrub_result.blocks_refreshed > 0) {
+    log_info() << "scrub: refreshed " << scrub_result.blocks_refreshed
+               << " of " << scrub_result.blocks_checked << " candidate blocks ("
+               << scrub_result.pages_relocated << " pages)";
+  }
+  return scrub_result;
 }
 
 double Ftl::wear(std::uint32_t die, std::uint32_t block) const {

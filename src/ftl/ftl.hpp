@@ -4,9 +4,15 @@
 // What it adds over the raw controller stack:
 //  * out-of-place writes through the L2P map (no host-visible
 //    erase-before-write);
-//  * greedy / cost-benefit garbage collection with hot/cold frontier
-//    separation, charged to the die as foreground time;
-//  * dynamic + static wear leveling over FTL-visible erase counters;
+//  * garbage collection with hot/cold frontier separation, charged to
+//    the die as foreground time — victim selection through a
+//    pluggable policy::GcPolicy ("greedy", "cost-benefit", ...);
+//  * wear leveling over FTL-visible erase counters through a
+//    policy::WearPolicy ("none", "dynamic", "static");
+//  * a background scrub pass (`scrub()`) driven by a
+//    policy::RefreshPolicy ("none", "retention_aware", ...): blocks
+//    whose predicted post-retention RBER would outgrow the t their
+//    pages were written with are preventively re-programmed;
 //  * accelerated aging (`pe_cycles_per_erase`) so a short simulated
 //    run can traverse the device lifetime the paper's schedule spans;
 //  * wear-aware per-block operating points: before every program the
@@ -16,6 +22,10 @@
 //    granularity. Hot blocks (high wear from GC churn) get a larger t
 //    than cold blocks in the same run, and every page remembers the t
 //    it was written with, so reads decode correctly either way.
+//
+// All policies are registry-resolved from the names in FtlConfig, so
+// the decision logic is swappable (and sweepable from an experiment
+// spec) without touching this layer.
 //
 // LPA -> die affinity is `lpa % dies` (page-level striping):
 // sequential host streams fan out across channels, and each die's GC
@@ -28,17 +38,24 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "src/controller/controller.hpp"
 #include "src/ftl/allocator.hpp"
 #include "src/ftl/mapping.hpp"
+#include "src/policy/policy.hpp"
 
 namespace xlf::ftl {
 
 struct FtlConfig {
-  GcPolicy gc_policy = GcPolicy::kGreedy;
-  WearLeveling wear_leveling = WearLeveling::kDynamic;
+  // Policy-plane strategy names, resolved through the PolicyRegistry
+  // of the matching interface at construction (unknown names throw,
+  // listing what is registered).
+  std::string gc_policy = "greedy";
+  std::string wear_policy = "dynamic";
+  std::string refresh_policy = "none";
   // GC reclaims until a die's free-block count exceeds this floor
   // (>= 1 guarantees relocation frontiers can always open a block).
   std::uint32_t gc_free_blocks = 1;
@@ -56,6 +73,9 @@ struct FtlConfig {
   // per FTL erase, so block ages diverge across the paper's schedule
   // within an affordable number of simulated operations.
   double pe_cycles_per_erase = 1.0;
+  // Retention horizon (hours) a scrub pass guards against — the
+  // storage interval the refresh policy must keep decodable.
+  double scrub_retention_hours = 1000.0;
 };
 
 // One host operation's outcome, with the service-time split the
@@ -78,6 +98,16 @@ struct FtlOpResult {
   Joules nand_energy{0.0};
 };
 
+// One background scrub pass's outcome (see Ftl::scrub).
+struct ScrubResult {
+  std::uint64_t blocks_checked = 0;
+  std::uint64_t blocks_refreshed = 0;
+  std::uint64_t pages_relocated = 0;
+  Seconds busy{0.0};
+  Joules ecc_energy{0.0};
+  Joules nand_energy{0.0};
+};
+
 struct FtlStats {
   std::uint64_t host_writes = 0;
   std::uint64_t host_reads = 0;
@@ -85,6 +115,10 @@ struct FtlStats {
   std::uint64_t gc_relocations = 0;
   std::uint64_t erases = 0;
   std::uint64_t wl_swaps = 0;
+  // Background scrub activity: blocks preventively re-programmed by
+  // the refresh policy, and the page copies that took.
+  std::uint64_t refresh_blocks = 0;
+  std::uint64_t refresh_relocations = 0;
   // Relocation reads that came back uncorrectable (data propagated
   // as decoded; the mismatch surfaces in the simulator's verify).
   std::uint64_t gc_uncorrectable = 0;
@@ -127,6 +161,15 @@ class Ftl {
   // pages without touching flash (`unmapped` flag set).
   FtlOpResult read(Lpa lpa);
 
+  // Background scrub: every closed block is offered to the refresh
+  // policy with its wear, its pages' t budget and the configured
+  // retention horizon; accepted blocks have their live data relocated
+  // (re-programmed fresh, with re-adapted t) and are erased. Runs
+  // outside any host request's accounting — the returned busy time is
+  // the maintenance cost a deployment would schedule into idle
+  // windows.
+  ScrubResult scrub();
+
   // --- wear / configuration visibility --------------------------------
   double wear(std::uint32_t die, std::uint32_t block) const;
   std::uint32_t erase_count(std::uint32_t die, std::uint32_t block) const;
@@ -161,6 +204,10 @@ class Ftl {
   std::vector<controller::MemoryController*> controllers_;
   PageMap map_;
   std::vector<DieAllocator> allocators_;
+  // Registry-resolved strategies (immutable, shared across dies).
+  std::shared_ptr<const policy::GcPolicy> gc_policy_;
+  std::shared_ptr<const policy::WearPolicy> wear_policy_;
+  std::shared_ptr<const policy::RefreshPolicy> refresh_policy_;
   std::vector<std::vector<unsigned>> block_t_;  // [die][block]
   std::uint64_t clock_ = 0;  // logical write stamp (cost-benefit age)
   FtlStats stats_;

@@ -1,0 +1,15 @@
+// Link anchors for the built-in policy translation units (see
+// registry.hpp's static-archive caveat). One no-op function per TU;
+// registry.cpp references them all so using any registry links every
+// built-in.
+#pragma once
+
+namespace xlf::policy::detail {
+
+void builtin_tuning_anchor();
+void builtin_gc_anchor();
+void builtin_wear_anchor();
+void builtin_refresh_anchor();
+void retention_refresh_anchor();
+
+}  // namespace xlf::policy::detail

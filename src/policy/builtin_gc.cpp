@@ -1,0 +1,47 @@
+// Built-in GC victim-selection policies, scoring exactly what the
+// FTL's former hardwired enum computed:
+//  * greedy — fewest valid pages (cheapest copy-out now);
+//  * cost-benefit — age * (1-u) / (2u), which lets a slightly fuller
+//    but long-cold block win over a just-written sparse one
+//    (Rosenblum & Ousterhout's LFS cleaner formula).
+#include <algorithm>
+
+#include "src/policy/policy.hpp"
+#include "src/policy/registry.hpp"
+
+namespace xlf::policy {
+namespace {
+
+class GreedyGc final : public GcPolicy {
+ public:
+  double score(const GcBlockView& view) const override {
+    // Fewest valid pages wins; score rises as valid drops.
+    return static_cast<double>(view.pages_per_block - view.valid_pages);
+  }
+};
+
+class CostBenefitGc final : public GcPolicy {
+ public:
+  double score(const GcBlockView& view) const override {
+    const double u =
+        static_cast<double>(view.valid_pages) / view.pages_per_block;
+    const double age = static_cast<double>(
+                           view.now - std::min(view.now, view.last_write)) +
+                       1.0;
+    // benefit/cost = free-space gain * age over twice the copy cost;
+    // u == 0 degenerates to "free block's worth per unit cost",
+    // handled by the u floor.
+    return age * (1.0 - u) / (2.0 * std::max(u, 1e-9));
+  }
+};
+
+const Registration<GcPolicy, GreedyGc> kGreedy("greedy");
+const Registration<GcPolicy, CostBenefitGc> kCostBenefit("cost-benefit");
+
+}  // namespace
+
+namespace detail {
+void builtin_gc_anchor() {}
+}  // namespace detail
+
+}  // namespace xlf::policy

@@ -1,0 +1,26 @@
+// The default refresh policy: never scrub. Registered so "none" is a
+// first-class sweepable choice next to retention_aware, and so the
+// FTL's default configuration goes through the registry like every
+// other policy.
+#include "src/policy/policy.hpp"
+#include "src/policy/registry.hpp"
+
+namespace xlf::policy {
+namespace {
+
+class NoRefresh final : public RefreshPolicy {
+ public:
+  bool should_refresh(const RefreshContext& /*ctx*/) const override {
+    return false;
+  }
+};
+
+const Registration<RefreshPolicy, NoRefresh> kNone("none");
+
+}  // namespace
+
+namespace detail {
+void builtin_refresh_anchor() {}
+}  // namespace detail
+
+}  // namespace xlf::policy

@@ -1,0 +1,58 @@
+// Built-in tuning policies — the three reliability-manager behaviours
+// of paper Section 3, now as registry entries: `static` holds the
+// configured t, `model_based` derives t from the wear counter and the
+// RBER aging law, `feedback` derives it from the EWMA of observed
+// corrected-bit density (self-adaptive ECC).
+#include <algorithm>
+
+#include "src/policy/policy.hpp"
+#include "src/policy/registry.hpp"
+#include "src/util/expect.hpp"
+
+namespace xlf::policy {
+namespace {
+
+// Hold whatever t is configured.
+class StaticTuning final : public TuningPolicy {
+ public:
+  unsigned recommend(const TuningContext& ctx) const override {
+    return ctx.fallback_t;
+  }
+};
+
+// t from the device's known wear state and RBER law (Eq. (1) closes
+// the loop inside the host's t_for_rber).
+class ModelBasedTuning final : public TuningPolicy {
+ public:
+  unsigned recommend(const TuningContext& ctx) const override {
+    XLF_EXPECT(ctx.law != nullptr && ctx.host != nullptr);
+    return ctx.host->t_for_rber(ctx.law->rber(ctx.algo, ctx.pe_cycles));
+  }
+};
+
+// t from live corrected-bit feedback out of the ECC unit.
+class FeedbackTuning final : public TuningPolicy {
+ public:
+  unsigned recommend(const TuningContext& ctx) const override {
+    XLF_EXPECT(ctx.host != nullptr);
+    if (!ctx.estimate_ready) return ctx.fallback_t;
+    // Never trust an estimate of exactly zero: with no observed
+    // errors the best statement is "below one error per observed
+    // window"; fall back to the floor capability.
+    if (ctx.estimated_rber <= 0.0) return ctx.budget.t_min;
+    return ctx.host->t_for_rber(
+        std::min(0.5, ctx.estimated_rber * ctx.safety_factor));
+  }
+};
+
+const Registration<TuningPolicy, StaticTuning> kStatic("static");
+const Registration<TuningPolicy, ModelBasedTuning> kModelBased("model_based");
+const Registration<TuningPolicy, FeedbackTuning> kFeedback("feedback");
+
+}  // namespace
+
+namespace detail {
+void builtin_tuning_anchor() {}
+}  // namespace detail
+
+}  // namespace xlf::policy

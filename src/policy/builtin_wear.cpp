@@ -1,0 +1,55 @@
+// Built-in wear-leveling policies:
+//  * none    — free blocks picked by id, no cold-data swaps;
+//  * dynamic — free blocks picked by lowest erase count;
+//  * static  — dynamic, plus a cold-block swap whenever the die's
+//    erase spread (max - min) exceeds the configured tolerance.
+#include "src/policy/policy.hpp"
+#include "src/policy/registry.hpp"
+
+namespace xlf::policy {
+namespace {
+
+class NoWearLeveling final : public WearPolicy {
+ public:
+  // All free blocks equal: the lowest-id tiebreak picks by id.
+  double free_block_score(std::uint32_t /*erase_count*/) const override {
+    return 0.0;
+  }
+  bool swaps() const override { return false; }
+  bool should_swap(const WearContext& /*ctx*/) const override { return false; }
+};
+
+class DynamicWearLeveling final : public WearPolicy {
+ public:
+  // Prefer the least-erased free block.
+  double free_block_score(std::uint32_t erase_count) const override {
+    return -static_cast<double>(erase_count);
+  }
+  bool swaps() const override { return false; }
+  bool should_swap(const WearContext& /*ctx*/) const override { return false; }
+};
+
+class StaticWearLeveling final : public WearPolicy {
+ public:
+  double free_block_score(std::uint32_t erase_count) const override {
+    return -static_cast<double>(erase_count);
+  }
+  bool swaps() const override { return true; }
+  // Evict the coldest block once the spread outgrows the tolerance:
+  // pinned-cold data is what dynamic leveling alone cannot reach.
+  bool should_swap(const WearContext& ctx) const override {
+    return ctx.max_erase_count - ctx.min_erase_count > ctx.configured_spread;
+  }
+};
+
+const Registration<WearPolicy, NoWearLeveling> kNone("none");
+const Registration<WearPolicy, DynamicWearLeveling> kDynamic("dynamic");
+const Registration<WearPolicy, StaticWearLeveling> kStatic("static");
+
+}  // namespace
+
+namespace detail {
+void builtin_wear_anchor() {}
+}  // namespace detail
+
+}  // namespace xlf::policy

@@ -1,0 +1,163 @@
+// The cross-layer control plane as pluggable strategies (xlf::policy).
+//
+// The paper's thesis is that reliability/performance knobs must be
+// co-configured across layers; this layer is where the *decisions*
+// live, decoupled from the mechanisms that execute them. Four
+// strategy interfaces cover the control points of the stack:
+//
+//  * TuningPolicy  — per-block (algo, t) selection inside the
+//    controller's reliability manager (static / model-based /
+//    feedback are the built-ins);
+//  * GcPolicy      — garbage-collection victim scoring inside the
+//    FTL's per-die allocator (greedy / cost-benefit);
+//  * WearPolicy    — free-block preference and static-swap triggering
+//    for wear leveling (none / dynamic / static);
+//  * RefreshPolicy — background scrub decisions: which blocks should
+//    be preventively re-programmed before retention errors outgrow
+//    the correction capability their pages were written with (none /
+//    retention_aware).
+//
+// Every interface is consumed through PolicyRegistry (registry.hpp),
+// so a new policy lives in its own translation unit, registers itself
+// under a string name, and becomes sweepable from the experiment spec
+// without touching controller/ftl/explore code.
+//
+// Policies are immutable once constructed and must be safe to share
+// across dies and threads: all mutable state (feedback estimators,
+// erase counters, valid-page maps) stays with the caller and is
+// passed in through the per-decision context structs.
+#pragma once
+
+#include <cstdint>
+
+#include "src/nand/aging.hpp"
+
+namespace xlf::policy {
+
+// The ECC envelope a tuning/refresh decision works inside: the BCH
+// code family (GF(2^m), k-bit payload) and the UBER target the paper
+// holds constant while trading everything else.
+struct EccBudget {
+  double uber_target = 1e-11;
+  unsigned m = 16;
+  std::uint32_t k = 32768;
+  unsigned t_min = 3;
+  unsigned t_max = 65;
+};
+
+// --- TuningPolicy ----------------------------------------------------
+
+// Services the reliability manager exposes to its tuning policy.
+// t_for_rber records saturation (no t in [t_min, t_max] meets the
+// target) in the manager, which is why it is a host callback and not
+// a free function: policies that never consult the RBER law (e.g.
+// static) must also never touch the saturation flag.
+class TuningHost {
+ public:
+  virtual ~TuningHost() = default;
+  // Minimal t meeting the UBER target at the given RBER; saturates at
+  // t_max.
+  virtual unsigned t_for_rber(double rber) const = 0;
+};
+
+// Everything the reliability manager knows at selection time.
+struct TuningContext {
+  nand::ProgramAlgorithm algo = nand::ProgramAlgorithm::kIsppSv;
+  double pe_cycles = 0.0;
+  // Returned by policies that decline to retune (static, feedback
+  // before warm-up): the currently configured capability.
+  unsigned fallback_t = 0;
+  // Feedback estimator state (EWMA of corrected-bit density).
+  double estimated_rber = 0.0;
+  bool estimate_ready = false;
+  // Multiplicative guard band on noisy feedback estimates.
+  double safety_factor = 1.0;
+  EccBudget budget;
+  const nand::AgingLaw* law = nullptr;
+  const TuningHost* host = nullptr;
+};
+
+// Per-block correction-capability selection (the t knob of the
+// paper's (algo, t) schedule).
+class TuningPolicy {
+ public:
+  virtual ~TuningPolicy() = default;
+  virtual unsigned recommend(const TuningContext& ctx) const = 0;
+};
+
+// --- GcPolicy --------------------------------------------------------
+
+// One GC candidate as the allocator presents it: a closed block with
+// at least one invalid page.
+struct GcBlockView {
+  std::uint32_t block = 0;
+  std::uint32_t valid_pages = 0;
+  std::uint32_t pages_per_block = 0;
+  std::uint32_t erase_count = 0;
+  // Logical write stamps (the FTL's monotonic write clock).
+  std::uint64_t last_write = 0;
+  std::uint64_t now = 0;
+};
+
+// Victim scoring: the allocator scans its closed blocks and collects
+// the highest-scoring candidate, breaking ties toward the lowest
+// block id so runs stay bit-reproducible whatever the policy.
+class GcPolicy {
+ public:
+  virtual ~GcPolicy() = default;
+  virtual double score(const GcBlockView& view) const = 0;
+};
+
+// --- WearPolicy ------------------------------------------------------
+
+// Die-level wear state a swap decision sees.
+struct WearContext {
+  std::uint32_t min_erase_count = 0;
+  std::uint32_t max_erase_count = 0;
+  // FtlConfig::static_wl_spread — the configured tolerance.
+  std::uint32_t configured_spread = 0;
+};
+
+// Wear leveling split into its two decision points: which free block
+// to open next (dynamic leveling), and whether the erase spread has
+// grown enough to evict a cold block (static leveling).
+class WearPolicy {
+ public:
+  virtual ~WearPolicy() = default;
+  // Free-block preference: the allocator opens the highest-scoring
+  // free block, lowest id on ties.
+  virtual double free_block_score(std::uint32_t erase_count) const = 0;
+  // Capability probe, consulted on the write hot path: building a
+  // WearContext costs two O(blocks) erase-counter scans, so the FTL
+  // only assembles one (and calls should_swap) when this is true.
+  virtual bool swaps() const = 0;
+  // True when the FTL should relocate the coldest closed block now.
+  virtual bool should_swap(const WearContext& ctx) const = 0;
+};
+
+// --- RefreshPolicy ---------------------------------------------------
+
+// One block as the scrub pass presents it.
+struct RefreshContext {
+  nand::ProgramAlgorithm algo = nand::ProgramAlgorithm::kIsppSv;
+  // The block's own P/E counter.
+  double pe_cycles = 0.0;
+  // Correction capability the block's pages were written with — the t
+  // budget a refresh decision guards.
+  unsigned page_t = 0;
+  // Retention horizon to guard against (hours at storage temperature
+  // before the next scrub opportunity).
+  double retention_hours = 0.0;
+  EccBudget budget;
+  const nand::AgingLaw* law = nullptr;
+};
+
+// Background scrub decisions: re-program a block's live data before
+// predicted post-retention errors approach its pages' t budget.
+class RefreshPolicy {
+ public:
+  virtual ~RefreshPolicy() = default;
+  virtual bool should_refresh(const RefreshContext& ctx) const = 0;
+};
+
+}  // namespace xlf::policy

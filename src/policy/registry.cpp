@@ -1,0 +1,19 @@
+#include "src/policy/registry.hpp"
+
+#include "src/policy/builtin_anchors.hpp"
+
+namespace xlf::policy::detail {
+
+// Referencing one symbol per built-in TU forces the linker to pull
+// those archive members in, which runs their namespace-scope
+// Registration objects at static-initialisation time. The calls are
+// no-ops; only the references matter.
+void require_builtin_policies() {
+  builtin_tuning_anchor();
+  builtin_gc_anchor();
+  builtin_wear_anchor();
+  builtin_refresh_anchor();
+  retention_refresh_anchor();
+}
+
+}  // namespace xlf::policy::detail

@@ -1,0 +1,166 @@
+// String-keyed policy registry with self-registering factories.
+//
+// Each strategy interface (TuningPolicy, GcPolicy, WearPolicy,
+// RefreshPolicy) has one process-wide registry. A policy registers
+// itself from its own translation unit:
+//
+//   namespace {
+//   class MyRefresh final : public policy::RefreshPolicy { ... };
+//   const policy::Registration<policy::RefreshPolicy, MyRefresh>
+//       kRegisterMyRefresh("my-refresh");
+//   }  // namespace
+//
+// and is from then on constructible by name — from FtlConfig, a
+// ControllerConfig, or a JSON experiment spec — without touching any
+// core file. Duplicate names throw at registration; unknown names
+// throw at lookup with the list of registered names in the message.
+//
+// Static-archive caveat: the linker only pulls an archive member that
+// some referenced symbol lives in, so a registration-only TU inside
+// libxlf_policy.a would silently vanish. instance() therefore calls
+// require_builtin_policies() (registry.cpp), which references one
+// anchor symbol per built-in TU — using any registry guarantees the
+// built-ins are linked and registered. TUs outside the archive (tests,
+// tools, downstream applications) are handed to the linker as plain
+// object files and need no anchor.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace xlf::policy {
+
+class TuningPolicy;
+class GcPolicy;
+class WearPolicy;
+class RefreshPolicy;
+
+// Human-readable registry label used in error messages ("unknown gc
+// policy 'foo'; available: ...").
+template <class Interface>
+struct PolicyKindName;
+template <>
+struct PolicyKindName<TuningPolicy> {
+  static constexpr const char* value = "tuning";
+};
+template <>
+struct PolicyKindName<GcPolicy> {
+  static constexpr const char* value = "gc";
+};
+template <>
+struct PolicyKindName<WearPolicy> {
+  static constexpr const char* value = "wear";
+};
+template <>
+struct PolicyKindName<RefreshPolicy> {
+  static constexpr const char* value = "refresh";
+};
+
+namespace detail {
+// Defined in registry.cpp; references every built-in policy TU so the
+// archive members cannot be dropped (see file comment).
+void require_builtin_policies();
+}  // namespace detail
+
+template <class Interface>
+class PolicyRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Interface>()>;
+
+  static PolicyRegistry& instance() {
+    detail::require_builtin_policies();
+    static PolicyRegistry registry;
+    return registry;
+  }
+
+  // Registers `factory` under `name`; a second registration of the
+  // same name is a programming error and throws.
+  void add(const std::string& name, Factory factory) {
+    if (name.empty()) {
+      throw std::invalid_argument(std::string(kind()) +
+                                  " policy name must not be empty");
+    }
+    if (!factory) {
+      throw std::invalid_argument(std::string(kind()) + " policy '" + name +
+                                  "' registered without a factory");
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!factories_.emplace(name, std::move(factory)).second) {
+      throw std::invalid_argument("duplicate " + std::string(kind()) +
+                                  " policy registration: '" + name + "'");
+    }
+  }
+
+  bool contains(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return factories_.count(name) != 0;
+  }
+
+  // Registered names, sorted (std::map order).
+  std::vector<std::string> names() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [name, factory] : factories_) out.push_back(name);
+    return out;
+  }
+
+  // Constructs the policy registered under `name`; throws listing the
+  // registered names when it is unknown.
+  std::unique_ptr<Interface> make(const std::string& name) const {
+    Factory factory;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = factories_.find(name);
+      if (it == factories_.end()) {
+        std::string message = "unknown ";
+        message += kind();
+        message += " policy '";
+        message += name;
+        message += "'; available:";
+        for (const auto& [known, f] : factories_) {
+          message += " ";
+          message += known;
+        }
+        throw std::invalid_argument(message);
+      }
+      factory = it->second;
+    }
+    // Invoked outside the lock so a factory may itself consult the
+    // registry.
+    return factory();
+  }
+
+  // Shared-ownership variant: policies are immutable, so one instance
+  // is safely shared across dies and threads.
+  std::shared_ptr<const Interface> make_shared(const std::string& name) const {
+    return std::shared_ptr<const Interface>(make(name));
+  }
+
+ private:
+  static constexpr const char* kind() {
+    return PolicyKindName<Interface>::value;
+  }
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+// Namespace-scope registrar: constructing one registers `Impl` (which
+// must be default-constructible) under `name`. Intended for const
+// objects in anonymous namespaces of the policy's own TU.
+template <class Interface, class Impl>
+class Registration {
+ public:
+  explicit Registration(const char* name) {
+    PolicyRegistry<Interface>::instance().add(
+        name, [] { return std::make_unique<Impl>(); });
+  }
+};
+
+}  // namespace xlf::policy

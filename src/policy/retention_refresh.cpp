@@ -1,0 +1,80 @@
+// Retention-aware refresh: preventively re-program blocks whose
+// predicted post-retention RBER approaches the correction-capability
+// budget their pages were written with.
+//
+// Motivation (Cai et al., "Data Retention in MLC NAND Flash Memory":
+// characterization/optimization/recovery of retention errors; and the
+// mitigation taxonomy of Cai et al.'s SSD error survey): retention
+// charge loss is the dominant error source between writes, it grows
+// with both storage time and P/E wear, and periodically re-programming
+// cold data resets it. A model-based tuner assigns each block the
+// *minimal* t for its wear at program time, so any retention growth
+// eats directly into the correction margin — exactly the gap this
+// policy closes.
+//
+// First-order prediction model: the instantaneous RBER law gives the
+// block's error rate right after programming; retention multiplies it
+// by (1 + strength * hours/1000h * wear_accel), the linear head of the
+// time- and wear-dependent growth the characterisation papers report
+// (wear_accel rises with P/E because aged oxide leaks faster). The
+// block is refreshed when the minimal t meeting the UBER target at
+// that stressed RBER reaches or exceeds the t budget its pages carry —
+// i.e. when predicted retention would consume the entire margin.
+//
+// This TU is the extension-point proof for the policy plane: it
+// registers itself under "retention_aware" and no controller/ftl/
+// explore file names it.
+#include <optional>
+
+#include "src/bch/code_params.hpp"
+#include "src/policy/policy.hpp"
+#include "src/policy/registry.hpp"
+#include "src/util/expect.hpp"
+
+namespace xlf::policy {
+namespace {
+
+class RetentionAwareRefresh final : public RefreshPolicy {
+ public:
+  // RBER growth per 1000 hours of retention at the knee-cycle wear
+  // point; calibrated so mid-life blocks survive the default 1000 h
+  // horizon untouched while end-of-life blocks trip the refresh.
+  static constexpr double kStrengthPer1kHours = 4.0;
+
+  bool should_refresh(const RefreshContext& ctx) const override {
+    XLF_EXPECT(ctx.law != nullptr);
+    if (ctx.page_t == 0) return false;  // never programmed
+    if (ctx.retention_hours <= 0.0) return false;
+
+    const double fresh_rber = ctx.law->rber(ctx.algo, ctx.pe_cycles);
+    // Wear acceleration: leakage grows past the aging law's knee the
+    // same way its RBER term does, normalised to 1 at the knee.
+    const double wear_accel = ctx.pe_cycles / ctx.law->knee_cycles;
+    const double stressed_rber =
+        fresh_rber * (1.0 + kStrengthPer1kHours *
+                                (ctx.retention_hours / 1000.0) * wear_accel);
+
+    const std::optional<unsigned> required = bch::min_t_for_uber(
+        stressed_rber, ctx.budget.uber_target, ctx.budget.k, ctx.budget.m,
+        ctx.budget.t_min, ctx.budget.t_max);
+    // No t can hold the target after retention — refresh immediately.
+    if (!required.has_value()) return true;
+    // Refresh when the stressed requirement outgrows the pages' t. A
+    // strict compare, because a model-based tuner assigns exactly the
+    // fresh requirement at program time: equality is the healthy
+    // steady state, one step beyond it means retention would consume
+    // the entire margin.
+    return *required > ctx.page_t;
+  }
+};
+
+const Registration<RefreshPolicy, RetentionAwareRefresh>
+    kRetentionAware("retention_aware");
+
+}  // namespace
+
+namespace detail {
+void retention_refresh_anchor() {}
+}  // namespace detail
+
+}  // namespace xlf::policy

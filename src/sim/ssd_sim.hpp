@@ -50,6 +50,11 @@ struct SsdSimStats {
   std::uint64_t erases = 0;
   std::uint64_t wl_swaps = 0;
   double write_amplification = 0.0;
+  // Background scrub activity (filled by callers that run Ftl::scrub
+  // around this run — e.g. the FTL sweep; the simulator itself never
+  // scrubs, so these stay 0 unless a refresh policy is in play).
+  std::uint64_t refresh_blocks = 0;
+  std::uint64_t refresh_relocations = 0;
 
   // Per-block configuration spread over the FTL's lifetime so far:
   // min == max means wear never diverged enough for the reliability

@@ -1,9 +1,12 @@
 // Contract-checking helpers (C++ Core Guidelines I.6/I.8 style).
 //
-// XLF_EXPECT  — precondition; throws std::invalid_argument on violation.
-// XLF_ENSURE  — postcondition/invariant; throws std::logic_error.
+// XLF_EXPECT      — precondition; throws std::invalid_argument on violation.
+// XLF_EXPECT_MSG  — precondition with a caller-built message (use for
+//                   configuration validation, where the error must name
+//                   the offending field and its value).
+// XLF_ENSURE      — postcondition/invariant; throws std::logic_error.
 //
-// Both are always on: this library models hardware where a silent
+// All are always on: this library models hardware where a silent
 // out-of-range configuration (e.g. t > tmax) corrupts every derived
 // figure, so the cost of the checks is accepted even in release builds.
 #pragma once
@@ -19,6 +22,11 @@ namespace xlf {
                               " at " + file + ":" + std::to_string(line));
 }
 
+[[noreturn]] inline void contract_violation_expect_msg(
+    const std::string& message) {
+  throw std::invalid_argument(message);
+}
+
 [[noreturn]] inline void contract_violation_ensure(const char* cond,
                                                    const char* file, int line) {
   throw std::logic_error(std::string("invariant failed: ") + cond + " at " +
@@ -30,6 +38,11 @@ namespace xlf {
 #define XLF_EXPECT(cond)                                          \
   do {                                                            \
     if (!(cond)) ::xlf::contract_violation_expect(#cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define XLF_EXPECT_MSG(cond, message)                             \
+  do {                                                            \
+    if (!(cond)) ::xlf::contract_violation_expect_msg((message)); \
   } while (false)
 
 #define XLF_ENSURE(cond)                                          \

@@ -1,0 +1,175 @@
+// Declarative experiment specs: strict parsing (unknown keys, unknown
+// policies and malformed values fail with teaching messages), and the
+// acceptance property of the spec satellite — the shipped
+// examples/specs/ftl_smoke.json reproduces the CLI smoke grid
+// (--ftl-sweep --ftl-requests 64) byte for byte.
+#include "src/explore/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/explore/report.hpp"
+#include "src/explore/sweep.hpp"
+#include "src/util/stats.hpp"
+
+#ifndef XLF_SPEC_DIR
+#define XLF_SPEC_DIR "examples/specs"
+#endif
+
+namespace xlf::explore {
+namespace {
+
+std::string error_of(const std::string& text) {
+  try {
+    parse_experiment_text(text);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(ExperimentSpec, MinimalFtlSweepUsesCliDefaults) {
+  const ExperimentSpec spec = parse_experiment_text(R"({"mode": "ftl-sweep"})");
+  EXPECT_EQ(spec.mode, ExperimentSpec::Mode::kFtlSweep);
+  EXPECT_EQ(spec.ftl.base.die.device.array.geometry.blocks, 8u);
+  EXPECT_EQ(spec.ftl.base.die.device.array.geometry.pages_per_block, 4u);
+  EXPECT_DOUBLE_EQ(spec.ftl.base.initial_pe_cycles, 1e4);
+  EXPECT_DOUBLE_EQ(spec.ftl.base.ftl.pe_cycles_per_erase, 3e4);
+  EXPECT_EQ(spec.ftl.gc_policies,
+            (std::vector<std::string>{"greedy", "cost-benefit"}));
+  EXPECT_EQ(spec.ftl.wear_policies, std::vector<std::string>{"dynamic"});
+  EXPECT_EQ(spec.ftl.tuning_policies,
+            std::vector<std::string>{"model_based"});
+  EXPECT_EQ(spec.ftl.refresh_policies, std::vector<std::string>{"none"});
+}
+
+TEST(ExperimentSpec, ModeIsRequiredAndValidated) {
+  EXPECT_NE(error_of("{}").find("missing required key 'mode'"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"mode": "warp"})").find("unknown mode 'warp'"),
+            std::string::npos);
+}
+
+TEST(ExperimentSpec, UnknownKeysRejectedWithKnownList) {
+  const std::string top =
+      error_of(R"({"mode": "ftl-sweep", "sweeps": {}})");
+  EXPECT_NE(top.find("unknown key 'sweeps'"), std::string::npos) << top;
+  EXPECT_NE(top.find("sweep"), std::string::npos) << top;
+
+  const std::string nested = error_of(
+      R"({"mode": "ftl-sweep", "sweep": {"qeue_depths": [1]}})");
+  EXPECT_NE(nested.find("unknown key 'qeue_depths'"), std::string::npos)
+      << nested;
+  EXPECT_NE(nested.find("queue_depths"), std::string::npos) << nested;
+}
+
+TEST(ExperimentSpec, UnknownPolicyNamesFailListingRegistered) {
+  const std::string what = error_of(
+      R"({"mode": "ftl-sweep", "sweep": {"gc_policies": ["fifo"]}})");
+  EXPECT_NE(what.find("unknown gc policy 'fifo'"), std::string::npos) << what;
+  EXPECT_NE(what.find("greedy"), std::string::npos) << what;
+  EXPECT_NE(what.find("cost-benefit"), std::string::npos) << what;
+}
+
+TEST(ExperimentSpec, MalformedValuesRejected) {
+  EXPECT_NE(error_of(R"({"mode": "ftl-sweep",
+                         "sweep": {"topologies": ["2by1"]}})")
+                .find("topology '2by1'"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"mode": "space",
+                         "ages": {"lo": 10, "hi": 1, "points": 5}})")
+                .find("invalid ages grid"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"mode": "space", "uber_target": 2})")
+                .find("uber_target"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"mode": "space", "point": "fastest"})")
+                .find("unknown operating point 'fastest'"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"mode": "space",
+                         "monte_carlo": {"workloads": ["disk-thrash"]}})")
+                .find("unknown workload 'disk-thrash'"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"mode": "ftl-sweep",
+                         "workload": {"requests": 1.5}})")
+                .find("'requests' must be a non-negative integer"),
+            std::string::npos);
+}
+
+// The acceptance property: the shipped example spec is the CI smoke
+// grid. A spec authored in JSON and the equivalent flag-built spec
+// must render byte-identical reports in both formats.
+TEST(ExperimentSpec, FtlSmokeExampleReproducesCliSmokeGrid) {
+  const ExperimentSpec from_json =
+      load_experiment(std::string(XLF_SPEC_DIR) + "/ftl_smoke.json");
+
+  // What tools/xlf_explore builds for `--ftl-sweep --ftl-requests 64`.
+  ExperimentSpec from_flags = ExperimentSpec::defaults();
+  from_flags.mode = ExperimentSpec::Mode::kFtlSweep;
+  from_flags.ftl.requests = 64;
+
+  ThreadPool pool(2);
+  EXPECT_EQ(run_experiment(from_json, pool, "csv"),
+            run_experiment(from_flags, pool, "csv"));
+  EXPECT_EQ(run_experiment(from_json, pool, "json"),
+            run_experiment(from_flags, pool, "json"));
+}
+
+TEST(ExperimentSpec, SpaceModeMatchesDirectSweep) {
+  const ExperimentSpec spec = parse_experiment_text(
+      R"({"mode": "space", "ages": {"lo": 1, "hi": 1e4, "points": 3}})");
+  ThreadPool pool(2);
+  const std::string report = run_experiment(spec, pool, "csv");
+
+  core::SubsystemConfig subsystem = core::SubsystemConfig::defaults();
+  SweepSpec sweep_spec;
+  sweep_spec.framework = FrameworkSpec::from(subsystem);
+  sweep_spec.ages = log_space(1.0, 1e4, 3);
+  const SweepResult space = sweep_space(sweep_spec, pool);
+  EXPECT_EQ(report, sweep_csv(space));
+}
+
+TEST(ExperimentSpec, PolicyAxesMultiplyTheGrid) {
+  ExperimentSpec spec = parse_experiment_text(R"({
+    "mode": "ftl-sweep",
+    "workload": {"requests": 8},
+    "sweep": {"topologies": ["1x1"], "queue_depths": [2],
+              "gc_policies": ["greedy"],
+              "wear_policies": ["none", "dynamic"],
+              "tuning_policies": ["static", "model_based"]}
+  })");
+  ThreadPool pool(2);
+  const FtlSweepResult result = [&] {
+    FtlSweepSpec ftl = spec.ftl;
+    ftl.seed = spec.seed;
+    return ftl_sweep(ftl, pool);
+  }();
+  ASSERT_EQ(result.rows.size(), 4u);
+  // wear outer, tuning inner.
+  EXPECT_EQ(result.rows[0].wear_policy, "none");
+  EXPECT_EQ(result.rows[0].tuning_policy, "static");
+  EXPECT_EQ(result.rows[1].tuning_policy, "model_based");
+  EXPECT_EQ(result.rows[2].wear_policy, "dynamic");
+  for (const FtlSweepRow& row : result.rows) {
+    EXPECT_EQ(row.gc_policy, "greedy");
+    EXPECT_EQ(row.refresh_policy, "none");
+    EXPECT_GT(row.stats.writes, 0u);
+  }
+}
+
+TEST(ExperimentSpec, RunRejectsUnknownFormat) {
+  const ExperimentSpec spec = parse_experiment_text(R"({"mode": "space"})");
+  ThreadPool pool(1);
+  EXPECT_THROW(run_experiment(spec, pool, "xml"), std::invalid_argument);
+}
+
+TEST(ExperimentSpec, LoadRejectsMissingFile) {
+  try {
+    load_experiment("/nonexistent/spec.json");
+    FAIL() << "missing file must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace xlf::explore

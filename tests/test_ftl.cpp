@@ -11,11 +11,25 @@
 
 #include "src/ftl/allocator.hpp"
 #include "src/ftl/mapping.hpp"
+#include "src/policy/registry.hpp"
 #include "src/sim/host_workload.hpp"
 #include "src/sim/ssd_sim.hpp"
 
 namespace xlf::ftl {
 namespace {
+
+AllocatorConfig alloc_config(std::uint32_t blocks, std::uint32_t pages,
+                             const std::string& wear) {
+  return AllocatorConfig{
+      blocks, pages,
+      policy::PolicyRegistry<policy::WearPolicy>::instance().make_shared(
+          wear)};
+}
+
+std::shared_ptr<const policy::GcPolicy> gc_policy(const std::string& name) {
+  return policy::PolicyRegistry<policy::GcPolicy>::instance().make_shared(
+      name);
+}
 
 TEST(PageMap, OutOfPlaceWriteInvalidatesOldLocation) {
   PageMap map(2, 4, 4, 20);
@@ -63,7 +77,7 @@ TEST(PageMap, RequiresOverProvisioning) {
 }
 
 TEST(DieAllocator, FrontiersFillBlocksSequentially) {
-  AllocatorConfig config{4, 2, WearLeveling::kNone};
+  const AllocatorConfig config = alloc_config(4, 2, "none");
   DieAllocator alloc(config);
   EXPECT_EQ(alloc.free_count(), 4u);
 
@@ -82,7 +96,7 @@ TEST(DieAllocator, FrontiersFillBlocksSequentially) {
 }
 
 TEST(DieAllocator, DynamicWearLevelingPrefersLowEraseCounts) {
-  AllocatorConfig config{4, 1, WearLeveling::kDynamic};
+  const AllocatorConfig config = alloc_config(4, 1, "dynamic");
   DieAllocator alloc(config);
   // One-page blocks close on every take; erasing each one raises its
   // count, so the allocator walks the whole pool before reusing any
@@ -98,7 +112,7 @@ TEST(DieAllocator, DynamicWearLevelingPrefersLowEraseCounts) {
 }
 
 TEST(DieAllocator, GreedyVictimHasFewestValidPages) {
-  AllocatorConfig config{5, 4, WearLeveling::kNone};
+  const AllocatorConfig config = alloc_config(5, 4, "none");
   DieAllocator alloc(config);
   // Close three blocks (0, 1, 2).
   for (int b = 0; b < 3; ++b) {
@@ -112,13 +126,13 @@ TEST(DieAllocator, GreedyVictimHasFewestValidPages) {
       default: return 4;
     }
   };
-  const auto victim = alloc.pick_victim(GcPolicy::kGreedy, valid, 10);
+  const auto victim = alloc.pick_victim(*gc_policy("greedy"), valid, 10);
   ASSERT_TRUE(victim.has_value());
   EXPECT_EQ(*victim, 1u);
 }
 
 TEST(DieAllocator, CostBenefitPrefersColdOverSlightlyEmptier) {
-  AllocatorConfig config{5, 4, WearLeveling::kNone};
+  const AllocatorConfig config = alloc_config(5, 4, "none");
   DieAllocator alloc(config);
   for (int b = 0; b < 2; ++b) {
     for (int p = 0; p < 4; ++p) alloc.take_page(DieAllocator::Stream::kHost);
@@ -131,17 +145,17 @@ TEST(DieAllocator, CostBenefitPrefersColdOverSlightlyEmptier) {
   };
   // Greedy takes the emptier block 1; cost-benefit weighs age and
   // takes the cold block 0.
-  EXPECT_EQ(*alloc.pick_victim(GcPolicy::kGreedy, valid, 1001), 1u);
-  EXPECT_EQ(*alloc.pick_victim(GcPolicy::kCostBenefit, valid, 1001), 0u);
+  EXPECT_EQ(*alloc.pick_victim(*gc_policy("greedy"), valid, 1001), 1u);
+  EXPECT_EQ(*alloc.pick_victim(*gc_policy("cost-benefit"), valid, 1001), 0u);
 }
 
 TEST(DieAllocator, SkipsFullyValidBlocks) {
-  AllocatorConfig config{4, 2, WearLeveling::kNone};
+  const AllocatorConfig config = alloc_config(4, 2, "none");
   DieAllocator alloc(config);
   for (int p = 0; p < 2; ++p) alloc.take_page(DieAllocator::Stream::kHost);
   const auto all_valid = [](std::uint32_t) -> std::uint32_t { return 2; };
   EXPECT_FALSE(
-      alloc.pick_victim(GcPolicy::kGreedy, all_valid, 1).has_value());
+      alloc.pick_victim(*gc_policy("greedy"), all_valid, 1).has_value());
 }
 
 SsdConfig small_ssd() {
@@ -246,7 +260,7 @@ TEST(Ftl, SkewedOverwritesDivergeWearAndPerBlockT) {
 TEST(Ftl, StaticWearLevelingSwapsColdBlocks) {
   SsdConfig config = small_ssd();
   config.topology = {1, 1};
-  config.ftl.wear_leveling = WearLeveling::kStatic;
+  config.ftl.wear_policy = "static";
   config.ftl.static_wl_spread = 3;
   Ssd ssd(config);
   sim::SsdSimulator simulator(ssd);

@@ -20,7 +20,7 @@ FtlSweepSpec small_spec() {
   spec.base.ftl.pe_cycles_per_erase = 3e4;
   spec.topologies = {{1, 1}, {2, 1}};
   spec.queue_depths = {2};
-  spec.gc_policies = {ftl::GcPolicy::kGreedy, ftl::GcPolicy::kCostBenefit};
+  spec.gc_policies = {"greedy", "cost-benefit"};
   spec.requests = 40;
   spec.seed = 31337;
   return spec;
@@ -43,9 +43,9 @@ TEST(FtlSweep, CoversTheFullGridInOrder) {
   ASSERT_EQ(result.rows.size(), 4u);
   // Topology-major, then queue depth, then policy.
   EXPECT_EQ(result.rows[0].channels, 1u);
-  EXPECT_EQ(result.rows[0].gc_policy, ftl::GcPolicy::kGreedy);
+  EXPECT_EQ(result.rows[0].gc_policy, "greedy");
   EXPECT_EQ(result.rows[1].channels, 1u);
-  EXPECT_EQ(result.rows[1].gc_policy, ftl::GcPolicy::kCostBenefit);
+  EXPECT_EQ(result.rows[1].gc_policy, "cost-benefit");
   EXPECT_EQ(result.rows[2].channels, 2u);
   EXPECT_EQ(result.rows[3].channels, 2u);
   for (const FtlSweepRow& row : result.rows) {

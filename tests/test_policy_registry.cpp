@@ -1,0 +1,115 @@
+// PolicyRegistry contract: built-ins registered from their own
+// translation units are visible at lookup, duplicate names are
+// rejected, unknown names fail listing what is registered, and a
+// policy registered by a downstream TU (this test) becomes
+// constructible by name without touching any core file.
+#include "src/policy/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/policy/policy.hpp"
+
+namespace xlf::policy {
+namespace {
+
+bool contains(const std::vector<std::string>& names, const std::string& name) {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+// The built-ins live one TU per interface inside libxlf_policy.a, and
+// retention_aware lives in yet another TU that no core file
+// references; all must be linked and registered by the time any
+// lookup runs (the registry's anchor scheme).
+TEST(PolicyRegistry, BuiltinsFromSeparateTusAreVisibleAtLookup) {
+  const auto tuning = PolicyRegistry<TuningPolicy>::instance().names();
+  EXPECT_TRUE(contains(tuning, "static"));
+  EXPECT_TRUE(contains(tuning, "model_based"));
+  EXPECT_TRUE(contains(tuning, "feedback"));
+
+  const auto gc = PolicyRegistry<GcPolicy>::instance().names();
+  EXPECT_TRUE(contains(gc, "greedy"));
+  EXPECT_TRUE(contains(gc, "cost-benefit"));
+
+  const auto wear = PolicyRegistry<WearPolicy>::instance().names();
+  EXPECT_TRUE(contains(wear, "none"));
+  EXPECT_TRUE(contains(wear, "dynamic"));
+  EXPECT_TRUE(contains(wear, "static"));
+
+  const auto refresh = PolicyRegistry<RefreshPolicy>::instance().names();
+  EXPECT_TRUE(contains(refresh, "none"));
+  EXPECT_TRUE(contains(refresh, "retention_aware"));
+}
+
+TEST(PolicyRegistry, MakeConstructsWorkingPolicies) {
+  const auto greedy = PolicyRegistry<GcPolicy>::instance().make("greedy");
+  ASSERT_NE(greedy, nullptr);
+  GcBlockView emptier;
+  emptier.valid_pages = 1;
+  emptier.pages_per_block = 4;
+  GcBlockView fuller = emptier;
+  fuller.valid_pages = 3;
+  EXPECT_GT(greedy->score(emptier), greedy->score(fuller));
+
+  const auto shared =
+      PolicyRegistry<WearPolicy>::instance().make_shared("dynamic");
+  ASSERT_NE(shared, nullptr);
+  EXPECT_GT(shared->free_block_score(2), shared->free_block_score(7));
+}
+
+TEST(PolicyRegistry, UnknownNameThrowsListingAvailable) {
+  try {
+    PolicyRegistry<GcPolicy>::instance().make("round-robin");
+    FAIL() << "unknown policy name must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown gc policy 'round-robin'"), std::string::npos)
+        << what;
+    // The message must teach the fix: every registered name listed.
+    EXPECT_NE(what.find("greedy"), std::string::npos) << what;
+    EXPECT_NE(what.find("cost-benefit"), std::string::npos) << what;
+  }
+}
+
+class TestOnlyRefresh final : public RefreshPolicy {
+ public:
+  bool should_refresh(const RefreshContext&) const override { return true; }
+};
+
+TEST(PolicyRegistry, DuplicateRegistrationRejected) {
+  auto& registry = PolicyRegistry<RefreshPolicy>::instance();
+  registry.add("test-dup", [] { return std::make_unique<TestOnlyRefresh>(); });
+  try {
+    registry.add("test-dup",
+                 [] { return std::make_unique<TestOnlyRefresh>(); });
+    FAIL() << "duplicate registration must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate"), std::string::npos) << what;
+    EXPECT_NE(what.find("test-dup"), std::string::npos) << what;
+  }
+  // The original registration survives the rejected duplicate.
+  EXPECT_TRUE(registry.contains("test-dup"));
+}
+
+TEST(PolicyRegistry, DownstreamRegistrationIsConstructibleByName) {
+  auto& registry = PolicyRegistry<RefreshPolicy>::instance();
+  const Registration<RefreshPolicy, TestOnlyRefresh> registration(
+      "test-downstream");
+  ASSERT_TRUE(registry.contains("test-downstream"));
+  const auto policy = registry.make("test-downstream");
+  EXPECT_TRUE(policy->should_refresh(RefreshContext{}));
+}
+
+TEST(PolicyRegistry, EmptyNameAndNullFactoryRejected) {
+  auto& registry = PolicyRegistry<RefreshPolicy>::instance();
+  EXPECT_THROW(
+      registry.add("", [] { return std::make_unique<TestOnlyRefresh>(); }),
+      std::invalid_argument);
+  EXPECT_THROW(registry.add("test-null", nullptr), std::invalid_argument);
+  EXPECT_FALSE(registry.contains("test-null"));
+}
+
+}  // namespace
+}  // namespace xlf::policy

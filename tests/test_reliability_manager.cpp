@@ -5,16 +5,15 @@
 namespace xlf::controller {
 namespace {
 
-ReliabilityManager make_manager(ReliabilityPolicy policy) {
-  return ReliabilityManager(ReliabilityConfig{}, policy,
-                            nand::AgingLaw{});
+ReliabilityManager make_manager(const std::string& policy) {
+  return ReliabilityManager(ReliabilityConfig{}, policy, nand::AgingLaw{});
 }
 
 TEST(ReliabilityManager, ModelBasedSchedulesMatchPaper) {
   // Section 6.2: SV needs tMIN ~3-4 at BOL and tMAX = 65 at EOL; the
   // DV schedule stays far lower.
   const ReliabilityManager manager =
-      make_manager(ReliabilityPolicy::kModelBased);
+      make_manager("model_based");
   EXPECT_LE(manager.select_t(nand::ProgramAlgorithm::kIsppSv, 1.0), 4u);
   EXPECT_EQ(manager.select_t(nand::ProgramAlgorithm::kIsppSv, 1e6), 65u);
   EXPECT_FALSE(manager.saturated());
@@ -27,7 +26,7 @@ TEST(ReliabilityManager, ModelBasedSchedulesMatchPaper) {
 
 TEST(ReliabilityManager, ScheduleMonotoneOverLife) {
   const ReliabilityManager manager =
-      make_manager(ReliabilityPolicy::kModelBased);
+      make_manager("model_based");
   for (auto algo :
        {nand::ProgramAlgorithm::kIsppSv, nand::ProgramAlgorithm::kIsppDv}) {
     unsigned prev = 0;
@@ -41,7 +40,7 @@ TEST(ReliabilityManager, ScheduleMonotoneOverLife) {
 
 TEST(ReliabilityManager, PredictedUberMeetsTarget) {
   const ReliabilityManager manager =
-      make_manager(ReliabilityPolicy::kModelBased);
+      make_manager("model_based");
   for (auto algo :
        {nand::ProgramAlgorithm::kIsppSv, nand::ProgramAlgorithm::kIsppDv}) {
     for (double c : {1.0, 1e3, 1e5, 1e6}) {
@@ -54,27 +53,27 @@ TEST(ReliabilityManager, PredictedUberMeetsTarget) {
 TEST(ReliabilityManager, SaturationReported) {
   ReliabilityConfig tight;
   tight.t_max = 10;  // too weak for EOL ISPP-SV
-  const ReliabilityManager manager(tight, ReliabilityPolicy::kModelBased,
+  const ReliabilityManager manager(tight, "model_based",
                                    nand::AgingLaw{});
   EXPECT_EQ(manager.select_t(nand::ProgramAlgorithm::kIsppSv, 1e6), 10u);
   EXPECT_TRUE(manager.saturated());
 }
 
 TEST(ReliabilityManager, StaticPolicyKeepsFallback) {
-  const ReliabilityManager manager = make_manager(ReliabilityPolicy::kStatic);
+  const ReliabilityManager manager = make_manager("static");
   EXPECT_EQ(
       manager.recommended_t(nand::ProgramAlgorithm::kIsppSv, 1e6, 12u), 12u);
 }
 
 TEST(ReliabilityManager, FeedbackWaitsForWarmup) {
-  ReliabilityManager manager = make_manager(ReliabilityPolicy::kFeedback);
+  ReliabilityManager manager = make_manager("feedback");
   EXPECT_FALSE(manager.estimate_ready());
   EXPECT_EQ(
       manager.recommended_t(nand::ProgramAlgorithm::kIsppSv, 1e5, 7u), 7u);
 }
 
 TEST(ReliabilityManager, FeedbackConvergesToObservedRate) {
-  ReliabilityManager manager = make_manager(ReliabilityPolicy::kFeedback);
+  ReliabilityManager manager = make_manager("feedback");
   // Feed decodes at a known error density: 33 corrected bits per
   // 33808-bit codeword = RBER ~9.76e-4 (the EOL SV point).
   for (int i = 0; i < 400; ++i) manager.observe_decode(33, 33808);
@@ -88,7 +87,7 @@ TEST(ReliabilityManager, FeedbackConvergesToObservedRate) {
 }
 
 TEST(ReliabilityManager, FeedbackWithNoErrorsFallsToFloor) {
-  ReliabilityManager manager = make_manager(ReliabilityPolicy::kFeedback);
+  ReliabilityManager manager = make_manager("feedback");
   for (int i = 0; i < 100; ++i) manager.observe_decode(0, 33808);
   EXPECT_EQ(
       manager.recommended_t(nand::ProgramAlgorithm::kIsppSv, 1e6, 40u), 3u);
@@ -99,9 +98,9 @@ TEST(ReliabilityManager, FeedbackTracksModelAcrossLife) {
   // the feedback schedule track the model-based one within a step or
   // two (the safety factor biases it upward).
   const nand::AgingLaw law;
-  const ReliabilityManager model = make_manager(ReliabilityPolicy::kModelBased);
+  const ReliabilityManager model = make_manager("model_based");
   for (double c : {1e3, 1e5, 1e6}) {
-    ReliabilityManager feedback = make_manager(ReliabilityPolicy::kFeedback);
+    ReliabilityManager feedback = make_manager("feedback");
     const double rber = law.rber(nand::ProgramAlgorithm::kIsppSv, c);
     const auto corrected = static_cast<unsigned>(rber * 33808.0 + 0.5);
     for (int i = 0; i < 200; ++i) feedback.observe_decode(corrected, 33808);
@@ -116,12 +115,12 @@ TEST(ReliabilityManager, FeedbackTracksModelAcrossLife) {
 TEST(ReliabilityManager, InvalidConfigsRejected) {
   ReliabilityConfig bad;
   bad.uber_target = 0.0;
-  EXPECT_THROW(ReliabilityManager(bad, ReliabilityPolicy::kStatic,
+  EXPECT_THROW(ReliabilityManager(bad, "static",
                                   nand::AgingLaw{}),
                std::invalid_argument);
   bad = ReliabilityConfig{};
   bad.safety_factor = 0.5;
-  EXPECT_THROW(ReliabilityManager(bad, ReliabilityPolicy::kStatic,
+  EXPECT_THROW(ReliabilityManager(bad, "static",
                                   nand::AgingLaw{}),
                std::invalid_argument);
 }

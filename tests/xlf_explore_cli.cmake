@@ -1,0 +1,70 @@
+# CLI contract of tools/xlf_explore, run as a CTest script:
+#   cmake -DXLF_EXPLORE=<binary> -DSPEC=<example spec> -P xlf_explore_cli.cmake
+#
+# Checks the teaching-error satellite (unknown flags exit non-zero and
+# point at --help instead of being silently ignored), spec error
+# handling, and that a shipped example spec runs clean.
+
+if(NOT DEFINED XLF_EXPLORE OR NOT DEFINED SPEC)
+  message(FATAL_ERROR "usage: cmake -DXLF_EXPLORE=... -DSPEC=... -P xlf_explore_cli.cmake")
+endif()
+
+# --- unknown flag: non-zero exit, names the flag, suggests --help ----
+execute_process(COMMAND ${XLF_EXPLORE} --no-such-flag
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unknown flag must exit non-zero (got 0)")
+endif()
+if(NOT err MATCHES "unknown flag '--no-such-flag'")
+  message(FATAL_ERROR "unknown-flag message must name the flag, got: ${err}")
+endif()
+if(NOT err MATCHES "--help")
+  message(FATAL_ERROR "unknown-flag message must suggest --help, got: ${err}")
+endif()
+
+# --- an unknown flag with a valid one around it still fails ----------
+execute_process(COMMAND ${XLF_EXPLORE} --threads 1 --ftl-swep
+                RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "misspelled flag must exit non-zero (got 0)")
+endif()
+
+# --- missing spec file: non-zero with a clear message ----------------
+execute_process(COMMAND ${XLF_EXPLORE} --spec /nonexistent/spec.json
+                RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "missing spec file must exit non-zero (got 0)")
+endif()
+if(NOT err MATCHES "cannot open")
+  message(FATAL_ERROR "missing-spec message unclear, got: ${err}")
+endif()
+
+# --- --spec conflicts with sweep-shaping flags -----------------------
+execute_process(COMMAND ${XLF_EXPLORE} --spec ${SPEC} --ftl-sweep
+                RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--spec + shaping flags must exit non-zero (got 0)")
+endif()
+if(NOT err MATCHES "exclusive")
+  message(FATAL_ERROR "--spec conflict message unclear, got: ${err}")
+endif()
+
+# --- a shipped example spec runs and is thread-count deterministic ---
+execute_process(COMMAND ${XLF_EXPLORE} --spec ${SPEC} --threads 1
+                RESULT_VARIABLE rc1 OUTPUT_VARIABLE run1 ERROR_VARIABLE err1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "--spec ${SPEC} failed (${rc1}): ${err1}")
+endif()
+execute_process(COMMAND ${XLF_EXPLORE} --spec ${SPEC} --threads 4
+                RESULT_VARIABLE rc4 OUTPUT_VARIABLE run4 ERROR_VARIABLE err4)
+if(NOT rc4 EQUAL 0)
+  message(FATAL_ERROR "--spec ${SPEC} --threads 4 failed (${rc4}): ${err4}")
+endif()
+if(NOT run1 STREQUAL run4)
+  message(FATAL_ERROR "--spec output differs between --threads 1 and 4")
+endif()
+if(run1 STREQUAL "")
+  message(FATAL_ERROR "--spec produced no output")
+endif()

@@ -1,10 +1,20 @@
 // xlf_explore — parallel trade-off exploration CLI.
 //
-// Sweeps the full (program algorithm x ECC capability) configuration
-// space over a log-spaced lifetime grid, marks the per-age Pareto
-// front, and optionally validates operating points with Monte-Carlo
-// subsystem-simulator replicas per workload. Emits CSV (default) or
-// JSON on stdout or --out.
+// Two ways to describe an experiment:
+//  * flags (below) for quick interactive runs;
+//  * --spec file.json, a declarative experiment spec (the JSON shape
+//    is documented in src/explore/experiment.hpp and examples/specs/)
+//    which can additionally sweep arbitrary policy combinations —
+//    GC x wear x tuning x refresh — by registry name.
+// Both paths build the same explore::ExperimentSpec and run through
+// explore::run_experiment, so a spec that mirrors a flag set produces
+// byte-identical output.
+//
+// Engines: the (program algorithm x ECC capability) configuration
+// space over a log-spaced lifetime grid with per-age Pareto fronts
+// and optional Monte-Carlo validation, or the multi-die FTL sweep
+// (topology x queue depth x policy combination). Emits CSV (default)
+// or JSON on stdout or --out.
 //
 // Determinism contract: for a fixed spec and --seed, the output is
 // byte-identical for every --threads value (parallel tasks write
@@ -15,61 +25,36 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
-#include "src/explore/ftl_sweep.hpp"
-#include "src/explore/monte_carlo.hpp"
-#include "src/explore/report.hpp"
-#include "src/explore/sweep.hpp"
-#include "src/sim/lifetime.hpp"
-#include "src/util/stats.hpp"
+#include "src/explore/experiment.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace {
 
 using namespace xlf;
 
 struct Options {
-  double age_lo = 1.0;
-  double age_hi = 1e6;
-  std::size_t age_points = 13;
-  unsigned threads = 0;  // 0 = hardware concurrency
-  std::string format = "csv";
-  std::string out_path;  // empty = stdout
-  bool pareto_only = false;
-  double uber_target = 1e-11;
-  std::string point = "baseline";
-  std::vector<std::string> workloads{"sequential-read", "random-read",
-                                     "write-burst", "mixed", "streaming"};
-  std::size_t mc_replicas = 0;  // 0 = skip Monte-Carlo
-  std::size_t mc_requests = 32;
-  double mc_age = -1.0;  // <0 = last grid age
-  std::uint64_t seed = 0x5EEDCA5E;
-
-  // FTL sweep mode (replaces the configuration-space sweep).
-  bool ftl_sweep = false;
-  std::string ftl_topologies = "1x1,2x1";  // channels x dies/channel
-  std::string ftl_qd = "1,4";
-  std::string ftl_gc = "greedy,cost-benefit";
-  std::size_t ftl_requests = 200;
-  std::uint32_t ftl_blocks = 8;
-  std::uint32_t ftl_pages = 4;
-  double ftl_initial_wear = 1e4;
-  double ftl_wear_per_erase = 3e4;
-  double ftl_logical_fraction = 0.6;
-  double ftl_read_fraction = 0.3;
-  double ftl_hot_fraction = 0.25;
-  double ftl_hot_writes = 0.85;
+  explore::ExperimentSpec experiment = explore::ExperimentSpec::defaults();
+  std::string spec_path;        // --spec; exclusive with shaping flags
+  bool shaped_by_flags = false; // any experiment-shaping flag seen
+  unsigned threads = 0;         // 0 = hardware concurrency
+  std::string format;           // empty = csv
+  std::string out_path;         // empty = stdout
 };
 
 void usage() {
   std::cerr <<
       "usage: xlf_explore [options]\n"
-      "  --ages LO:HI:POINTS   log-spaced P/E grid (default 1:1e6:13)\n"
+      "  --spec FILE           run a declarative JSON experiment spec\n"
+      "                        (exclusive with the sweep-shaping flags below;\n"
+      "                        --threads/--format/--out still apply)\n"
       "  --threads N           total threads, 1 = serial (default: hardware)\n"
       "  --format csv|json     output format (default csv)\n"
       "  --out PATH            write to PATH instead of stdout\n"
+      "  --ages LO:HI:POINTS   log-spaced P/E grid (default 1:1e6:13)\n"
       "  --pareto-only         emit only Pareto-front rows of the space\n"
       "  --uber-target X       UBER target for the ECC schedule (1e-11)\n"
       "  --point NAME          baseline|min-uber|max-read (baseline)\n"
@@ -79,13 +64,18 @@ void usage() {
       "  --mc-requests N       requests per replica (32)\n"
       "  --mc-age CYCLES       age for the validation (default: last grid age)\n"
       "  --seed S              root seed for all replica streams\n"
-      "FTL sweep mode (multi-die SSD: L2P + GC + wear leveling):\n"
+      "FTL sweep mode (multi-die SSD: L2P + GC + wear leveling + refresh):\n"
       "  --ftl-sweep           sweep FTL policy x queue depth x topology\n"
       "                        instead of the configuration space\n"
       "  --ftl-topologies L    comma list of CxD (channels x dies/channel,\n"
       "                        default 1x1,2x1)\n"
       "  --ftl-qd LIST         queue depths (default 1,4)\n"
-      "  --ftl-gc LIST         greedy,cost-benefit (default both)\n"
+      "  --ftl-gc LIST         GC policies by registry name\n"
+      "                        (default greedy,cost-benefit)\n"
+      "  --ftl-wear LIST       wear policies by registry name (default dynamic)\n"
+      "  --ftl-tuning LIST     tuning policies by registry name\n"
+      "                        (default model_based)\n"
+      "  --ftl-refresh LIST    refresh policies by registry name (default none)\n"
       "  --ftl-requests N      host requests per combo (200)\n"
       "  --ftl-blocks B        blocks per die (8)\n"
       "  --ftl-pages P         pages per block (4)\n"
@@ -112,7 +102,23 @@ std::vector<std::string> split(const std::string& s, char sep) {
   return out;
 }
 
+bool parse_topologies(const std::string& list, Options& opt) {
+  opt.experiment.ftl.topologies.clear();
+  for (const std::string& part : split(list, ',')) {
+    const std::optional<controller::DispatchConfig> topology =
+        explore::parse_topology(part);
+    if (!topology.has_value()) {
+      std::cerr << "xlf_explore: --ftl-topologies expects CxD entries, got "
+                << part << "\n";
+      return false;
+    }
+    opt.experiment.ftl.topologies.push_back(*topology);
+  }
+  return true;
+}
+
 bool parse_args(int argc, char** argv, Options& opt) {
+  explore::ExperimentSpec& exp = opt.experiment;
   auto value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
       std::cerr << "xlf_explore: missing value for " << argv[i] << "\n";
@@ -120,24 +126,37 @@ bool parse_args(int argc, char** argv, Options& opt) {
     }
     return argv[++i];
   };
+  // Experiment-shaping flags mark the options object so a conflicting
+  // --spec can be rejected; output/threading flags stay independent.
+  auto shape = [&] { opt.shaped_by_flags = true; };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const char* v = nullptr;
     if (arg == "--help" || arg == "-h") {
       usage();
       std::exit(0);
+    } else if (arg == "--spec") {
+      if ((v = value(i)) == nullptr) return false;
+      opt.spec_path = v;
     } else if (arg == "--pareto-only") {
-      opt.pareto_only = true;
+      shape();
+      exp.pareto_only = true;
     } else if (arg == "--ages") {
+      shape();
       if ((v = value(i)) == nullptr) return false;
       const auto parts = split(v, ':');
       if (parts.size() != 3) {
         std::cerr << "xlf_explore: --ages expects LO:HI:POINTS\n";
         return false;
       }
-      opt.age_lo = std::atof(parts[0].c_str());
-      opt.age_hi = std::atof(parts[1].c_str());
-      opt.age_points = static_cast<std::size_t>(std::atoll(parts[2].c_str()));
+      exp.age_lo = std::atof(parts[0].c_str());
+      exp.age_hi = std::atof(parts[1].c_str());
+      exp.age_points = static_cast<std::size_t>(std::atoll(parts[2].c_str()));
+      if (exp.age_points < 2 || exp.age_lo <= 0.0 ||
+          exp.age_hi <= exp.age_lo) {
+        std::cerr << "xlf_explore: invalid --ages grid\n";
+        return false;
+      }
     } else if (arg == "--threads") {
       if ((v = value(i)) == nullptr) return false;
       const long threads = std::atol(v);
@@ -149,156 +168,125 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (arg == "--format") {
       if ((v = value(i)) == nullptr) return false;
       opt.format = v;
+      if (opt.format != "csv" && opt.format != "json") {
+        std::cerr << "xlf_explore: --format must be csv or json\n";
+        return false;
+      }
     } else if (arg == "--out") {
       if ((v = value(i)) == nullptr) return false;
       opt.out_path = v;
     } else if (arg == "--uber-target") {
+      shape();
       if ((v = value(i)) == nullptr) return false;
-      opt.uber_target = std::atof(v);
+      exp.uber_target = std::atof(v);
     } else if (arg == "--point") {
+      shape();
       if ((v = value(i)) == nullptr) return false;
-      opt.point = v;
+      exp.point = v;
     } else if (arg == "--workloads") {
+      shape();
       if ((v = value(i)) == nullptr) return false;
-      opt.workloads = split(v, ',');
+      exp.mc_workloads = split(v, ',');
     } else if (arg == "--mc-replicas") {
+      shape();
       if ((v = value(i)) == nullptr) return false;
-      opt.mc_replicas = static_cast<std::size_t>(std::atoll(v));
+      exp.mc_replicas = static_cast<std::size_t>(std::atoll(v));
     } else if (arg == "--mc-requests") {
+      shape();
       if ((v = value(i)) == nullptr) return false;
-      opt.mc_requests = static_cast<std::size_t>(std::atoll(v));
+      exp.mc_requests = static_cast<std::size_t>(std::atoll(v));
     } else if (arg == "--mc-age") {
+      shape();
       if ((v = value(i)) == nullptr) return false;
-      opt.mc_age = std::atof(v);
+      exp.mc_age = std::atof(v);
     } else if (arg == "--seed") {
+      shape();
       if ((v = value(i)) == nullptr) return false;
-      opt.seed = std::strtoull(v, nullptr, 0);
+      exp.seed = std::strtoull(v, nullptr, 0);
     } else if (arg == "--ftl-sweep") {
-      opt.ftl_sweep = true;
+      shape();
+      exp.mode = explore::ExperimentSpec::Mode::kFtlSweep;
     } else if (arg == "--ftl-topologies") {
+      shape();
       if ((v = value(i)) == nullptr) return false;
-      opt.ftl_topologies = v;
+      if (!parse_topologies(v, opt)) return false;
     } else if (arg == "--ftl-qd") {
+      shape();
       if ((v = value(i)) == nullptr) return false;
-      opt.ftl_qd = v;
+      exp.ftl.queue_depths.clear();
+      for (const std::string& part : split(v, ',')) {
+        const long qd = std::atol(part.c_str());
+        if (qd < 1) {
+          std::cerr << "xlf_explore: --ftl-qd entries must be >= 1\n";
+          return false;
+        }
+        exp.ftl.queue_depths.push_back(static_cast<std::size_t>(qd));
+      }
     } else if (arg == "--ftl-gc") {
+      shape();
       if ((v = value(i)) == nullptr) return false;
-      opt.ftl_gc = v;
+      exp.ftl.gc_policies = split(v, ',');
+    } else if (arg == "--ftl-wear") {
+      shape();
+      if ((v = value(i)) == nullptr) return false;
+      exp.ftl.wear_policies = split(v, ',');
+    } else if (arg == "--ftl-tuning") {
+      shape();
+      if ((v = value(i)) == nullptr) return false;
+      exp.ftl.tuning_policies = split(v, ',');
+    } else if (arg == "--ftl-refresh") {
+      shape();
+      if ((v = value(i)) == nullptr) return false;
+      exp.ftl.refresh_policies = split(v, ',');
     } else if (arg == "--ftl-requests") {
+      shape();
       if ((v = value(i)) == nullptr) return false;
-      opt.ftl_requests = static_cast<std::size_t>(std::atoll(v));
+      exp.ftl.requests = static_cast<std::size_t>(std::atoll(v));
     } else if (arg == "--ftl-blocks") {
+      shape();
       if ((v = value(i)) == nullptr) return false;
-      opt.ftl_blocks = static_cast<std::uint32_t>(std::atol(v));
+      exp.ftl.base.die.device.array.geometry.blocks =
+          static_cast<std::uint32_t>(std::atol(v));
     } else if (arg == "--ftl-pages") {
+      shape();
       if ((v = value(i)) == nullptr) return false;
-      opt.ftl_pages = static_cast<std::uint32_t>(std::atol(v));
+      exp.ftl.base.die.device.array.geometry.pages_per_block =
+          static_cast<std::uint32_t>(std::atol(v));
     } else if (arg == "--ftl-initial-wear") {
+      shape();
       if ((v = value(i)) == nullptr) return false;
-      opt.ftl_initial_wear = std::atof(v);
+      exp.ftl.base.initial_pe_cycles = std::atof(v);
     } else if (arg == "--ftl-wear-per-erase") {
+      shape();
       if ((v = value(i)) == nullptr) return false;
-      opt.ftl_wear_per_erase = std::atof(v);
+      exp.ftl.base.ftl.pe_cycles_per_erase = std::atof(v);
     } else if (arg == "--ftl-logical-fraction") {
+      shape();
       if ((v = value(i)) == nullptr) return false;
-      opt.ftl_logical_fraction = std::atof(v);
+      exp.ftl.base.ftl.logical_fraction = std::atof(v);
     } else if (arg == "--ftl-read-fraction") {
+      shape();
       if ((v = value(i)) == nullptr) return false;
-      opt.ftl_read_fraction = std::atof(v);
+      exp.ftl.read_fraction = std::atof(v);
     } else if (arg == "--ftl-hot-fraction") {
+      shape();
       if ((v = value(i)) == nullptr) return false;
-      opt.ftl_hot_fraction = std::atof(v);
+      exp.ftl.hot_fraction = std::atof(v);
     } else if (arg == "--ftl-hot-writes") {
+      shape();
       if ((v = value(i)) == nullptr) return false;
-      opt.ftl_hot_writes = std::atof(v);
+      exp.ftl.hot_write_fraction = std::atof(v);
     } else {
-      std::cerr << "xlf_explore: unknown option " << arg << "\n";
-      usage();
+      std::cerr << "xlf_explore: unknown flag '" << arg
+                << "' (try --help)\n";
       return false;
     }
   }
-  if (opt.format != "csv" && opt.format != "json") {
-    std::cerr << "xlf_explore: --format must be csv or json\n";
+  if (!opt.spec_path.empty() && opt.shaped_by_flags) {
+    std::cerr << "xlf_explore: --spec is exclusive with the sweep-shaping "
+                 "flags; put the experiment in the spec file "
+                 "(--threads/--format/--out still apply)\n";
     return false;
-  }
-  if (opt.age_points < 2 || opt.age_lo <= 0.0 || opt.age_hi <= opt.age_lo) {
-    std::cerr << "xlf_explore: invalid --ages grid\n";
-    return false;
-  }
-  return true;
-}
-
-std::unique_ptr<sim::Workload> make_workload(const std::string& name) {
-  if (name == "sequential-read") {
-    return std::make_unique<sim::SequentialReadWorkload>();
-  }
-  if (name == "random-read") {
-    return std::make_unique<sim::RandomReadWorkload>();
-  }
-  if (name == "write-burst") {
-    return std::make_unique<sim::WriteBurstWorkload>();
-  }
-  if (name == "mixed") {
-    return std::make_unique<sim::MixedWorkload>(0.7);
-  }
-  if (name == "streaming") {
-    return std::make_unique<sim::MultimediaStreamingWorkload>(
-        BytesPerSecond::mib(8.0));
-  }
-  return nullptr;
-}
-
-core::OperatingPoint make_point(const std::string& name) {
-  if (name == "min-uber") return core::OperatingPoint::min_uber();
-  if (name == "max-read") return core::OperatingPoint::max_read();
-  return core::OperatingPoint::baseline();
-}
-
-bool make_ftl_spec(const Options& opt, explore::FtlSweepSpec& spec) {
-  spec.base.die.device.array.geometry.blocks = opt.ftl_blocks;
-  spec.base.die.device.array.geometry.pages_per_block = opt.ftl_pages;
-  spec.base.die.cross_layer.uber_target = opt.uber_target;
-  spec.base.die.controller.reliability.uber_target = opt.uber_target;
-  spec.base.initial_pe_cycles = opt.ftl_initial_wear;
-  spec.base.ftl.pe_cycles_per_erase = opt.ftl_wear_per_erase;
-  spec.base.ftl.logical_fraction = opt.ftl_logical_fraction;
-  spec.base.point = make_point(opt.point);
-  spec.requests = opt.ftl_requests;
-  spec.read_fraction = opt.ftl_read_fraction;
-  spec.hot_fraction = opt.ftl_hot_fraction;
-  spec.hot_write_fraction = opt.ftl_hot_writes;
-  spec.seed = opt.seed;
-
-  spec.topologies.clear();
-  for (const std::string& part : split(opt.ftl_topologies, ',')) {
-    unsigned channels = 0, dies = 0;
-    if (std::sscanf(part.c_str(), "%ux%u", &channels, &dies) != 2 ||
-        channels == 0 || dies == 0) {
-      std::cerr << "xlf_explore: --ftl-topologies expects CxD entries, got "
-                << part << "\n";
-      return false;
-    }
-    spec.topologies.push_back(controller::DispatchConfig{channels, dies});
-  }
-  spec.queue_depths.clear();
-  for (const std::string& part : split(opt.ftl_qd, ',')) {
-    const long qd = std::atol(part.c_str());
-    if (qd < 1) {
-      std::cerr << "xlf_explore: --ftl-qd entries must be >= 1\n";
-      return false;
-    }
-    spec.queue_depths.push_back(static_cast<std::size_t>(qd));
-  }
-  spec.gc_policies.clear();
-  for (const std::string& part : split(opt.ftl_gc, ',')) {
-    if (part == "greedy") {
-      spec.gc_policies.push_back(ftl::GcPolicy::kGreedy);
-    } else if (part == "cost-benefit") {
-      spec.gc_policies.push_back(ftl::GcPolicy::kCostBenefit);
-    } else {
-      std::cerr << "xlf_explore: unknown GC policy " << part << "\n";
-      return false;
-    }
   }
   return true;
 }
@@ -309,20 +297,16 @@ int main(int argc, char** argv) {
   Options opt;
   if (!parse_args(argc, argv, opt)) return 2;
 
-  ThreadPool pool(opt.threads);
-
-  if (opt.ftl_sweep) {
-    explore::FtlSweepSpec ftl_spec;
-    if (!make_ftl_spec(opt, ftl_spec)) return 2;
-    const explore::FtlSweepResult result = explore::ftl_sweep(ftl_spec, pool);
-    std::string report;
-    if (opt.format == "csv") {
-      report = explore::ftl_csv(result);
-    } else {
-      report = "{\"ftl\":";
-      report += explore::ftl_json(result);
-      report += "}";
+  try {
+    if (!opt.spec_path.empty()) {
+      opt.experiment = explore::load_experiment(opt.spec_path);
     }
+    const std::string format = opt.format.empty() ? "csv" : opt.format;
+
+    ThreadPool pool(opt.threads);
+    const std::string report =
+        explore::run_experiment(opt.experiment, pool, format);
+
     if (opt.out_path.empty()) {
       std::cout << report;
     } else {
@@ -333,77 +317,9 @@ int main(int argc, char** argv) {
       }
       file << report;
     }
-    return 0;
-  }
-
-  core::SubsystemConfig subsystem = core::SubsystemConfig::defaults();
-  subsystem.cross_layer.uber_target = opt.uber_target;
-
-  explore::SweepSpec sweep_spec;
-  sweep_spec.framework = explore::FrameworkSpec::from(subsystem);
-  sweep_spec.ages = log_space(opt.age_lo, opt.age_hi, opt.age_points);
-
-  explore::SweepResult space = explore::sweep_space(sweep_spec, pool);
-  if (opt.pareto_only) {
-    explore::SweepResult front;
-    // Front sizes vary per age, so the filtered rows are no longer an
-    // ages x cells_per_age grid; 0 signals the irregular layout.
-    front.cells_per_age = 0;
-    for (const explore::SweepCell& cell : space.cells) {
-      if (cell.pareto) front.cells.push_back(cell);
-    }
-    space = std::move(front);
-  }
-
-  std::vector<explore::WorkloadValidation> validations;
-  if (opt.mc_replicas > 0) {
-    const double mc_age =
-        opt.mc_age >= 0.0 ? opt.mc_age : sweep_spec.ages.back();
-    // One root stream per workload, derived serially from --seed so
-    // adding a workload never reshuffles the others' replicas.
-    Rng workload_seeder(opt.seed);
-    for (const std::string& name : opt.workloads) {
-      const std::uint64_t workload_seed = workload_seeder.next();
-      const std::unique_ptr<sim::Workload> workload = make_workload(name);
-      if (workload == nullptr) {
-        std::cerr << "xlf_explore: unknown workload " << name << "\n";
-        return 2;
-      }
-      explore::MonteCarloSpec mc;
-      mc.subsystem = subsystem;
-      mc.point = make_point(opt.point);
-      mc.pe_cycles = mc_age;
-      mc.workload = workload.get();
-      mc.requests_per_replica = opt.mc_requests;
-      mc.replicas = opt.mc_replicas;
-      mc.seed = workload_seed;
-      validations.push_back(explore::WorkloadValidation{
-          workload->name(), mc_age, explore::run_monte_carlo(mc, pool)});
-    }
-  }
-
-  std::string report;
-  if (opt.format == "csv") {
-    report = explore::sweep_csv(space);
-    if (!validations.empty()) {
-      report += "\n";
-      report += explore::qos_csv(validations);
-    }
-  } else {
-    report = "{\"sweep\":" + explore::sweep_json(space);
-    report += ",\"qos\":" + explore::qos_json(validations);
-    report += "}";
-  }
-
-  if (opt.out_path.empty()) {
-    std::cout << report;
-  } else {
-    std::ofstream file(opt.out_path);
-    if (!file) {
-      std::cerr << "xlf_explore: cannot open " << opt.out_path << "\n";
-      return 1;
-    }
-    file << report;
+  } catch (const std::exception& e) {
+    std::cerr << "xlf_explore: " << e.what() << "\n";
+    return 2;
   }
   return 0;
 }
