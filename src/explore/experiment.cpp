@@ -261,6 +261,25 @@ void parse_workload(StrictObject& root, ExperimentSpec& spec) {
   if (const JsonValue* v = obj.find("hot_write_fraction")) {
     spec.ftl.hot_write_fraction = as_number(*v, "hot_write_fraction");
   }
+  if (const JsonValue* v = obj.find("trim_fraction")) {
+    spec.ftl.trim_fraction = as_number(*v, "trim_fraction");
+    if (spec.ftl.trim_fraction < 0.0 || spec.ftl.trim_fraction >= 1.0) {
+      spec_error("'trim_fraction' must lie in [0, 1)");
+    }
+  }
+  if (const JsonValue* v = obj.find("queue_weights")) {
+    if (!v->is_array() || v->items().empty()) {
+      spec_error("'queue_weights' must be a non-empty array of numbers > 0");
+    }
+    spec.ftl.queue_weights.clear();
+    for (const JsonValue& item : v->items()) {
+      const double weight = as_number(item, "queue_weights");
+      if (weight <= 0.0) {
+        spec_error("'queue_weights' entries must be > 0");
+      }
+      spec.ftl.queue_weights.push_back(weight);
+    }
+  }
   if (const JsonValue* v = obj.find("prepopulate")) {
     spec.ftl.prepopulate = as_bool(*v, "prepopulate");
   }
@@ -294,6 +313,20 @@ void parse_sweep(StrictObject& root, ExperimentSpec& spec) {
       spec.ftl.queue_depths.push_back(qd);
     }
   }
+  if (const JsonValue* v = obj.find("queues")) {
+    if (!v->is_array() || v->items().empty()) {
+      spec_error("'queues' must be a non-empty array of integers >= 1");
+    }
+    spec.ftl.queue_counts.clear();
+    for (const JsonValue& item : v->items()) {
+      const std::size_t queues = as_index(item, "queues");
+      if (queues < 1) spec_error("'queues' entries must be >= 1");
+      spec.ftl.queue_counts.push_back(queues);
+    }
+  }
+  if (const JsonValue* v = obj.find("arbitrations")) {
+    spec.ftl.arbitration_policies = as_string_list(*v, "arbitrations");
+  }
   if (const JsonValue* v = obj.find("gc_policies")) {
     spec.ftl.gc_policies = as_string_list(*v, "gc_policies");
   }
@@ -311,6 +344,7 @@ void parse_sweep(StrictObject& root, ExperimentSpec& spec) {
   check_policies<policy::WearPolicy>(spec.ftl.wear_policies);
   check_policies<policy::TuningPolicy>(spec.ftl.tuning_policies);
   check_policies<policy::RefreshPolicy>(spec.ftl.refresh_policies);
+  check_policies<policy::ArbitrationPolicy>(spec.ftl.arbitration_policies);
 }
 
 }  // namespace

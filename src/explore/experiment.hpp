@@ -37,8 +37,11 @@
 //             "scrub_retention_hours": 1000},
 //     "workload": {"requests": 200, "read_fraction": 0.3,
 //                  "hot_fraction": 0.25, "hot_write_fraction": 0.85,
+//                  "trim_fraction": 0.0, "queue_weights": [8, 1],
 //                  "prepopulate": true},
 //     "sweep": {"topologies": ["1x1", "2x1"], "queue_depths": [1, 4],
+//               "queues": [1, 4],
+//               "arbitrations": ["round-robin", "weighted"],
 //               "gc_policies": ["greedy", "cost-benefit"],
 //               "wear_policies": ["dynamic"],
 //               "tuning_policies": ["model_based"],

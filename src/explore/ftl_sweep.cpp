@@ -1,5 +1,7 @@
 #include "src/explore/ftl_sweep.hpp"
 
+#include <algorithm>
+
 #include "src/sim/host_workload.hpp"
 #include "src/util/expect.hpp"
 
@@ -8,17 +10,23 @@ namespace xlf::explore {
 FtlSweepResult ftl_sweep(const FtlSweepSpec& spec, ThreadPool& pool) {
   XLF_EXPECT(!spec.topologies.empty());
   XLF_EXPECT(!spec.queue_depths.empty());
+  XLF_EXPECT(!spec.queue_counts.empty());
+  XLF_EXPECT(!spec.arbitration_policies.empty());
   XLF_EXPECT(!spec.gc_policies.empty());
   XLF_EXPECT(!spec.wear_policies.empty());
   XLF_EXPECT(!spec.tuning_policies.empty());
   XLF_EXPECT(!spec.refresh_policies.empty());
   XLF_EXPECT(spec.requests > 0);
+  XLF_EXPECT(spec.trim_fraction >= 0.0 && spec.trim_fraction < 1.0);
 
   const std::size_t policy_combos =
       spec.gc_policies.size() * spec.wear_policies.size() *
       spec.tuning_policies.size() * spec.refresh_policies.size();
+  const std::size_t host_combos =
+      spec.queue_counts.size() * spec.arbitration_policies.size();
   const std::size_t combos = spec.topologies.size() *
-                             spec.queue_depths.size() * policy_combos;
+                             spec.queue_depths.size() * host_combos *
+                             policy_combos;
 
   // Serially pre-forked randomness, one stream per combo: adding a
   // combo or reordering workers never reshuffles another combo's run.
@@ -31,8 +39,9 @@ FtlSweepResult ftl_sweep(const FtlSweepSpec& spec, ThreadPool& pool) {
   result.rows.resize(combos);
 
   pool.parallel_for(combos, [&](std::size_t index) {
-    // Decompose: topology-major, then queue depth, then the policy
-    // axes gc > wear > tuning > refresh (refresh innermost).
+    // Decompose: topology-major, then queue depth, queue count,
+    // arbitration, then the policy axes gc > wear > tuning > refresh
+    // (refresh innermost).
     std::size_t rest = index;
     const std::size_t r = rest % spec.refresh_policies.size();
     rest /= spec.refresh_policies.size();
@@ -42,6 +51,10 @@ FtlSweepResult ftl_sweep(const FtlSweepSpec& spec, ThreadPool& pool) {
     rest /= spec.wear_policies.size();
     const std::size_t g = rest % spec.gc_policies.size();
     rest /= spec.gc_policies.size();
+    const std::size_t a = rest % spec.arbitration_policies.size();
+    rest /= spec.arbitration_policies.size();
+    const std::size_t n = rest % spec.queue_counts.size();
+    rest /= spec.queue_counts.size();
     const std::size_t q = rest % spec.queue_depths.size();
     const std::size_t t = rest / spec.queue_depths.size();
 
@@ -55,27 +68,44 @@ FtlSweepResult ftl_sweep(const FtlSweepSpec& spec, ThreadPool& pool) {
     Rng stream = streams[index];
     ftl::Ssd ssd(config);
 
+    const std::size_t queues = spec.queue_counts[n];
     sim::SsdSimConfig sim_config;
     sim_config.queue_depth = spec.queue_depths[q];
+    sim_config.host.queues = queues;
+    sim_config.host.arbitration = spec.arbitration_policies[a];
+    // One weight list serves every queue-count entry: take the first
+    // `queues` entries, pad missing ones with 1.0 (HostInterface).
+    sim_config.host.queue_weights.assign(
+        spec.queue_weights.begin(),
+        spec.queue_weights.begin() +
+            static_cast<std::ptrdiff_t>(
+                std::min(queues, spec.queue_weights.size())));
     sim_config.data_seed = stream.next();
     sim::SsdSimulator simulator(ssd, sim_config);
     if (spec.prepopulate) simulator.prepopulate();
 
-    const sim::HotColdWorkload workload(spec.hot_fraction,
-                                        spec.hot_write_fraction,
-                                        spec.read_fraction, spec.mean_gap);
-    const std::vector<sim::HostRequest> requests =
+    sim::TenantSpec tenant;
+    tenant.hot_fraction = spec.hot_fraction;
+    tenant.hot_write_fraction = spec.hot_write_fraction;
+    tenant.read_fraction = spec.read_fraction;
+    tenant.trim_fraction = spec.trim_fraction;
+    tenant.mean_gap = spec.mean_gap;
+    const sim::MultiTenantWorkload workload(
+        std::vector<sim::TenantSpec>(queues, tenant));
+    const std::vector<host::Command> commands =
         workload.generate(ssd.logical_pages(), spec.requests, stream);
 
     FtlSweepRow row;
     row.channels = config.topology.channels;
     row.dies_per_channel = config.topology.dies_per_channel;
     row.queue_depth = spec.queue_depths[q];
+    row.queues = queues;
+    row.arbitration = spec.arbitration_policies[a];
     row.gc_policy = spec.gc_policies[g];
     row.wear_policy = spec.wear_policies[w];
     row.tuning_policy = spec.tuning_policies[u];
     row.refresh_policy = spec.refresh_policies[r];
-    row.stats = simulator.run(requests);
+    row.stats = simulator.run(commands);
     // One maintenance scrub after the request stream: the refresh
     // policy's effect shows up as preventive relocations in the row.
     // Unconditional — a policy that refreshes nothing (the "none"

@@ -5,14 +5,17 @@
 // reliability spread next to the device-level metrics the space
 // sweep produces.
 //
-// Policies are swept by registry name along four independent axes —
-// GC victim selection, wear leveling, reliability tuning and
-// background refresh — so any combination of registered strategies
-// (including ones registered by downstream translation units) is
-// reachable without code changes. The grid is the cartesian product
-// topology x queue depth x gc x wear x tuning x refresh, in that
-// nesting order; axes default to a single entry, so the historical
-// (topology x QD x GC) grid is the default shape.
+// Policies are swept by registry name along five independent axes —
+// GC victim selection, wear leveling, reliability tuning, background
+// refresh and host-queue arbitration — so any combination of
+// registered strategies (including ones registered by downstream
+// translation units) is reachable without code changes. The grid is
+// the cartesian product topology x queue depth x queue count x
+// arbitration x gc x wear x tuning x refresh, in that nesting order;
+// axes default to a single entry, so the historical (topology x QD x
+// GC) grid is the default shape, and the default single-queue
+// round-robin host interface reproduces the pre-redesign single-
+// stream rows byte for byte.
 //
 // Determinism contract (same as sweep/monte_carlo): every combo's
 // randomness comes from its own serially pre-forked Rng stream, each
@@ -36,15 +39,26 @@ struct FtlSweepSpec {
   ftl::SsdConfig base;
   std::vector<controller::DispatchConfig> topologies{{1, 1}, {2, 1}};
   std::vector<std::size_t> queue_depths{1, 4};
+  // Host-interface axes: submission-queue counts and arbitration
+  // policy names (PolicyRegistry, kind "arbitration"). One tenant per
+  // queue; requests split evenly across tenants.
+  std::vector<std::size_t> queue_counts{1};
+  std::vector<std::string> arbitration_policies{"round-robin"};
+  // Arbitration weight per queue (queue 0 first; shorter lists pad
+  // with 1.0, empty = equal weights).
+  std::vector<double> queue_weights;
   // Policy axes (PolicyRegistry names of the matching interface).
   std::vector<std::string> gc_policies{"greedy", "cost-benefit"};
   std::vector<std::string> wear_policies{"dynamic"};
   std::vector<std::string> tuning_policies{"model_based"};
   std::vector<std::string> refresh_policies{"none"};
-  // Hot/cold overwrite traffic driving GC (see HotColdWorkload).
+  // Hot/cold overwrite traffic driving GC (see HotColdWorkload /
+  // MultiTenantWorkload). trim_fraction > 0 makes each tenant
+  // deallocate that share of its non-read requests.
   double hot_fraction = 0.25;
   double hot_write_fraction = 0.85;
   double read_fraction = 0.3;
+  double trim_fraction = 0.0;
   Seconds mean_gap{0.0};
   std::size_t requests = 200;
   bool prepopulate = true;
@@ -55,6 +69,8 @@ struct FtlSweepRow {
   std::uint32_t channels = 0;
   std::uint32_t dies_per_channel = 0;
   std::size_t queue_depth = 0;
+  std::size_t queues = 0;
+  std::string arbitration;
   std::string gc_policy;
   std::string wear_policy;
   std::string tuning_policy;
@@ -63,8 +79,8 @@ struct FtlSweepRow {
 };
 
 struct FtlSweepResult {
-  // Topology-major, then queue depth, then gc / wear / tuning /
-  // refresh policy (innermost).
+  // Topology-major, then queue depth, then queue count, arbitration,
+  // gc / wear / tuning / refresh policy (innermost).
   std::vector<FtlSweepRow> rows;
 };
 

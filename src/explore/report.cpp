@@ -163,6 +163,18 @@ const Field<WorkloadValidation> kQosFields[] = {
      }},
 };
 
+// ';'-joined per-queue mean of one latency series, in microseconds —
+// one formatter for both per-queue columns so they cannot diverge.
+std::string joined_queue_means(const FtlSweepRow& r,
+                               RunningStats host::QueueStats::*series) {
+  std::string out;
+  for (std::size_t q = 0; q < r.stats.queue_stats.size(); ++q) {
+    if (q > 0) out += ";";
+    out += num((r.stats.queue_stats[q].*series).mean() * 1e6);
+  }
+  return out;
+}
+
 const Field<FtlSweepRow> kFtlFields[] = {
     {"channels", false,
      [](const FtlSweepRow& r) { return std::to_string(r.channels); }},
@@ -242,6 +254,32 @@ const Field<FtlSweepRow> kFtlFields[] = {
      [](const FtlSweepRow& r) { return num(r.stats.gc_busy.value()); }},
     {"simulated_seconds", false,
      [](const FtlSweepRow& r) { return num(r.stats.elapsed.value()); }},
+    // Multi-queue host-interface columns (appended after the
+    // pre-redesign set, whose bytes the 1-queue round-robin
+    // degenerate case reproduces exactly).
+    {"queues", false,
+     [](const FtlSweepRow& r) { return std::to_string(r.queues); }},
+    {"arbitration", true,
+     [](const FtlSweepRow& r) { return r.arbitration; }},
+    {"trims", false,
+     [](const FtlSweepRow& r) { return std::to_string(r.stats.trims); }},
+    {"trimmed_pages", false,
+     [](const FtlSweepRow& r) {
+       return std::to_string(r.stats.trimmed_pages);
+     }},
+    {"flushes", false,
+     [](const FtlSweepRow& r) { return std::to_string(r.stats.flushes); }},
+    // Per-queue mean latency, queue 0 first, ';'-separated (CSV-safe;
+    // a quoted string in JSON). 0 for a queue that completed no
+    // command of that type, matching the global latency columns.
+    {"per_queue_write_mean_us", true,
+     [](const FtlSweepRow& r) {
+       return joined_queue_means(r, &host::QueueStats::write_latency);
+     }},
+    {"per_queue_read_mean_us", true,
+     [](const FtlSweepRow& r) {
+       return joined_queue_means(r, &host::QueueStats::read_latency);
+     }},
 };
 
 }  // namespace

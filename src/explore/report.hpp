@@ -29,9 +29,12 @@ std::string sweep_json(const SweepResult& result);
 std::string qos_csv(const std::vector<WorkloadValidation>& validations);
 std::string qos_json(const std::vector<WorkloadValidation>& validations);
 
-// FTL sweep table: one row per (topology, queue depth, GC policy)
-// combo — write amplification, utilisation, latency QoS, and the
-// per-block wear/t spread.
+// FTL sweep table: one row per (topology, queue depth, queue shape,
+// policy) combo — write amplification, utilisation, latency QoS
+// (global and per submission queue), trim/flush activity, and the
+// per-block wear/t spread. The multi-queue columns are appended
+// after the pre-redesign set, whose bytes the single-queue
+// round-robin default reproduces exactly.
 std::string ftl_csv(const FtlSweepResult& result);
 std::string ftl_json(const FtlSweepResult& result);
 

@@ -263,6 +263,27 @@ FtlOpResult Ftl::read(Lpa lpa) {
   return result;
 }
 
+FtlOpResult Ftl::trim(Lpa lpa) {
+  XLF_EXPECT(lpa < logical_pages());
+  FtlOpResult result;
+  result.die = die_of(lpa);
+  ++stats_.host_trims;
+  if (!map_.mapped(lpa)) {
+    result.unmapped = true;
+    return result;
+  }
+  map_.unmap(lpa);
+  ++stats_.trimmed_pages;
+  return result;
+}
+
+FtlOpResult Ftl::flush() {
+  // Write-through: nothing buffered, nothing to persist (see header).
+  FtlOpResult result;
+  ++stats_.host_flushes;
+  return result;
+}
+
 ScrubResult Ftl::scrub() {
   ScrubResult scrub_result;
   const nand::Geometry& geometry = controllers_.front()->device().geometry();

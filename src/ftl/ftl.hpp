@@ -112,6 +112,12 @@ struct FtlStats {
   std::uint64_t host_writes = 0;
   std::uint64_t host_reads = 0;
   std::uint64_t unmapped_reads = 0;
+  // Host trim commands serviced / mapped pages they actually dropped
+  // (a trim of a never-written LPA counts in the first, not the
+  // second), and flush barriers acknowledged.
+  std::uint64_t host_trims = 0;
+  std::uint64_t trimmed_pages = 0;
+  std::uint64_t host_flushes = 0;
   std::uint64_t gc_relocations = 0;
   std::uint64_t erases = 0;
   std::uint64_t wl_swaps = 0;
@@ -160,6 +166,22 @@ class Ftl {
   // Host read through the map. Unmapped LPAs are serviced as zero
   // pages without touching flash (`unmapped` flag set).
   FtlOpResult read(Lpa lpa);
+  // Host trim/deallocate: drop the LPA's mapping and invalidate its
+  // physical page. Metadata-only (no flash op, zero service time) —
+  // but the invalidated page lowers its block's valid count, which is
+  // exactly the GC victim signal, so trimmed workloads reclaim blocks
+  // with fewer relocations. Trimming a never-written LPA is a no-op
+  // with `unmapped` set, mirroring the read path.
+  FtlOpResult trim(Lpa lpa);
+  // Host flush/durability barrier. This FTL writes through — every
+  // accepted write is on flash (and its map update applied) before
+  // write() returns — so there is nothing to drain and the call
+  // completes immediately; it exists so the host command set has a
+  // stable durability point, and so a future write-back cache has a
+  // place to empty. Ordering against in-flight commands is the
+  // driver's job (the simulator holds a flush until every previously
+  // issued command of its queue completes).
+  FtlOpResult flush();
 
   // Background scrub: every closed block is offered to the refresh
   // policy with its wear, its pages' t budget and the configured

@@ -65,6 +65,18 @@ void PageMap::map(Lpa lpa, Ppa ppa) {
                   ppa.block];
 }
 
+void PageMap::unmap(Lpa lpa) {
+  XLF_EXPECT(lpa < logical_pages_);
+  const Ppa old = l2p_[lpa];
+  XLF_EXPECT(old.valid() && "trimming an unmapped LPA");
+  const std::size_t previous = page_index(old);
+  XLF_ENSURE(p2l_[previous] == lpa);
+  p2l_[previous] = kUnmapped;
+  --valid_counts_[static_cast<std::size_t>(old.die) * blocks_per_die_ +
+                  old.block];
+  l2p_[lpa] = Ppa{};
+}
+
 bool PageMap::valid(Ppa ppa) const {
   check(ppa);
   return p2l_[page_index(ppa)] != kUnmapped;

@@ -47,6 +47,11 @@ class PageMap {
   // location (the out-of-place write step). The target page must not
   // already hold a valid mapping.
   void map(Lpa lpa, Ppa ppa);
+  // Drop `lpa`'s mapping entirely (host trim/deallocate): its
+  // physical page goes invalid — feeding the block's GC signal — and
+  // subsequent lookups see the LPA as never written. The LPA must be
+  // mapped.
+  void unmap(Lpa lpa);
 
   // True when the physical page holds the current copy of some LPA.
   bool valid(Ppa ppa) const;

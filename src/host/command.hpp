@@ -1,0 +1,71 @@
+// The NVMe-style host command set (xlf::host).
+//
+// This is the boundary real SSD stacks expose: the host describes its
+// intent as commands — read, write, trim (deallocate), flush
+// (durability barrier) — tagged with the submission queue and tenant
+// they belong to, and the device decides when each queue gets to
+// issue (src/host/queues.hpp + policy::ArbitrationPolicy). Commands
+// address the FTL's logical page space in (LBA, length) extents; the
+// driver expands an extent into per-page FTL operations and completes
+// the command when the last page lands.
+//
+// Replaces the flat std::vector<HostRequest> edge of the simulator:
+// multi-tenant, QoS and trim/retention scenarios need queues and a
+// command vocabulary, not a single anonymous request stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/ftl/mapping.hpp"
+#include "src/util/units.hpp"
+
+namespace xlf::host {
+
+enum class CmdType : std::uint8_t { kRead, kWrite, kTrim, kFlush };
+
+inline const char* to_string(CmdType type) {
+  switch (type) {
+    case CmdType::kRead: return "read";
+    case CmdType::kWrite: return "write";
+    case CmdType::kTrim: return "trim";
+    case CmdType::kFlush: return "flush";
+  }
+  return "?";
+}
+
+// One host command as it enters a submission queue.
+struct Command {
+  CmdType type = CmdType::kRead;
+  // First logical page of the extent; ignored by kFlush.
+  ftl::Lpa lba = 0;
+  // Extent length in logical pages (>= 1); ignored by kFlush.
+  std::uint32_t length = 1;
+  // Submission queue this command is enqueued on.
+  std::uint16_t queue = 0;
+  // Free-form stream tag (multi-tenant workloads stamp the tenant
+  // index; single-stream conversions leave it 0).
+  std::uint16_t tenant = 0;
+  // Inter-arrival time before this command enters its queue, relative
+  // to the previous command of the *merged* host stream (the open-loop
+  // clock the simulator schedules arrivals on).
+  Seconds gap{0.0};
+};
+
+// One completion-queue entry: the command echoed back with its
+// timing. `ok` is false when any page of the extent decoded
+// uncorrectably.
+struct Completion {
+  CmdType type = CmdType::kRead;
+  ftl::Lpa lba = 0;
+  std::uint32_t length = 1;
+  std::uint16_t queue = 0;
+  std::uint16_t tenant = 0;
+  Seconds submitted{0.0};
+  Seconds completed{0.0};
+  bool ok = true;
+
+  Seconds latency() const { return completed - submitted; }
+};
+
+}  // namespace xlf::host

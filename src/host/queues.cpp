@@ -1,0 +1,165 @@
+#include "src/host/queues.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/policy/registry.hpp"
+#include "src/util/expect.hpp"
+
+namespace xlf::host {
+
+HostInterface::HostInterface(const HostConfig& config)
+    : record_completions_(config.record_completions),
+      last_queue_(static_cast<std::uint32_t>(config.queues)) {
+  XLF_EXPECT_MSG(config.queues >= 1,
+                 "host interface needs at least one submission queue");
+  XLF_EXPECT_MSG(config.queue_weights.size() <= config.queues, [&] {
+    std::ostringstream msg;
+    msg << "queue_weights has " << config.queue_weights.size()
+        << " entries for " << config.queues
+        << " queues; extra weights have no queue to apply to";
+    return msg.str();
+  }());
+  arbitration_ =
+      policy::PolicyRegistry<policy::ArbitrationPolicy>::instance()
+          .make_shared(config.arbitration);
+  states_.resize(config.queues);
+  views_.resize(config.queues);
+  for (std::size_t q = 0; q < config.queue_weights.size(); ++q) {
+    XLF_EXPECT_MSG(config.queue_weights[q] > 0.0, [&] {
+      std::ostringstream msg;
+      msg << "queue_weights[" << q << "]=" << config.queue_weights[q]
+          << " must be > 0 (weights are issue-share proportions)";
+      return msg.str();
+    }());
+    states_[q].weight = config.queue_weights[q];
+  }
+}
+
+const HostInterface::QueueState& HostInterface::state(std::size_t q) const {
+  XLF_EXPECT(q < states_.size());
+  return states_[q];
+}
+
+double HostInterface::weight(std::size_t q) const { return state(q).weight; }
+
+void HostInterface::submit(const Command& command, Seconds arrival) {
+  XLF_EXPECT_MSG(command.queue < states_.size(), [&] {
+    std::ostringstream msg;
+    msg << "command targets queue " << command.queue << " but only "
+        << states_.size() << " queues exist";
+    return msg.str();
+  }());
+  XLF_EXPECT(command.type == CmdType::kFlush || command.length >= 1);
+  states_[command.queue].submission.emplace_back(command, arrival);
+}
+
+bool HostInterface::pending() const {
+  for (const QueueState& s : states_) {
+    if (!s.submission.empty()) return true;
+  }
+  return false;
+}
+
+std::size_t HostInterface::backlog(std::size_t q) const {
+  return state(q).submission.size();
+}
+
+std::optional<std::uint32_t> HostInterface::arbitrate() const {
+  bool any = false;
+  for (std::size_t q = 0; q < states_.size(); ++q) {
+    views_[q].id = static_cast<std::uint32_t>(q);
+    views_[q].backlog = states_[q].submission.size();
+    views_[q].issued = states_[q].issued;
+    views_[q].weight = states_[q].weight;
+    views_[q].eligible = !states_[q].blocked && !states_[q].submission.empty();
+    any = any || views_[q].eligible;
+  }
+  if (!any) return std::nullopt;
+  policy::ArbitrationContext ctx;
+  ctx.queues = views_.data();
+  ctx.queue_count = views_.size();
+  ctx.last_queue = last_queue_;
+  const std::uint32_t pick = arbitration_->pick(ctx);
+  // A policy that picks an out-of-range or ineligible queue would
+  // stall or corrupt the issue loop; fail loudly instead.
+  XLF_ENSURE(pick < views_.size() && views_[pick].eligible);
+  return pick;
+}
+
+std::pair<Command, Seconds> HostInterface::pop(std::uint32_t q) {
+  XLF_EXPECT(q < states_.size());
+  QueueState& s = states_[q];
+  XLF_EXPECT(!s.blocked && !s.submission.empty());
+  std::pair<Command, Seconds> head = s.submission.front();
+  s.submission.pop_front();
+  ++s.issued;
+  last_queue_ = q;
+  return head;
+}
+
+void HostInterface::block(std::uint32_t q) {
+  XLF_EXPECT(q < states_.size());
+  states_[q].blocked = true;
+}
+
+void HostInterface::unblock(std::uint32_t q) {
+  XLF_EXPECT(q < states_.size());
+  states_[q].blocked = false;
+}
+
+bool HostInterface::blocked(std::uint32_t q) const { return state(q).blocked; }
+
+Seconds HostInterface::last_scheduled_completion(std::uint32_t q) const {
+  return state(q).last_completion;
+}
+
+void HostInterface::note_scheduled_completion(std::uint32_t q,
+                                              Seconds completion) {
+  XLF_EXPECT(q < states_.size());
+  states_[q].last_completion =
+      std::max(states_[q].last_completion, completion);
+}
+
+void HostInterface::complete(const Completion& entry) {
+  XLF_EXPECT(entry.queue < states_.size());
+  QueueState& s = states_[entry.queue];
+  if (record_completions_) s.completion.push_back(entry);
+  const double latency = entry.latency().value();
+  switch (entry.type) {
+    case CmdType::kRead:
+      ++s.stats.reads;
+      s.stats.read_latency.add(latency);
+      break;
+    case CmdType::kWrite:
+      ++s.stats.writes;
+      s.stats.write_latency.add(latency);
+      break;
+    case CmdType::kTrim:
+      ++s.stats.trims;
+      break;
+    case CmdType::kFlush:
+      ++s.stats.flushes;
+      break;
+  }
+}
+
+std::vector<Completion> HostInterface::drain(std::uint32_t q) {
+  XLF_EXPECT(q < states_.size());
+  std::vector<Completion> out = std::move(states_[q].completion);
+  states_[q].completion.clear();
+  return out;
+}
+
+const QueueStats& HostInterface::stats(std::size_t q) const {
+  return state(q).stats;
+}
+
+std::vector<QueueStats> HostInterface::all_stats() const {
+  std::vector<QueueStats> out;
+  out.reserve(states_.size());
+  for (const QueueState& s : states_) out.push_back(s.stats);
+  return out;
+}
+
+}  // namespace xlf::host

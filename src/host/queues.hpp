@@ -1,0 +1,139 @@
+// Multi-queue host interface: N independent submission/completion
+// queue pairs in front of the SSD, with a pluggable arbitration
+// policy deciding which queue issues next whenever the device has a
+// free command slot.
+//
+// The structure mirrors NVMe's submission/completion model scaled to
+// the simulator: the host submits Commands onto per-queue FIFOs on
+// its own clock; the driver (sim::SsdSimulator) asks `arbitrate()`
+// for the next queue while its outstanding count is below the device
+// queue depth, pops the head command, executes it against the FTL,
+// and posts a Completion back through `complete()`. Per-queue issue
+// counters, flush barriers and latency statistics live here — the
+// ArbitrationPolicy itself stays immutable and shareable, receiving
+// all mutable state through the per-decision context
+// (policy::ArbitrationContext), exactly like the other policy-plane
+// interfaces.
+//
+// Single-threaded like the simulator that drives it; determinism
+// comes from FIFO queues, the stable arbitration tie-break contract,
+// and nothing else.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/host/command.hpp"
+#include "src/policy/policy.hpp"
+#include "src/util/stats.hpp"
+
+namespace xlf::host {
+
+struct HostConfig {
+  // Independent submission/completion queue pairs.
+  std::size_t queues = 1;
+  // policy::ArbitrationPolicy registry name ("round-robin",
+  // "weighted", or any downstream registration).
+  std::string arbitration = "round-robin";
+  // Arbitration weight per queue, queue 0 first. Shorter lists pad
+  // with 1.0 (so one template serves several queue counts); longer
+  // lists are a configuration error. Empty = equal weights.
+  std::vector<double> queue_weights;
+  // Retain Completion entries for drain(). Off by default: a driver
+  // that only reads the aggregated QueueStats (the simulator) must
+  // not accumulate O(commands) of ring memory per run.
+  bool record_completions = false;
+};
+
+// Per-queue service statistics, filled as completions post.
+struct QueueStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t trims = 0;
+  std::uint64_t flushes = 0;
+  // Submission -> completion, seconds, per command (not per page).
+  RunningStats read_latency;
+  RunningStats write_latency;
+
+  std::uint64_t commands() const { return reads + writes + trims + flushes; }
+};
+
+class HostInterface {
+ public:
+  explicit HostInterface(const HostConfig& config);
+
+  std::size_t queues() const { return states_.size(); }
+  double weight(std::size_t q) const;
+
+  // --- submission side ------------------------------------------------
+  // Enqueue onto the command's own queue (Command::queue must be in
+  // range) at host time `arrival`.
+  void submit(const Command& command, Seconds arrival);
+  // Any command submitted and not yet issued?
+  bool pending() const;
+  std::size_t backlog(std::size_t q) const;
+
+  // --- arbitration / issue -------------------------------------------
+  // The queue that should issue next, per the arbitration policy;
+  // nullopt when no queue is eligible (all empty or flush-blocked).
+  std::optional<std::uint32_t> arbitrate() const;
+  // Pop the head command of queue `q` (with its arrival stamp) and
+  // charge the issue to the queue's fairness counter.
+  std::pair<Command, Seconds> pop(std::uint32_t q);
+
+  // Flush barrier: while blocked, a queue's backlog is ineligible
+  // (commands behind an in-flight flush wait for it), but submissions
+  // still land.
+  void block(std::uint32_t q);
+  void unblock(std::uint32_t q);
+  bool blocked(std::uint32_t q) const;
+
+  // Latest completion time scheduled for any command issued from `q`
+  // — the instant a flush issued now must wait for.
+  Seconds last_scheduled_completion(std::uint32_t q) const;
+
+  // --- completion side ------------------------------------------------
+  // Record that a command issued from `q` will complete at
+  // `completion` (keeps the flush horizon current).
+  void note_scheduled_completion(std::uint32_t q, Seconds completion);
+  // Post a completion-queue entry: fold it into the queue's stats
+  // and, under record_completions, retain it for drain().
+  void complete(const Completion& entry);
+  // Drain queue `q`'s retained completion entries (moves them out;
+  // always empty unless record_completions is set).
+  std::vector<Completion> drain(std::uint32_t q);
+
+  const QueueStats& stats(std::size_t q) const;
+  // Copy of all per-queue statistics, queue 0 first.
+  std::vector<QueueStats> all_stats() const;
+
+ private:
+  struct QueueState {
+    std::deque<std::pair<Command, Seconds>> submission;
+    std::vector<Completion> completion;
+    std::uint64_t issued = 0;
+    double weight = 1.0;
+    bool blocked = false;
+    Seconds last_completion{0.0};
+    QueueStats stats;
+  };
+
+  const QueueState& state(std::size_t q) const;
+
+  std::shared_ptr<const policy::ArbitrationPolicy> arbitration_;
+  std::vector<QueueState> states_;
+  bool record_completions_;
+  // == queues() before the first issue (the round-robin start cue).
+  std::uint32_t last_queue_;
+  // Scratch for arbitrate()'s per-decision snapshot — reused so the
+  // once-per-issued-command hot path never allocates. (The interface
+  // is single-threaded, like the simulator that drives it.)
+  mutable std::vector<policy::QueueView> views_;
+};
+
+}  // namespace xlf::host

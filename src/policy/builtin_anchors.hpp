@@ -10,6 +10,7 @@ void builtin_tuning_anchor();
 void builtin_gc_anchor();
 void builtin_wear_anchor();
 void builtin_refresh_anchor();
+void builtin_arbitration_anchor();
 void retention_refresh_anchor();
 
 }  // namespace xlf::policy::detail

@@ -2,7 +2,7 @@
 //
 // The paper's thesis is that reliability/performance knobs must be
 // co-configured across layers; this layer is where the *decisions*
-// live, decoupled from the mechanisms that execute them. Four
+// live, decoupled from the mechanisms that execute them. Five
 // strategy interfaces cover the control points of the stack:
 //
 //  * TuningPolicy  — per-block (algo, t) selection inside the
@@ -15,7 +15,11 @@
 //  * RefreshPolicy — background scrub decisions: which blocks should
 //    be preventively re-programmed before retention errors outgrow
 //    the correction capability their pages were written with (none /
-//    retention_aware).
+//    retention_aware);
+//  * ArbitrationPolicy — which host submission queue issues its next
+//    command when the device has a free slot (round-robin /
+//    weighted), the QoS knob of the multi-queue host interface
+//    (src/host/).
 //
 // Every interface is consumed through PolicyRegistry (registry.hpp),
 // so a new policy lives in its own translation unit, registers itself
@@ -158,6 +162,42 @@ class RefreshPolicy {
  public:
   virtual ~RefreshPolicy() = default;
   virtual bool should_refresh(const RefreshContext& ctx) const = 0;
+};
+
+// --- ArbitrationPolicy -----------------------------------------------
+
+// One host submission queue as the arbiter sees it at a decision
+// point. All mutable queue state (backlogs, issue counters, flush
+// barriers) lives with the host interface and is passed in per
+// decision, so one policy instance is shareable like the others.
+struct QueueView {
+  std::uint32_t id = 0;
+  // Commands submitted but not yet issued to the device.
+  std::size_t backlog = 0;
+  // Commands this queue has issued so far this run (the fairness /
+  // deficit signal weighted arbitration balances).
+  std::uint64_t issued = 0;
+  double weight = 1.0;
+  // Issuable now: non-empty and not behind an in-flight flush barrier.
+  bool eligible = false;
+};
+
+struct ArbitrationContext {
+  const QueueView* queues = nullptr;
+  std::size_t queue_count = 0;
+  // Queue that issued most recently; == queue_count before the first
+  // issue of a run.
+  std::uint32_t last_queue = 0;
+};
+
+// Picks which submission queue issues next whenever the device has a
+// free command slot. Called only when at least one queue is eligible,
+// and must return the id of an eligible queue; ties must break toward
+// the lowest id so runs stay bit-reproducible whatever the policy.
+class ArbitrationPolicy {
+ public:
+  virtual ~ArbitrationPolicy() = default;
+  virtual std::uint32_t pick(const ArbitrationContext& ctx) const = 0;
 };
 
 }  // namespace xlf::policy

@@ -13,6 +13,7 @@ void require_builtin_policies() {
   builtin_gc_anchor();
   builtin_wear_anchor();
   builtin_refresh_anchor();
+  builtin_arbitration_anchor();
   retention_refresh_anchor();
 }
 

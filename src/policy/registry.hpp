@@ -39,6 +39,7 @@ class TuningPolicy;
 class GcPolicy;
 class WearPolicy;
 class RefreshPolicy;
+class ArbitrationPolicy;
 
 // Human-readable registry label used in error messages ("unknown gc
 // policy 'foo'; available: ...").
@@ -59,6 +60,10 @@ struct PolicyKindName<WearPolicy> {
 template <>
 struct PolicyKindName<RefreshPolicy> {
   static constexpr const char* value = "refresh";
+};
+template <>
+struct PolicyKindName<ArbitrationPolicy> {
+  static constexpr const char* value = "arbitration";
 };
 
 namespace detail {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/ftl/mapping.hpp"
+#include "src/host/command.hpp"
 #include "src/sim/workload.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/units.hpp"
@@ -88,5 +89,54 @@ class UniformOverwriteWorkload final : public HostWorkload {
   double read_fraction_;
   Seconds mean_gap_;
 };
+
+// One tenant of the multi-queue composite generator: hot/cold
+// overwrite traffic (the HotColdWorkload shape) extended with trim —
+// a `trim_fraction` share of the non-read requests deallocates a
+// previously written LPA instead of overwriting one, which is what
+// hands the FTL's GC cheap (invalid-page-rich) victims.
+struct TenantSpec {
+  double hot_fraction = 0.25;
+  double hot_write_fraction = 0.85;
+  double read_fraction = 0.3;
+  double trim_fraction = 0.0;
+  Seconds mean_gap{0.0};
+};
+
+// Composite multi-tenant host-command generator: tenant i submits on
+// queue i, each tenant draws its stream from its own serially
+// pre-forked Rng, and the streams merge into one open-loop arrival
+// sequence ordered by absolute arrival time (ties break by tenant,
+// then sequence — deterministic).
+//
+// Degenerate-case contract: with exactly one tenant and
+// trim_fraction == 0, the generator consumes the caller's Rng
+// identically to HotColdWorkload::generate (no fork, no extra draws)
+// and emits the same stream as host commands on queue 0 — which is
+// how the multi-queue sweep reproduces the pre-redesign single-stream
+// output byte for byte (tests/test_host_workload.cpp pins this).
+class MultiTenantWorkload {
+ public:
+  explicit MultiTenantWorkload(std::vector<TenantSpec> tenants);
+
+  std::size_t tenants() const { return tenants_.size(); }
+  std::string name() const { return "multi-tenant"; }
+
+  // Generate `count` commands total, split evenly across tenants
+  // (earlier tenants absorb the remainder).
+  std::vector<host::Command> generate(std::uint32_t logical_pages,
+                                      std::size_t count, Rng& rng) const;
+
+ private:
+  std::vector<TenantSpec> tenants_;
+};
+
+// The flat single-stream view converted onto the command API: every
+// HostRequest becomes a one-page read/write command on queue 0 with
+// the same arrival gap. The legacy SsdSimulator::run(requests) path
+// goes through this, so both entry points execute identical command
+// streams.
+std::vector<host::Command> to_commands(
+    const std::vector<HostRequest>& requests);
 
 }  // namespace xlf::sim

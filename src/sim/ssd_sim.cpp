@@ -6,19 +6,24 @@
 #include "src/util/expect.hpp"
 
 namespace xlf::sim {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
 
 double SsdSimStats::die_util_min() const {
-  if (die_utilisation.empty()) return 0.0;
+  if (die_utilisation.empty()) return kNaN;
   return *std::min_element(die_utilisation.begin(), die_utilisation.end());
 }
 
 double SsdSimStats::die_util_max() const {
-  if (die_utilisation.empty()) return 0.0;
+  if (die_utilisation.empty()) return kNaN;
   return *std::max_element(die_utilisation.begin(), die_utilisation.end());
 }
 
 double SsdSimStats::die_util_mean() const {
-  if (die_utilisation.empty()) return 0.0;
+  if (die_utilisation.empty()) return kNaN;
   double sum = 0.0;
   for (double u : die_utilisation) sum += u;
   return sum / static_cast<double>(die_utilisation.size());
@@ -27,6 +32,9 @@ double SsdSimStats::die_util_mean() const {
 SsdSimulator::SsdSimulator(ftl::Ssd& ssd, const SsdSimConfig& config)
     : ssd_(&ssd), config_(config), data_rng_(config.data_seed) {
   XLF_EXPECT(config.queue_depth >= 1);
+  // Surface a bad queue shape / arbitration name at construction, not
+  // mid-run: building a throwaway interface runs all the checks.
+  host::HostInterface probe(config_.host);
 }
 
 BitVec SsdSimulator::random_payload() {
@@ -46,74 +54,134 @@ void SsdSimulator::prepopulate() {
   }
 }
 
-void SsdSimulator::try_issue(SsdSimStats& stats) {
-  while (outstanding_ < config_.queue_depth && !host_queue_.empty()) {
-    const auto [index, arrival] = host_queue_.front();
-    host_queue_.pop_front();
-    const HostRequest& request = (*requests_)[index];
-    const Seconds now = queue_.now();
-    controller::DieDispatcher& dispatcher = ssd_->dispatcher();
+void SsdSimulator::issue(std::uint32_t q, const host::Command& command,
+                         Seconds arrival, SsdSimStats& stats) {
+  const Seconds now = queue_.now();
+  controller::DieDispatcher& dispatcher = ssd_->dispatcher();
+  host::Completion entry;
+  entry.type = command.type;
+  entry.lba = command.lba;
+  entry.length = command.length;
+  entry.queue = command.queue;
+  entry.tenant = command.tenant;
+  entry.submitted = arrival;
 
-    if (request.type == OpType::kWrite) {
-      BitVec payload = random_payload();
-      const ftl::FtlOpResult res = ssd_->ftl().write(request.lpa, payload);
-      written_[request.lpa] = std::move(payload);
-      stats.gc_busy += res.gc_time;
-      stats.ecc_energy += res.ecc_energy;
-      stats.nand_energy += res.nand_energy;
-      ++stats.writes;
-      const controller::DispatchSlot slot =
-          dispatcher.submit_write(res.die, now, res.io_time, res.cell_time);
-      ++outstanding_;
-      queue_.schedule_at(slot.completion, [this, &stats, arrival, slot] {
-        stats.write_latency.add((slot.completion - arrival).value());
-        --outstanding_;
-        try_issue(stats);
-      });
-      continue;
-    }
+  // The command's completion: the latest page of its extent (or `now`
+  // for pure metadata work).
+  Seconds completion = now;
 
-    // Read path. FTL state resolves at issue; the payload check runs
-    // against the host's record as of this instant.
-    const ftl::FtlOpResult res = ssd_->ftl().read(request.lpa);
-    if (res.unmapped) {
-      ++stats.unmapped_reads;
-      // Serviced from the map with no flash access: completes now.
-      ++outstanding_;
-      queue_.schedule_at(now, [this, &stats, arrival, now] {
-        stats.read_latency.add((now - arrival).value());
-        --outstanding_;
-        try_issue(stats);
-      });
-      continue;
-    }
-    stats.corrected_bits += res.corrected_bits;
-    stats.ecc_energy += res.ecc_energy;
-    stats.nand_energy += res.nand_energy;
-    ++stats.reads;
-    if (res.uncorrectable) {
-      ++stats.uncorrectable;
-    } else if (config_.verify_data) {
-      const auto it = written_.find(request.lpa);
-      if (it != written_.end() && !(res.data == it->second)) {
-        ++stats.data_mismatches;
+  switch (command.type) {
+    case host::CmdType::kWrite: {
+      for (std::uint32_t p = 0; p < command.length; ++p) {
+        const ftl::Lpa lpa = command.lba + p;
+        BitVec payload = random_payload();
+        const ftl::FtlOpResult res = ssd_->ftl().write(lpa, payload);
+        written_[lpa] = std::move(payload);
+        stats.gc_busy += res.gc_time;
+        stats.ecc_energy += res.ecc_energy;
+        stats.nand_energy += res.nand_energy;
+        ++stats.writes;
+        const controller::DispatchSlot slot =
+            dispatcher.submit_write(res.die, now, res.io_time, res.cell_time);
+        completion = std::max(completion, slot.completion);
       }
+      break;
     }
-    const controller::DispatchSlot slot =
-        dispatcher.submit_read(res.die, now, res.io_time, res.cell_time);
-    ++outstanding_;
-    queue_.schedule_at(slot.completion, [this, &stats, arrival, slot] {
-      stats.read_latency.add((slot.completion - arrival).value());
-      --outstanding_;
-      try_issue(stats);
-    });
+    case host::CmdType::kRead: {
+      for (std::uint32_t p = 0; p < command.length; ++p) {
+        const ftl::Lpa lpa = command.lba + p;
+        // FTL state resolves at issue; the payload check runs against
+        // the host's record as of this instant.
+        const ftl::FtlOpResult res = ssd_->ftl().read(lpa);
+        if (res.unmapped) {
+          // Serviced from the map with no flash access: this page
+          // contributes no device time.
+          ++stats.unmapped_reads;
+          continue;
+        }
+        stats.corrected_bits += res.corrected_bits;
+        stats.ecc_energy += res.ecc_energy;
+        stats.nand_energy += res.nand_energy;
+        ++stats.reads;
+        if (res.uncorrectable) {
+          ++stats.uncorrectable;
+          entry.ok = false;
+        } else if (config_.verify_data) {
+          const auto it = written_.find(lpa);
+          if (it != written_.end() && !(res.data == it->second)) {
+            ++stats.data_mismatches;
+          }
+        }
+        const controller::DispatchSlot slot =
+            dispatcher.submit_read(res.die, now, res.io_time, res.cell_time);
+        completion = std::max(completion, slot.completion);
+      }
+      break;
+    }
+    case host::CmdType::kTrim: {
+      for (std::uint32_t p = 0; p < command.length; ++p) {
+        const ftl::Lpa lpa = command.lba + p;
+        ssd_->ftl().trim(lpa);
+        written_.erase(lpa);
+      }
+      // Host-level count (one per command; trimmed_pages comes from
+      // the FTL-stats delta like the other FTL activity).
+      ++stats.trims;
+      // Metadata-only: completes at issue time.
+      break;
+    }
+    case host::CmdType::kFlush: {
+      // Barrier: done when everything previously issued from this
+      // queue is; the queue stays blocked until then.
+      ssd_->ftl().flush();
+      ++stats.flushes;
+      completion = std::max(now, host_->last_scheduled_completion(q));
+      host_->block(q);
+      break;
+    }
+  }
+
+  entry.completed = completion;
+  host_->note_scheduled_completion(q, completion);
+  ++outstanding_;
+  queue_.schedule_at(completion, [this, &stats, entry, q] {
+    const double latency = entry.latency().value();
+    switch (entry.type) {
+      case host::CmdType::kRead:
+        stats.read_latency.add(latency);
+        break;
+      case host::CmdType::kWrite:
+        stats.write_latency.add(latency);
+        break;
+      case host::CmdType::kTrim:
+        break;
+      case host::CmdType::kFlush:
+        host_->unblock(q);
+        break;
+    }
+    host_->complete(entry);
+    --outstanding_;
+    try_issue(stats);
+  });
+}
+
+void SsdSimulator::try_issue(SsdSimStats& stats) {
+  while (outstanding_ < config_.queue_depth) {
+    const std::optional<std::uint32_t> q = host_->arbitrate();
+    if (!q.has_value()) break;
+    const auto [command, arrival] = host_->pop(*q);
+    issue(*q, command, arrival, stats);
   }
 }
 
 SsdSimStats SsdSimulator::run(const std::vector<HostRequest>& requests) {
+  return run(to_commands(requests));
+}
+
+SsdSimStats SsdSimulator::run(const std::vector<host::Command>& commands) {
   SsdSimStats stats;
-  requests_ = &requests;
-  host_queue_.clear();
+  host::HostInterface host(config_.host);
+  host_ = &host;
   outstanding_ = 0;
 
   const Seconds start = queue_.now();
@@ -130,21 +198,22 @@ SsdSimStats SsdSimulator::run(const std::vector<HostRequest>& requests) {
   // Open loop: every arrival is on the calendar before the first
   // event fires; completions never delay arrivals, only issue.
   Seconds arrival = start;
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    arrival += requests[i].gap;
-    queue_.schedule_at(arrival, [this, i, arrival, &stats] {
-      host_queue_.emplace_back(i, arrival);
+  for (const host::Command& command : commands) {
+    arrival += command.gap;
+    queue_.schedule_at(arrival, [this, &command, arrival, &stats] {
+      host_->submit(command, arrival);
       try_issue(stats);
     });
   }
   queue_.run();
-  XLF_ENSURE(outstanding_ == 0 && host_queue_.empty());
+  XLF_ENSURE(outstanding_ == 0 && !host.pending());
 
   stats.elapsed = queue_.now() - start;
   const ftl::FtlStats& ftl_after = ssd_->ftl().stats();
   stats.gc_relocations = ftl_after.gc_relocations - ftl_before.gc_relocations;
   stats.erases = ftl_after.erases - ftl_before.erases;
   stats.wl_swaps = ftl_after.wl_swaps - ftl_before.wl_swaps;
+  stats.trimmed_pages = ftl_after.trimmed_pages - ftl_before.trimmed_pages;
   const std::uint64_t host_writes =
       ftl_after.host_writes - ftl_before.host_writes;
   stats.write_amplification =
@@ -174,7 +243,8 @@ SsdSimStats SsdSimulator::run(const std::vector<HostRequest>& requests) {
         (ssd_->dispatcher().channel_busy(c) - channel_busy_before[c]).value() /
         elapsed;
   }
-  requests_ = nullptr;
+  stats.queue_stats = host.all_stats();
+  host_ = nullptr;
   return stats;
 }
 

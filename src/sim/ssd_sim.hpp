@@ -1,27 +1,36 @@
-// Open-loop SSD simulator: host-level (LBA) requests arrive on their
-// own clock, up to `queue_depth` of them are in flight at once, and
-// the FTL + channel/die dispatcher resolve where and when each one
-// runs. This replaces the single-outstanding-request closed loop of
-// SubsystemSimulator at SSD scale: with QD > 1 and multiple dies,
-// requests to different dies genuinely overlap, which is where the
-// multi-die refactor earns its throughput.
+// Open-loop SSD simulator, now a thin driver over the multi-queue
+// host command API (src/host/): host commands — Read, Write, Trim,
+// Flush — arrive on their own clock onto N submission queues, an
+// arbitration policy picks which queue issues next while fewer than
+// `queue_depth` commands are outstanding, and the FTL + channel/die
+// dispatcher resolve where and when each page of the command runs.
+// Completions post back through the host interface, which keeps
+// per-queue latency statistics next to the global ones.
 //
 // Mechanics: arrivals are pre-scheduled on the EventQueue (open
 // loop); an issue step runs whenever an arrival lands or an in-flight
-// request completes, admitting host-queue requests while fewer than
-// queue_depth are outstanding. FTL state (mapping, GC, per-block t)
-// mutates at issue time; the dispatcher's resource timelines place
-// the operation; the completion event records the arrival-to-
-// completion latency. Single-threaded and event-ordered, so runs are
-// bit-reproducible.
+// command completes. FTL state (mapping, GC, per-block t) mutates at
+// issue time; the dispatcher's resource timelines place each page
+// operation; a command completes when its last page does. Trim is
+// metadata-only (unmap + valid-counter decrement) and completes
+// immediately; Flush is a per-queue barrier — it completes once every
+// command previously issued from its queue has, and holds that
+// queue's later commands until then. Single-threaded and
+// event-ordered, so runs are bit-reproducible.
+//
+// The pre-redesign single-stream interface survives as the 1-queue
+// round-robin degenerate case: run(requests) converts the flat
+// request vector onto queue 0 and produces byte-identical statistics
+// to the old flat-vector simulator.
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <map>
 #include <vector>
 
 #include "src/ftl/ssd.hpp"
+#include "src/host/command.hpp"
+#include "src/host/queues.hpp"
 #include "src/sim/event_queue.hpp"
 #include "src/sim/host_workload.hpp"
 #include "src/util/stats.hpp"
@@ -29,21 +38,30 @@
 namespace xlf::sim {
 
 struct SsdSimConfig {
-  // Maximum requests in flight across the whole SSD.
+  // Maximum commands in flight across the whole SSD (shared by all
+  // submission queues; the arbiter divides it).
   std::size_t queue_depth = 4;
+  // Submission/completion queue shape + arbitration policy name.
+  host::HostConfig host;
   // Verify read payloads bit-for-bit against the host's write record.
   bool verify_data = true;
   std::uint64_t data_seed = 0xDA7A5EED;
 };
 
 struct SsdSimStats {
-  // Host operations serviced this run.
+  // Host page operations serviced this run.
   std::size_t reads = 0;
   std::size_t writes = 0;
   std::size_t unmapped_reads = 0;
   std::size_t uncorrectable = 0;
   std::size_t data_mismatches = 0;
   std::size_t corrected_bits = 0;
+  // Trim/flush commands serviced (host view: one per command
+  // whatever the extent length); trimmed_pages is the FTL-stats
+  // delta of mapped pages trims actually dropped.
+  std::size_t trims = 0;
+  std::size_t trimmed_pages = 0;
+  std::size_t flushes = 0;
 
   // FTL activity attributable to this run (deltas over the run).
   std::uint64_t gc_relocations = 0;
@@ -71,10 +89,16 @@ struct SsdSimStats {
   RunningStats read_latency;   // arrival -> completion, seconds
   RunningStats write_latency;
 
+  // Per-submission-queue service statistics (queue 0 first) — the
+  // QoS read-out of the multi-queue interface.
+  std::vector<host::QueueStats> queue_stats;
+
   // Busy fraction of each die / channel over this run's elapsed time.
   std::vector<double> die_utilisation;
   std::vector<double> channel_utilisation;
 
+  // NaN (JSON null) while no utilisation was recorded — an
+  // unmeasured run must not masquerade as 0% busy.
   double die_util_min() const;
   double die_util_max() const;
   double die_util_mean() const;
@@ -88,23 +112,28 @@ class SsdSimulator {
   // accounting (state setup for read/overwrite experiments).
   void prepopulate();
 
-  // Execute the arrival stream; returns this run's statistics.
+  // Execute a host command stream; returns this run's statistics.
+  SsdSimStats run(const std::vector<host::Command>& commands);
+  // Degenerate single-stream form: the flat request vector converted
+  // onto queue 0 (see to_commands).
   SsdSimStats run(const std::vector<HostRequest>& requests);
 
  private:
   BitVec random_payload();
   void try_issue(SsdSimStats& stats);
+  void issue(std::uint32_t q, const host::Command& command, Seconds arrival,
+             SsdSimStats& stats);
 
   ftl::Ssd* ssd_;
   SsdSimConfig config_;
   EventQueue queue_;
   Rng data_rng_;
-  // Host view of every LPA's current payload (verification oracle).
+  // Host view of every LPA's current payload (verification oracle);
+  // trims erase their entry, matching the device's deallocation.
   std::map<ftl::Lpa, BitVec> written_;
 
-  // Per-run issue state.
-  const std::vector<HostRequest>* requests_ = nullptr;
-  std::deque<std::pair<std::size_t, Seconds>> host_queue_;  // (index, arrival)
+  // Per-run issue state (valid while run() executes).
+  host::HostInterface* host_ = nullptr;
   std::size_t outstanding_ = 0;
 };
 

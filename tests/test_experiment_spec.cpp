@@ -62,6 +62,46 @@ TEST(ExperimentSpec, UnknownKeysRejectedWithKnownList) {
   EXPECT_NE(nested.find("queue_depths"), std::string::npos) << nested;
 }
 
+TEST(ExperimentSpec, MultiQueueKnobsParseAndValidate) {
+  const ExperimentSpec spec = parse_experiment_text(R"({
+    "mode": "ftl-sweep",
+    "workload": {"trim_fraction": 0.2, "queue_weights": [8, 4, 2, 1]},
+    "sweep": {"queues": [1, 4], "arbitrations": ["round-robin", "weighted"]}
+  })");
+  EXPECT_EQ(spec.ftl.queue_counts, (std::vector<std::size_t>{1, 4}));
+  EXPECT_EQ(spec.ftl.arbitration_policies,
+            (std::vector<std::string>{"round-robin", "weighted"}));
+  EXPECT_DOUBLE_EQ(spec.ftl.trim_fraction, 0.2);
+  EXPECT_EQ(spec.ftl.queue_weights, (std::vector<double>{8, 4, 2, 1}));
+
+  // Defaults: the pre-redesign single-stream shape.
+  const ExperimentSpec defaults =
+      parse_experiment_text(R"({"mode": "ftl-sweep"})");
+  EXPECT_EQ(defaults.ftl.queue_counts, std::vector<std::size_t>{1});
+  EXPECT_EQ(defaults.ftl.arbitration_policies,
+            std::vector<std::string>{"round-robin"});
+  EXPECT_DOUBLE_EQ(defaults.ftl.trim_fraction, 0.0);
+
+  EXPECT_NE(error_of(R"({"mode": "ftl-sweep",
+                         "sweep": {"queues": [0]}})")
+                .find("'queues' entries must be >= 1"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"mode": "ftl-sweep",
+                         "workload": {"trim_fraction": 1.5}})")
+                .find("'trim_fraction' must lie in [0, 1)"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"mode": "ftl-sweep",
+                         "workload": {"queue_weights": [0]}})")
+                .find("'queue_weights' entries must be > 0"),
+            std::string::npos);
+  const std::string what = error_of(R"({"mode": "ftl-sweep",
+                                        "sweep": {"arbitrations": ["fifo"]}})");
+  EXPECT_NE(what.find("unknown arbitration policy 'fifo'"),
+            std::string::npos)
+      << what;
+  EXPECT_NE(what.find("round-robin"), std::string::npos) << what;
+}
+
 TEST(ExperimentSpec, UnknownPolicyNamesFailListingRegistered) {
   const std::string what = error_of(
       R"({"mode": "ftl-sweep", "sweep": {"gc_policies": ["fifo"]}})");

@@ -58,6 +58,22 @@ TEST(PageMap, RejectsMappingOntoLivePage) {
   EXPECT_THROW(map.map(1, Ppa{0, 0, 0}), std::invalid_argument);
 }
 
+TEST(PageMap, UnmapInvalidatesPageAndDropsValidCount) {
+  PageMap map(1, 4, 4, 8);
+  const Ppa ppa{0, 2, 1};
+  map.map(5, ppa);
+  ASSERT_EQ(map.valid_count(0, 2), 1u);
+  map.unmap(5);
+  EXPECT_FALSE(map.mapped(5));
+  EXPECT_FALSE(map.valid(ppa));
+  EXPECT_EQ(map.valid_count(0, 2), 0u);
+  // The freed slot can host another LPA without relocation, and a
+  // re-trim of the now-unmapped LPA is a caller error.
+  map.map(3, ppa);
+  EXPECT_EQ(map.lpa_at(ppa), 3u);
+  EXPECT_THROW(map.unmap(5), std::invalid_argument);
+}
+
 TEST(PageMap, EraseRequiresNoLiveDataAndClearsPages) {
   PageMap map(1, 4, 4, 8);
   map.map(0, Ppa{0, 1, 0});
@@ -201,6 +217,71 @@ TEST(Ftl, UnmappedReadServicedAsZeroPage) {
   EXPECT_EQ(r.data.popcount(), 0u);
   EXPECT_EQ(ssd.ftl().stats().unmapped_reads, 1u);
   EXPECT_EQ(r.cell_time.value(), 0.0);
+}
+
+TEST(Ftl, TrimDeallocatesWithoutTouchingFlash) {
+  Ssd ssd(small_ssd());
+  Ftl& ftl = ssd.ftl();
+  const std::uint32_t bits = ssd.die_geometry().data_bits_per_page();
+  BitVec payload(bits);
+  payload.set(5, true);
+  const FtlOpResult written = ftl.write(7, payload);
+  const Ppa location = ftl.map().lookup(7);
+  ASSERT_EQ(ftl.map().valid_count(location.die, location.block), 1u);
+
+  const FtlOpResult trimmed = ftl.trim(7);
+  EXPECT_FALSE(trimmed.unmapped);
+  EXPECT_EQ(trimmed.die, written.die);
+  // Metadata-only: no service time, no energy, no flash op.
+  EXPECT_EQ(trimmed.cell_time.value(), 0.0);
+  EXPECT_EQ(trimmed.io_time.value(), 0.0);
+  EXPECT_EQ(trimmed.nand_energy.value(), 0.0);
+  // The mapping is gone and the physical page reads invalid (one
+  // fewer live page for GC to relocate).
+  EXPECT_FALSE(ftl.mapped(7));
+  EXPECT_EQ(ftl.map().valid_count(location.die, location.block), 0u);
+  EXPECT_TRUE(ftl.read(7).unmapped);
+
+  // Trim of a never-written (or already-trimmed) LPA is a no-op.
+  const FtlOpResult again = ftl.trim(7);
+  EXPECT_TRUE(again.unmapped);
+  EXPECT_EQ(ftl.stats().host_trims, 2u);
+  EXPECT_EQ(ftl.stats().trimmed_pages, 1u);
+}
+
+TEST(Ftl, TrimmedBlocksMakeGcMeasurablyCheaper) {
+  // Two identical drives overwrite the same hot range until GC must
+  // run; on one of them the cold remainder was trimmed first. The
+  // trimmed drive's victims carry no live cold data, so the same
+  // host-write stream costs fewer relocations (lower WA).
+  const auto relocations_with = [](bool trim_cold) {
+    Ssd ssd(small_ssd());
+    Ftl& ftl = ssd.ftl();
+    const std::uint32_t bits = ssd.die_geometry().data_bits_per_page();
+    const BitVec payload(bits);
+    for (Lpa lpa = 0; lpa < ftl.logical_pages(); ++lpa) {
+      ftl.write(lpa, payload);
+    }
+    if (trim_cold) {
+      for (Lpa lpa = 4; lpa < ftl.logical_pages(); ++lpa) ftl.trim(lpa);
+    }
+    const std::uint64_t before = ftl.stats().gc_relocations;
+    for (int pass = 0; pass < 12; ++pass) {
+      for (Lpa lpa = 0; lpa < 4; ++lpa) ftl.write(lpa, payload);
+    }
+    return ftl.stats().gc_relocations - before;
+  };
+  const std::uint64_t untrimmed = relocations_with(false);
+  const std::uint64_t trimmed = relocations_with(true);
+  EXPECT_LT(trimmed, untrimmed);
+}
+
+TEST(Ftl, FlushIsAnAcceptedNoOpOnWriteThrough) {
+  Ssd ssd(small_ssd());
+  const FtlOpResult flushed = ssd.ftl().flush();
+  EXPECT_TRUE(flushed.ok);
+  EXPECT_EQ(flushed.cell_time.value(), 0.0);
+  EXPECT_EQ(ssd.ftl().stats().host_flushes, 1u);
 }
 
 TEST(Ftl, LpaDieAffinityStripesAcrossDies) {

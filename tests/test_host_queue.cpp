@@ -1,0 +1,215 @@
+// The multi-queue host interface: submission/completion bookkeeping,
+// flush barriers, and the built-in arbitration policies' pick order
+// (round-robin rotation, weighted deficit sharing, deterministic
+// tie-breaks).
+#include "src/host/queues.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/policy/registry.hpp"
+
+namespace xlf::host {
+namespace {
+
+Command make(CmdType type, std::uint16_t queue, ftl::Lpa lba = 0) {
+  Command command;
+  command.type = type;
+  command.queue = queue;
+  command.lba = lba;
+  return command;
+}
+
+TEST(HostInterface, SubmitPopRoundTripKeepsFifoOrderPerQueue) {
+  HostConfig config;
+  config.queues = 2;
+  HostInterface host(config);
+  host.submit(make(CmdType::kWrite, 0, 10), Seconds{1.0});
+  host.submit(make(CmdType::kWrite, 0, 11), Seconds{2.0});
+  host.submit(make(CmdType::kRead, 1, 12), Seconds{3.0});
+  EXPECT_TRUE(host.pending());
+  EXPECT_EQ(host.backlog(0), 2u);
+  EXPECT_EQ(host.backlog(1), 1u);
+
+  const auto [first, arrival] = host.pop(0);
+  EXPECT_EQ(first.lba, 10u);
+  EXPECT_DOUBLE_EQ(arrival.value(), 1.0);
+  const auto [second, arrival2] = host.pop(0);
+  EXPECT_EQ(second.lba, 11u);
+  EXPECT_DOUBLE_EQ(arrival2.value(), 2.0);
+  EXPECT_EQ(host.backlog(0), 0u);
+}
+
+TEST(HostInterface, RejectsBadShapes) {
+  const auto build = [](std::size_t queues, std::vector<double> weights) {
+    HostConfig config;
+    config.queues = queues;
+    config.queue_weights = std::move(weights);
+    HostInterface host(config);
+  };
+  EXPECT_THROW(build(0, {}), std::logic_error);
+  // More weights than queues.
+  EXPECT_THROW(build(1, {1.0, 2.0}), std::logic_error);
+  // Non-positive weight.
+  EXPECT_THROW(build(1, {0.0}), std::logic_error);
+  // Unknown arbitration names throw the registry's teaching message.
+  try {
+    HostConfig config;
+    config.arbitration = "lottery";
+    HostInterface host(config);
+    FAIL() << "unknown arbitration name must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown arbitration policy 'lottery'"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("round-robin"), std::string::npos) << what;
+    EXPECT_NE(what.find("weighted"), std::string::npos) << what;
+  }
+}
+
+TEST(HostInterface, ShortWeightListPadsWithOnes) {
+  HostConfig config;
+  config.queues = 3;
+  config.queue_weights = {4.0};
+  HostInterface host(config);
+  EXPECT_DOUBLE_EQ(host.weight(0), 4.0);
+  EXPECT_DOUBLE_EQ(host.weight(1), 1.0);
+  EXPECT_DOUBLE_EQ(host.weight(2), 1.0);
+}
+
+TEST(HostInterface, RoundRobinRotatesAcrossEligibleQueues) {
+  HostConfig config;
+  config.queues = 3;
+  HostInterface host(config);
+  for (std::uint16_t q = 0; q < 3; ++q) {
+    host.submit(make(CmdType::kWrite, q), Seconds{0.0});
+    host.submit(make(CmdType::kWrite, q), Seconds{0.0});
+  }
+  std::vector<std::uint32_t> order;
+  for (int i = 0; i < 6; ++i) {
+    const auto pick = host.arbitrate();
+    ASSERT_TRUE(pick.has_value());
+    order.push_back(*pick);
+    host.pop(*pick);
+  }
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1, 2, 0, 1, 2}));
+  EXPECT_FALSE(host.arbitrate().has_value());
+}
+
+TEST(HostInterface, RoundRobinSkipsEmptyAndBlockedQueues) {
+  HostConfig config;
+  config.queues = 3;
+  HostInterface host(config);
+  host.submit(make(CmdType::kWrite, 1), Seconds{0.0});
+  host.submit(make(CmdType::kWrite, 2), Seconds{0.0});
+  host.block(1);
+  const auto pick = host.arbitrate();
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 2u);  // 0 empty, 1 behind a flush barrier
+  host.pop(*pick);
+  EXPECT_FALSE(host.arbitrate().has_value());
+  host.unblock(1);
+  ASSERT_TRUE(host.arbitrate().has_value());
+  EXPECT_EQ(*host.arbitrate(), 1u);
+}
+
+TEST(HostInterface, WeightedArbitrationIssuesInWeightProportion) {
+  HostConfig config;
+  config.queues = 2;
+  config.arbitration = "weighted";
+  config.queue_weights = {3.0, 1.0};
+  HostInterface host(config);
+  for (int i = 0; i < 8; ++i) {
+    host.submit(make(CmdType::kWrite, 0), Seconds{0.0});
+    host.submit(make(CmdType::kWrite, 1), Seconds{0.0});
+  }
+  std::size_t issued_heavy = 0;
+  // First 8 issues while both queues stay backlogged: deficit sharing
+  // gives the weight-3 queue 3 of every 4 slots (6 of 8).
+  for (int i = 0; i < 8; ++i) {
+    const auto pick = host.arbitrate();
+    ASSERT_TRUE(pick.has_value());
+    if (*pick == 0) ++issued_heavy;
+    host.pop(*pick);
+  }
+  EXPECT_EQ(issued_heavy, 6u);
+}
+
+TEST(HostInterface, WeightedTieBreaksTowardLowestId) {
+  HostConfig config;
+  config.queues = 3;
+  config.arbitration = "weighted";
+  HostInterface host(config);
+  for (std::uint16_t q = 0; q < 3; ++q) {
+    host.submit(make(CmdType::kWrite, q), Seconds{0.0});
+  }
+  // Equal weights, equal (zero) issue counts: lowest id goes first.
+  const auto pick = host.arbitrate();
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 0u);
+}
+
+TEST(HostInterface, CompletionsFeedPerQueueStatsAndDrain) {
+  HostConfig config;
+  config.queues = 2;
+  config.record_completions = true;
+  HostInterface host(config);
+
+  Completion write;
+  write.type = CmdType::kWrite;
+  write.queue = 1;
+  write.submitted = Seconds{1.0};
+  write.completed = Seconds{3.0};
+  host.complete(write);
+
+  Completion trim;
+  trim.type = CmdType::kTrim;
+  trim.queue = 1;
+  host.complete(trim);
+
+  EXPECT_EQ(host.stats(1).writes, 1u);
+  EXPECT_EQ(host.stats(1).trims, 1u);
+  EXPECT_EQ(host.stats(1).commands(), 2u);
+  EXPECT_DOUBLE_EQ(host.stats(1).write_latency.mean(), 2.0);
+  EXPECT_EQ(host.stats(0).commands(), 0u);
+
+  const std::vector<Completion> drained = host.drain(1);
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].type, CmdType::kWrite);
+  EXPECT_TRUE(host.drain(1).empty());
+}
+
+TEST(HostInterface, CompletionRingStaysEmptyUnlessRequested) {
+  // Stats-only consumers (the simulator) must not accumulate
+  // O(commands) of ring memory: retention is opt-in.
+  HostConfig config;
+  HostInterface host(config);
+  Completion entry;
+  entry.type = CmdType::kWrite;
+  host.complete(entry);
+  EXPECT_EQ(host.stats(0).writes, 1u);
+  EXPECT_TRUE(host.drain(0).empty());
+}
+
+TEST(HostInterface, FlushHorizonTracksLatestScheduledCompletion) {
+  HostConfig config;
+  HostInterface host(config);
+  EXPECT_DOUBLE_EQ(host.last_scheduled_completion(0).value(), 0.0);
+  host.note_scheduled_completion(0, Seconds{5.0});
+  host.note_scheduled_completion(0, Seconds{2.0});  // older: no regress
+  EXPECT_DOUBLE_EQ(host.last_scheduled_completion(0).value(), 5.0);
+}
+
+TEST(ArbitrationRegistry, ListsBuiltins) {
+  const auto names =
+      policy::PolicyRegistry<policy::ArbitrationPolicy>::instance().names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "round-robin"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "weighted"), names.end());
+}
+
+}  // namespace
+}  // namespace xlf::host

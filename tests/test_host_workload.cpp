@@ -1,0 +1,173 @@
+// Host workload generators: fixed-seed determinism (byte-identical
+// request/command streams), empirical hot/cold skew, the
+// single-tenant degenerate-case contract of MultiTenantWorkload, and
+// trim emission.
+#include "src/sim/host_workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace xlf::sim {
+namespace {
+
+bool same_request(const HostRequest& a, const HostRequest& b) {
+  return a.type == b.type && a.lpa == b.lpa &&
+         a.gap.value() == b.gap.value();
+}
+
+bool same_command(const host::Command& a, const host::Command& b) {
+  return a.type == b.type && a.lba == b.lba && a.length == b.length &&
+         a.queue == b.queue && a.tenant == b.tenant &&
+         a.gap.value() == b.gap.value();
+}
+
+TEST(HostWorkload, FixedSeedGivesByteIdenticalStreams) {
+  const HotColdWorkload hot_cold(0.25, 0.85, 0.3, Seconds{1e-4});
+  const SequentialOverwriteWorkload sequential(Seconds{1e-4});
+  const UniformOverwriteWorkload uniform(0.2, Seconds{1e-4});
+  for (const HostWorkload* workload :
+       {static_cast<const HostWorkload*>(&hot_cold),
+        static_cast<const HostWorkload*>(&sequential),
+        static_cast<const HostWorkload*>(&uniform)}) {
+    Rng a(12345), b(12345);
+    const auto first = workload->generate(64, 500, a);
+    const auto second = workload->generate(64, 500, b);
+    ASSERT_EQ(first.size(), second.size()) << workload->name();
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      ASSERT_TRUE(same_request(first[i], second[i]))
+          << workload->name() << " diverges at request " << i;
+    }
+  }
+}
+
+TEST(HostWorkload, MultiTenantFixedSeedIsByteIdentical) {
+  const MultiTenantWorkload workload(
+      std::vector<TenantSpec>(3, TenantSpec{0.25, 0.85, 0.3, 0.1,
+                                            Seconds{1e-4}}));
+  Rng a(777), b(777);
+  const auto first = workload.generate(64, 300, a);
+  const auto second = workload.generate(64, 300, b);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ASSERT_TRUE(same_command(first[i], second[i]))
+        << "stream diverges at command " << i;
+  }
+}
+
+TEST(HostWorkload, HotColdSkewMatchesConfiguredFractions) {
+  // 20% of the LPA space is hot and takes 80% of writes; with 10k
+  // requests the empirical shares sit within a few percent.
+  const double hot_fraction = 0.2;
+  const double hot_write_fraction = 0.8;
+  const double read_fraction = 0.3;
+  const HotColdWorkload workload(hot_fraction, hot_write_fraction,
+                                 read_fraction);
+  const std::uint32_t logical_pages = 1000;
+  Rng rng(42);
+  const auto requests = workload.generate(logical_pages, 10000, rng);
+
+  const std::uint32_t hot_pages =
+      static_cast<std::uint32_t>(logical_pages * hot_fraction);
+  std::size_t writes = 0, hot_writes = 0, reads = 0;
+  for (const HostRequest& request : requests) {
+    if (request.type == OpType::kRead) {
+      ++reads;
+      continue;
+    }
+    ++writes;
+    if (request.lpa < hot_pages) ++hot_writes;
+  }
+  const double observed_hot =
+      static_cast<double>(hot_writes) / static_cast<double>(writes);
+  EXPECT_NEAR(observed_hot, hot_write_fraction, 0.03);
+  const double observed_reads =
+      static_cast<double>(reads) / static_cast<double>(requests.size());
+  EXPECT_NEAR(observed_reads, read_fraction, 0.03);
+  // Hot writes actually stay inside the hot slice's address range.
+  for (const HostRequest& request : requests) {
+    EXPECT_LT(request.lpa, logical_pages);
+  }
+}
+
+// The degenerate-case contract the multi-queue sweep's byte-identity
+// rests on: one tenant with trim_fraction 0 consumes the Rng exactly
+// like HotColdWorkload and emits the converted stream on queue 0.
+TEST(HostWorkload, SingleTenantWithoutTrimMatchesHotColdExactly) {
+  const TenantSpec tenant{0.25, 0.85, 0.3, 0.0, Seconds{2e-4}};
+  const MultiTenantWorkload composite(std::vector<TenantSpec>{tenant});
+  const HotColdWorkload flat(tenant.hot_fraction, tenant.hot_write_fraction,
+                             tenant.read_fraction, tenant.mean_gap);
+  Rng a(0xFEED), b(0xFEED);
+  const auto commands = composite.generate(64, 400, a);
+  const auto converted = to_commands(flat.generate(64, 400, b));
+  ASSERT_EQ(commands.size(), converted.size());
+  for (std::size_t i = 0; i < commands.size(); ++i) {
+    ASSERT_TRUE(same_command(commands[i], converted[i]))
+        << "degenerate case diverges at command " << i;
+  }
+  // And the two Rngs sit at the same point afterwards.
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(HostWorkload, MultiTenantSplitsRequestsAcrossQueues) {
+  const MultiTenantWorkload workload(
+      std::vector<TenantSpec>(4, TenantSpec{}));
+  Rng rng(9);
+  const auto commands = workload.generate(64, 203, rng);
+  ASSERT_EQ(commands.size(), 203u);
+  std::vector<std::size_t> per_queue(4, 0);
+  double previous = 0.0;
+  double arrival = 0.0;
+  for (const host::Command& command : commands) {
+    ASSERT_LT(command.queue, 4u);
+    EXPECT_EQ(command.tenant, command.queue);
+    ++per_queue[command.queue];
+    // Merged stream is time-ordered: gaps never negative.
+    EXPECT_GE(command.gap.value(), 0.0);
+    arrival += command.gap.value();
+    EXPECT_GE(arrival, previous);
+    previous = arrival;
+  }
+  // 203 = 4*50 + 3: earlier tenants absorb the remainder.
+  EXPECT_EQ(per_queue, (std::vector<std::size_t>{51, 51, 51, 50}));
+}
+
+TEST(HostWorkload, TrimFractionEmitsTrimsOfWrittenLpasOnly) {
+  const TenantSpec tenant{0.25, 0.85, 0.2, 0.3, Seconds{0.0}};
+  const MultiTenantWorkload workload(std::vector<TenantSpec>{tenant});
+  Rng rng(31);
+  const auto commands = workload.generate(64, 4000, rng);
+  std::set<ftl::Lpa> ever_written;
+  std::size_t trims = 0, non_reads = 0;
+  for (const host::Command& command : commands) {
+    switch (command.type) {
+      case host::CmdType::kWrite:
+        ever_written.insert(command.lba);
+        ++non_reads;
+        break;
+      case host::CmdType::kTrim:
+        // Trims only target LPAs the stream wrote earlier. (The
+        // written list carries overwrite duplicates — deliberately,
+        // to keep read-target skew identical to HotColdWorkload — so
+        // an LPA can occasionally be trimmed twice without a rewrite
+        // in between; the FTL services that as a no-op.)
+        EXPECT_EQ(ever_written.count(command.lba), 1u)
+            << "trim of a never-written LPA";
+        ++trims;
+        ++non_reads;
+        break;
+      case host::CmdType::kRead:
+        break;
+      case host::CmdType::kFlush:
+        FAIL() << "generator never emits flushes";
+    }
+  }
+  // ~30% of non-read requests trim (the configured conditional).
+  const double observed =
+      static_cast<double>(trims) / static_cast<double>(non_reads);
+  EXPECT_NEAR(observed, tenant.trim_fraction, 0.03);
+}
+
+}  // namespace
+}  // namespace xlf::sim

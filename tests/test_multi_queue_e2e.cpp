@@ -1,0 +1,119 @@
+// Multi-queue host interface, end to end (the PR's acceptance
+// criteria): a 4-queue weighted-arbitration sweep separates per-queue
+// latencies in weight order, trimmed workloads run at measurably
+// lower write amplification than trim-free ones, and both results are
+// byte-identical for any thread count.
+#include <gtest/gtest.h>
+
+#include "src/explore/ftl_sweep.hpp"
+#include "src/explore/report.hpp"
+
+namespace xlf::explore {
+namespace {
+
+FtlSweepSpec base_spec() {
+  FtlSweepSpec spec;
+  spec.base.die.device.array.geometry.blocks = 8;
+  spec.base.die.device.array.geometry.pages_per_block = 4;
+  spec.base.initial_pe_cycles = 1e4;
+  spec.base.ftl.pe_cycles_per_erase = 3e4;
+  // One saturated die: every queue contends for the same resources,
+  // which is where arbitration weights become visible as latency.
+  spec.topologies = {{1, 1}};
+  spec.queue_depths = {2};
+  spec.gc_policies = {"greedy"};
+  spec.requests = 240;
+  spec.seed = 0xC0FFEE;
+  return spec;
+}
+
+TEST(MultiQueueE2e, WeightedArbitrationSeparatesPerQueueLatency) {
+  FtlSweepSpec spec = base_spec();
+  spec.queue_counts = {4};
+  spec.arbitration_policies = {"weighted"};
+  spec.queue_weights = {27.0, 9.0, 3.0, 1.0};
+
+  ThreadPool pool(2);
+  const FtlSweepResult result = ftl_sweep(spec, pool);
+  ASSERT_EQ(result.rows.size(), 1u);
+  const sim::SsdSimStats& stats = result.rows[0].stats;
+  ASSERT_EQ(stats.queue_stats.size(), 4u);
+
+  // Heavier queues drain first under contention: mean write latency
+  // strictly increases from the weight-27 queue to the weight-1 one.
+  for (std::size_t q = 0; q + 1 < 4; ++q) {
+    ASSERT_GT(stats.queue_stats[q].writes, 0u);
+    EXPECT_LT(stats.queue_stats[q].write_latency.mean(),
+              stats.queue_stats[q + 1].write_latency.mean())
+        << "queue " << q << " vs " << q + 1;
+  }
+  // Every tenant's traffic was actually serviced, bit-true.
+  EXPECT_EQ(stats.data_mismatches, 0u);
+  std::uint64_t commands = 0;
+  for (const host::QueueStats& queue : stats.queue_stats) {
+    commands += queue.commands();
+  }
+  EXPECT_EQ(commands, spec.requests);
+}
+
+TEST(MultiQueueE2e, RoundRobinDoesNotSeparateLikeWeights) {
+  // Same load under round-robin: the weight-order spread collapses —
+  // the extreme queues sit within a factor the weighted run far
+  // exceeds, pinning that the separation above comes from the
+  // arbiter, not the workload split.
+  FtlSweepSpec spec = base_spec();
+  spec.queue_counts = {4};
+  spec.arbitration_policies = {"round-robin", "weighted"};
+  spec.queue_weights = {27.0, 9.0, 3.0, 1.0};
+
+  ThreadPool pool(2);
+  const FtlSweepResult result = ftl_sweep(spec, pool);
+  ASSERT_EQ(result.rows.size(), 2u);
+  const auto spread = [](const sim::SsdSimStats& stats) {
+    return stats.queue_stats[3].write_latency.mean() /
+           stats.queue_stats[0].write_latency.mean();
+  };
+  EXPECT_LT(spread(result.rows[0].stats), 1.5);  // round-robin: flat
+  EXPECT_GT(spread(result.rows[1].stats), 2.0);  // weighted: spread
+}
+
+TEST(MultiQueueE2e, TrimLowersWriteAmplification) {
+  // Longer stream than the latency tests: WA converges slowly, and
+  // the trim advantage must clear the 15% bar on any seed.
+  FtlSweepSpec trim_free = base_spec();
+  trim_free.requests = 600;
+  FtlSweepSpec trimmed = trim_free;
+  trimmed.trim_fraction = 0.3;
+
+  ThreadPool pool(2);
+  const FtlSweepResult baseline = ftl_sweep(trim_free, pool);
+  const FtlSweepResult with_trim = ftl_sweep(trimmed, pool);
+  ASSERT_EQ(baseline.rows.size(), 1u);
+  ASSERT_EQ(with_trim.rows.size(), 1u);
+
+  EXPECT_EQ(baseline.rows[0].stats.trims, 0u);
+  EXPECT_GT(with_trim.rows[0].stats.trims, 0u);
+  EXPECT_GT(with_trim.rows[0].stats.trimmed_pages, 0u);
+  // Deallocated pages make GC victims cheaper: measurably lower WA.
+  EXPECT_LT(with_trim.rows[0].stats.write_amplification,
+            0.85 * baseline.rows[0].stats.write_amplification);
+  EXPECT_EQ(with_trim.rows[0].stats.data_mismatches, 0u);
+}
+
+TEST(MultiQueueE2e, DeterministicAcrossThreadCounts) {
+  FtlSweepSpec spec = base_spec();
+  spec.queue_counts = {1, 4};
+  spec.arbitration_policies = {"round-robin", "weighted"};
+  spec.queue_weights = {27.0, 9.0, 3.0, 1.0};
+  spec.trim_fraction = 0.25;
+
+  ThreadPool serial(1), parallel(4);
+  const FtlSweepResult a = ftl_sweep(spec, serial);
+  const FtlSweepResult b = ftl_sweep(spec, parallel);
+  ASSERT_EQ(a.rows.size(), 4u);
+  EXPECT_EQ(ftl_csv(a), ftl_csv(b));
+  EXPECT_EQ(ftl_json(a), ftl_json(b));
+}
+
+}  // namespace
+}  // namespace xlf::explore

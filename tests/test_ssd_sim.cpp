@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/controller/dispatch.hpp"
 #include "src/sim/host_workload.hpp"
 
@@ -118,6 +120,148 @@ TEST(SsdSimulator, UnmappedReadsCompleteInstantly) {
   EXPECT_EQ(stats.unmapped_reads, 2u);
   EXPECT_EQ(stats.reads, 0u);
   EXPECT_DOUBLE_EQ(stats.elapsed.value(), 0.0);
+}
+
+// Regression (satellite): the utilisation summaries of an empty
+// vector must read as NaN (JSON null), not a fabricated 0.0 — and
+// must not touch the vector at all (the old mean() divided by zero
+// size on some refactors of this code).
+TEST(SsdSimStats, EmptyUtilisationSummariesAreNaN) {
+  const SsdSimStats stats;
+  ASSERT_TRUE(stats.die_utilisation.empty());
+  EXPECT_TRUE(std::isnan(stats.die_util_min()));
+  EXPECT_TRUE(std::isnan(stats.die_util_max()));
+  EXPECT_TRUE(std::isnan(stats.die_util_mean()));
+}
+
+host::Command command(host::CmdType type, ftl::Lpa lba,
+                      std::uint16_t queue = 0) {
+  host::Command cmd;
+  cmd.type = type;
+  cmd.lba = lba;
+  cmd.queue = queue;
+  return cmd;
+}
+
+TEST(SsdSimulator, LegacyRequestPathEqualsOneQueueCommandPath) {
+  // The flat request vector and its command conversion on a 1-queue
+  // round-robin interface are the same simulation, stat for stat.
+  const auto run_with = [](bool as_commands) {
+    ftl::Ssd ssd(ssd_config(2, 1));
+    SsdSimulator simulator(ssd);
+    const UniformOverwriteWorkload workload(0.25);
+    Rng rng(11);
+    const auto requests = workload.generate(ssd.logical_pages(), 60, rng);
+    return as_commands ? simulator.run(to_commands(requests))
+                       : simulator.run(requests);
+  };
+  const SsdSimStats legacy = run_with(false);
+  const SsdSimStats commands = run_with(true);
+  EXPECT_EQ(legacy.reads, commands.reads);
+  EXPECT_EQ(legacy.writes, commands.writes);
+  EXPECT_EQ(legacy.gc_relocations, commands.gc_relocations);
+  EXPECT_DOUBLE_EQ(legacy.elapsed.value(), commands.elapsed.value());
+  EXPECT_DOUBLE_EQ(legacy.read_latency.mean(), commands.read_latency.mean());
+  EXPECT_DOUBLE_EQ(legacy.write_latency.mean(),
+                   commands.write_latency.mean());
+  // The command path also reports the single queue's view, which must
+  // agree with the globals.
+  ASSERT_EQ(commands.queue_stats.size(), 1u);
+  EXPECT_EQ(commands.queue_stats[0].reads + commands.queue_stats[0].writes,
+            60u);
+  EXPECT_DOUBLE_EQ(commands.queue_stats[0].write_latency.mean(),
+                   commands.write_latency.mean());
+}
+
+TEST(SsdSimulator, TrimUnmapsAndReadsComeBackUnmapped) {
+  ftl::Ssd ssd(ssd_config(1, 1));
+  SsdSimulator simulator(ssd);
+  const std::vector<host::Command> commands{
+      command(host::CmdType::kWrite, 3),
+      command(host::CmdType::kTrim, 3),
+      command(host::CmdType::kTrim, 4),  // never written: no-op trim
+      command(host::CmdType::kRead, 3),
+  };
+  const SsdSimStats stats = simulator.run(commands);
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.trims, 2u);
+  EXPECT_EQ(stats.trimmed_pages, 1u);
+  // The trimmed LPA reads as deallocated (no flash access, no
+  // mismatch against the erased oracle entry).
+  EXPECT_EQ(stats.unmapped_reads, 1u);
+  EXPECT_EQ(stats.reads, 0u);
+  EXPECT_EQ(stats.data_mismatches, 0u);
+  EXPECT_FALSE(ssd.ftl().mapped(3));
+}
+
+TEST(SsdSimulator, MultiPageExtentCompletesWithItsLastPage) {
+  ftl::Ssd ssd(ssd_config(1, 1));
+  SsdSimConfig config;
+  config.queue_depth = 4;
+  SsdSimulator simulator(ssd, config);
+  host::Command extent = command(host::CmdType::kWrite, 0);
+  extent.length = 4;
+  const SsdSimStats stats = simulator.run({extent});
+  // Four page programs, one command: the single latency sample is the
+  // whole extent's service time.
+  EXPECT_EQ(stats.writes, 4u);
+  ASSERT_EQ(stats.queue_stats.size(), 1u);
+  EXPECT_EQ(stats.queue_stats[0].writes, 1u);
+  EXPECT_EQ(stats.write_latency.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.write_latency.max(), stats.elapsed.value());
+}
+
+TEST(SsdSimulator, FlushIsAPerQueueBarrier) {
+  ftl::Ssd ssd(ssd_config(1, 1));
+  SsdSimConfig config;
+  config.queue_depth = 8;  // depth never binds; the barrier must
+  SsdSimulator simulator(ssd, config);
+  const std::vector<host::Command> commands{
+      command(host::CmdType::kWrite, 0),
+      command(host::CmdType::kWrite, 1),
+      command(host::CmdType::kFlush, 0),
+      command(host::CmdType::kWrite, 2),
+  };
+  const SsdSimStats stats = simulator.run(commands);
+  EXPECT_EQ(stats.flushes, 1u);
+  ASSERT_EQ(stats.queue_stats.size(), 1u);
+  EXPECT_EQ(stats.queue_stats[0].flushes, 1u);
+
+  // All four commands arrive at t=0. Without the barrier, write 2
+  // would issue immediately (depth 8) and overlap the first two; the
+  // flush holds it until both have completed, so its latency includes
+  // the full drain. On one die writes serialise: the last write's
+  // completion is the whole run.
+  EXPECT_EQ(stats.writes, 3u);
+  const double last_write = stats.write_latency.max();
+  EXPECT_DOUBLE_EQ(last_write, stats.elapsed.value());
+  // The flush completed exactly when the pre-flush writes drained,
+  // i.e. strictly before the run's end (write 2 still had to run).
+  EXPECT_GT(stats.elapsed.value(), 0.0);
+}
+
+TEST(SsdSimulator, QueuesKeepIndependentStatsThatSumToGlobal) {
+  ftl::Ssd ssd(ssd_config(2, 1));
+  SsdSimConfig config;
+  config.queue_depth = 4;
+  config.host.queues = 3;
+  SsdSimulator simulator(ssd, config);
+  std::vector<host::Command> commands;
+  for (std::uint16_t q = 0; q < 3; ++q) {
+    for (ftl::Lpa lpa = 0; lpa < 4; ++lpa) {
+      commands.push_back(
+          command(host::CmdType::kWrite, lpa * 3 + q, q));
+    }
+  }
+  const SsdSimStats stats = simulator.run(commands);
+  ASSERT_EQ(stats.queue_stats.size(), 3u);
+  std::uint64_t per_queue_writes = 0;
+  for (const host::QueueStats& queue : stats.queue_stats) {
+    EXPECT_EQ(queue.writes, 4u);
+    per_queue_writes += queue.writes;
+  }
+  EXPECT_EQ(per_queue_writes, stats.writes);
+  EXPECT_EQ(stats.data_mismatches, 0u);
 }
 
 }  // namespace

@@ -24,6 +24,21 @@ if(NOT err MATCHES "--help")
   message(FATAL_ERROR "unknown-flag message must suggest --help, got: ${err}")
 endif()
 
+# --- --list-policies: every kind on its own line, exit 0 -------------
+execute_process(COMMAND ${XLF_EXPLORE} --list-policies
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--list-policies must exit 0 (got ${rc}): ${err}")
+endif()
+foreach(kind tuning gc wear refresh arbitration)
+  if(NOT out MATCHES "${kind}:")
+    message(FATAL_ERROR "--list-policies missing kind '${kind}': ${out}")
+  endif()
+endforeach()
+if(NOT out MATCHES "round-robin" OR NOT out MATCHES "weighted")
+  message(FATAL_ERROR "--list-policies missing arbitration built-ins: ${out}")
+endif()
+
 # --- an unknown flag with a valid one around it still fails ----------
 execute_process(COMMAND ${XLF_EXPLORE} --threads 1 --ftl-swep
                 RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)

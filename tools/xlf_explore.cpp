@@ -30,6 +30,8 @@
 #include <vector>
 
 #include "src/explore/experiment.hpp"
+#include "src/policy/policy.hpp"
+#include "src/policy/registry.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace {
@@ -51,6 +53,8 @@ void usage() {
       "  --spec FILE           run a declarative JSON experiment spec\n"
       "                        (exclusive with the sweep-shaping flags below;\n"
       "                        --threads/--format/--out still apply)\n"
+      "  --list-policies       print the registered policy names per kind\n"
+      "                        (tuning, gc, wear, refresh, arbitration) and exit\n"
       "  --threads N           total threads, 1 = serial (default: hardware)\n"
       "  --format csv|json     output format (default csv)\n"
       "  --out PATH            write to PATH instead of stdout\n"
@@ -70,6 +74,11 @@ void usage() {
       "  --ftl-topologies L    comma list of CxD (channels x dies/channel,\n"
       "                        default 1x1,2x1)\n"
       "  --ftl-qd LIST         queue depths (default 1,4)\n"
+      "  --ftl-queues LIST     submission-queue counts (default 1)\n"
+      "  --ftl-arbitration LIST  arbitration policies by registry name\n"
+      "                        (default round-robin)\n"
+      "  --ftl-queue-weights LIST  per-queue arbitration weights, queue 0\n"
+      "                        first (shorter lists pad with 1; default equal)\n"
       "  --ftl-gc LIST         GC policies by registry name\n"
       "                        (default greedy,cost-benefit)\n"
       "  --ftl-wear LIST       wear policies by registry name (default dynamic)\n"
@@ -84,7 +93,26 @@ void usage() {
       "  --ftl-logical-fraction F  logical share of physical pages (0.6)\n"
       "  --ftl-read-fraction F hot-cold workload read share (0.3)\n"
       "  --ftl-hot-fraction F  hot slice of the LPA space (0.25)\n"
-      "  --ftl-hot-writes F    write share hitting the hot slice (0.85)\n";
+      "  --ftl-hot-writes F    write share hitting the hot slice (0.85)\n"
+      "  --ftl-trim-fraction F share of non-read requests that trim a\n"
+      "                        written LPA (0)\n";
+}
+
+// The discovery companion of the registry's unknown-name errors: the
+// same sorted name lists, one line per policy kind.
+void list_policies() {
+  const auto line = [](const char* kind, const std::vector<std::string>& names) {
+    std::cout << kind << ":";
+    for (const std::string& name : names) std::cout << " " << name;
+    std::cout << "\n";
+  };
+  using policy::PolicyRegistry;
+  line("tuning", PolicyRegistry<policy::TuningPolicy>::instance().names());
+  line("gc", PolicyRegistry<policy::GcPolicy>::instance().names());
+  line("wear", PolicyRegistry<policy::WearPolicy>::instance().names());
+  line("refresh", PolicyRegistry<policy::RefreshPolicy>::instance().names());
+  line("arbitration",
+       PolicyRegistry<policy::ArbitrationPolicy>::instance().names());
 }
 
 std::vector<std::string> split(const std::string& s, char sep) {
@@ -134,6 +162,9 @@ bool parse_args(int argc, char** argv, Options& opt) {
     const char* v = nullptr;
     if (arg == "--help" || arg == "-h") {
       usage();
+      std::exit(0);
+    } else if (arg == "--list-policies") {
+      list_policies();
       std::exit(0);
     } else if (arg == "--spec") {
       if ((v = value(i)) == nullptr) return false;
@@ -221,6 +252,43 @@ bool parse_args(int argc, char** argv, Options& opt) {
           return false;
         }
         exp.ftl.queue_depths.push_back(static_cast<std::size_t>(qd));
+      }
+    } else if (arg == "--ftl-queues") {
+      shape();
+      if ((v = value(i)) == nullptr) return false;
+      exp.ftl.queue_counts.clear();
+      for (const std::string& part : split(v, ',')) {
+        const long queues = std::atol(part.c_str());
+        if (queues < 1) {
+          std::cerr << "xlf_explore: --ftl-queues entries must be >= 1\n";
+          return false;
+        }
+        exp.ftl.queue_counts.push_back(static_cast<std::size_t>(queues));
+      }
+    } else if (arg == "--ftl-arbitration") {
+      shape();
+      if ((v = value(i)) == nullptr) return false;
+      exp.ftl.arbitration_policies = split(v, ',');
+    } else if (arg == "--ftl-queue-weights") {
+      shape();
+      if ((v = value(i)) == nullptr) return false;
+      exp.ftl.queue_weights.clear();
+      for (const std::string& part : split(v, ',')) {
+        const double weight = std::atof(part.c_str());
+        if (weight <= 0.0) {
+          std::cerr << "xlf_explore: --ftl-queue-weights entries must be "
+                       "> 0\n";
+          return false;
+        }
+        exp.ftl.queue_weights.push_back(weight);
+      }
+    } else if (arg == "--ftl-trim-fraction") {
+      shape();
+      if ((v = value(i)) == nullptr) return false;
+      exp.ftl.trim_fraction = std::atof(v);
+      if (exp.ftl.trim_fraction < 0.0 || exp.ftl.trim_fraction >= 1.0) {
+        std::cerr << "xlf_explore: --ftl-trim-fraction must lie in [0, 1)\n";
+        return false;
       }
     } else if (arg == "--ftl-gc") {
       shape();
