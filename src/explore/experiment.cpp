@@ -339,6 +339,16 @@ void parse_sweep(StrictObject& root, ExperimentSpec& spec) {
   if (const JsonValue* v = obj.find("refresh_policies")) {
     spec.ftl.refresh_policies = as_string_list(*v, "refresh_policies");
   }
+  if (const JsonValue* v = obj.find("fail_blocks")) {
+    if (!v->is_array() || v->items().empty()) {
+      spec_error("'fail_blocks' must be a non-empty array of integers >= 0");
+    }
+    spec.ftl.fail_blocks.clear();
+    for (const JsonValue& item : v->items()) {
+      spec.ftl.fail_blocks.push_back(
+          static_cast<std::uint32_t>(as_index(item, "fail_blocks")));
+    }
+  }
   obj.finish();
   check_policies<policy::GcPolicy>(spec.ftl.gc_policies);
   check_policies<policy::WearPolicy>(spec.ftl.wear_policies);

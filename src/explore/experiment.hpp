@@ -45,7 +45,8 @@
 //               "gc_policies": ["greedy", "cost-benefit"],
 //               "wear_policies": ["dynamic"],
 //               "tuning_policies": ["model_based"],
-//               "refresh_policies": ["none"]}
+//               "refresh_policies": ["none"],
+//               "fail_blocks": [0, 2]}
 //   }
 #pragma once
 

@@ -1,7 +1,9 @@
 #include "src/explore/ftl_sweep.hpp"
 
 #include <algorithm>
+#include <sstream>
 
+#include "src/ftl/fault.hpp"
 #include "src/sim/host_workload.hpp"
 #include "src/util/expect.hpp"
 
@@ -18,10 +20,51 @@ FtlSweepResult ftl_sweep(const FtlSweepSpec& spec, ThreadPool& pool) {
   XLF_EXPECT(!spec.refresh_policies.empty());
   XLF_EXPECT(spec.requests > 0);
   XLF_EXPECT(spec.trim_fraction >= 0.0 && spec.trim_fraction < 1.0);
+  XLF_EXPECT(!spec.fail_blocks.empty());
+
+  // Every fail-block count must leave each die its logical share plus
+  // the GC slack (the same viability bound Ftl's constructor enforces,
+  // with the retired blocks subtracted) — checked up front for every
+  // topology so a bad axis entry fails before any combo runs.
+  const nand::Geometry& geometry = spec.base.die.device.array.geometry;
+  const std::uint32_t slack = spec.base.ftl.gc_free_blocks + 2;
+  for (const std::uint32_t fail : spec.fail_blocks) {
+    XLF_EXPECT_MSG(geometry.blocks > fail + slack, [&] {
+      std::ostringstream msg;
+      msg << "fail_blocks=" << fail << " leaves fewer than the " << slack
+          << " slack blocks GC needs out of blocks=" << geometry.blocks;
+      return msg.str();
+    }());
+    for (const controller::DispatchConfig& topology : spec.topologies) {
+      const std::uint32_t die_count =
+          topology.channels * topology.dies_per_channel;
+      const std::size_t physical =
+          static_cast<std::size_t>(die_count) * geometry.pages();
+      const auto logical = static_cast<std::uint32_t>(
+          static_cast<double>(physical) * spec.base.ftl.logical_fraction);
+      const std::uint32_t per_die_logical_max =
+          logical / die_count + (logical % die_count != 0 ? 1 : 0);
+      XLF_EXPECT_MSG(
+          per_die_logical_max <=
+              (geometry.blocks - fail - slack) * geometry.pages_per_block,
+          [&] {
+            std::ostringstream msg;
+            msg << "fail_blocks=" << fail << " starves topology "
+                << topology.channels << "x" << topology.dies_per_channel
+                << ": up to " << per_die_logical_max
+                << " logical pages land on one die but only "
+                << (geometry.blocks - fail - slack) * geometry.pages_per_block
+                << " fit beside the slack once the retired blocks are gone; "
+                   "lower fail_blocks or logical_fraction, or grow the die";
+            return msg.str();
+          }());
+    }
+  }
 
   const std::size_t policy_combos =
       spec.gc_policies.size() * spec.wear_policies.size() *
-      spec.tuning_policies.size() * spec.refresh_policies.size();
+      spec.tuning_policies.size() * spec.refresh_policies.size() *
+      spec.fail_blocks.size();
   const std::size_t host_combos =
       spec.queue_counts.size() * spec.arbitration_policies.size();
   const std::size_t combos = spec.topologies.size() *
@@ -40,9 +83,11 @@ FtlSweepResult ftl_sweep(const FtlSweepSpec& spec, ThreadPool& pool) {
 
   pool.parallel_for(combos, [&](std::size_t index) {
     // Decompose: topology-major, then queue depth, queue count,
-    // arbitration, then the policy axes gc > wear > tuning > refresh
-    // (refresh innermost).
+    // arbitration, then the policy axes gc > wear > tuning > refresh,
+    // then the fail-block count (innermost).
     std::size_t rest = index;
+    const std::size_t f = rest % spec.fail_blocks.size();
+    rest /= spec.fail_blocks.size();
     const std::size_t r = rest % spec.refresh_policies.size();
     rest /= spec.refresh_policies.size();
     const std::size_t u = rest % spec.tuning_policies.size();
@@ -67,6 +112,19 @@ FtlSweepResult ftl_sweep(const FtlSweepSpec& spec, ThreadPool& pool) {
 
     Rng stream = streams[index];
     ftl::Ssd ssd(config);
+
+    // Grown-bad injection: the combo's fail count retires the lowest
+    // block ids of every die on their first erase — the blocks every
+    // wear policy allocates first and GC churns hardest, so the
+    // injection reliably bites.
+    ftl::FaultInjector injector;
+    const std::uint32_t fail = spec.fail_blocks[f];
+    for (std::size_t d = 0; d < ssd.dies(); ++d) {
+      for (std::uint32_t i = 0; i < fail; ++i) {
+        injector.fail_block(static_cast<std::uint32_t>(d), i);
+      }
+    }
+    ssd.set_fault_injector(&injector);
 
     const std::size_t queues = spec.queue_counts[n];
     sim::SsdSimConfig sim_config;
@@ -113,6 +171,17 @@ FtlSweepResult ftl_sweep(const FtlSweepSpec& spec, ThreadPool& pool) {
     const ftl::ScrubResult scrubbed = ssd.ftl().scrub();
     row.stats.refresh_blocks = scrubbed.blocks_refreshed;
     row.stats.refresh_relocations = scrubbed.pages_relocated;
+    // Recovery drill: every combo ends with a clean shutdown (flush),
+    // a remount that rebuilds the FTL from OOB + journal, an
+    // invariant audit, and a bit-true read-back of everything the
+    // host still holds. Lifetime totals (prepopulate + run + scrub)
+    // for the bad-block count, read before the remount resets stats.
+    row.fail_blocks = fail;
+    row.bad_blocks = ssd.ftl().stats().bad_blocks;
+    ssd.ftl().flush();
+    ssd.remount();
+    ssd.ftl().check_consistency();
+    row.rebuild_mismatches = simulator.verify_stored();
     result.rows[index] = std::move(row);
   });
   return result;

@@ -52,6 +52,12 @@ struct FtlSweepSpec {
   std::vector<std::string> wear_policies{"dynamic"};
   std::vector<std::string> tuning_policies{"model_based"};
   std::vector<std::string> refresh_policies{"none"};
+  // Fault-injection axis (innermost): how many blocks per die grow
+  // bad during the combo (the lowest block ids fail on their first
+  // erase and retire to the durable bad-block table). Each entry must
+  // leave the die enough healthy blocks for its logical share plus
+  // the GC slack.
+  std::vector<std::uint32_t> fail_blocks{0};
   // Hot/cold overwrite traffic driving GC (see HotColdWorkload /
   // MultiTenantWorkload). trim_fraction > 0 makes each tenant
   // deallocate that share of its non-read requests.
@@ -76,11 +82,18 @@ struct FtlSweepRow {
   std::string tuning_policy;
   std::string refresh_policy;
   sim::SsdSimStats stats;
+  // Recovery drill read-out: injected fail count, blocks actually
+  // retired over the combo's lifetime, and the mismatch count of the
+  // post-run clean-shutdown remount audit (flush -> remount ->
+  // rebuild_from_oob -> verify every stored LPA; 0 = bit-true).
+  std::uint32_t fail_blocks = 0;
+  std::uint64_t bad_blocks = 0;
+  std::size_t rebuild_mismatches = 0;
 };
 
 struct FtlSweepResult {
   // Topology-major, then queue depth, then queue count, arbitration,
-  // gc / wear / tuning / refresh policy (innermost).
+  // gc / wear / tuning / refresh policy, fail-block count (innermost).
   std::vector<FtlSweepRow> rows;
 };
 

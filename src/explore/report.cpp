@@ -280,6 +280,19 @@ const Field<FtlSweepRow> kFtlFields[] = {
      [](const FtlSweepRow& r) {
        return joined_queue_means(r, &host::QueueStats::read_latency);
      }},
+    // Recovery / fault-injection columns (appended last, preserving
+    // the byte-prefix of older reports): injected fail count, blocks
+    // actually retired, and the clean-shutdown remount audit's
+    // mismatch count (0 = every stored LPA read back bit-true after
+    // rebuild_from_oob).
+    {"fail_blocks", false,
+     [](const FtlSweepRow& r) { return std::to_string(r.fail_blocks); }},
+    {"bad_blocks", false,
+     [](const FtlSweepRow& r) { return std::to_string(r.bad_blocks); }},
+    {"rebuild_mismatches", false,
+     [](const FtlSweepRow& r) {
+       return std::to_string(r.rebuild_mismatches);
+     }},
 };
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "src/ftl/allocator.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <string>
 
 #include "src/policy/registry.hpp"
@@ -21,7 +22,7 @@ DieAllocator::DieAllocator(const AllocatorConfig& config) : config_(config) {
         policy::PolicyRegistry<policy::WearPolicy>::instance().make_shared(
             "dynamic");
   }
-  states_.assign(config.blocks, State::kFree);
+  states_.assign(config.blocks, BlockState::kFree);
   erase_counts_.assign(config.blocks, 0);
   last_write_.assign(config.blocks, 0);
   free_count_ = config.blocks;
@@ -45,7 +46,7 @@ std::uint32_t DieAllocator::pick_free_block() const {
   std::optional<std::uint32_t> best;
   double best_score = 0.0;
   for (std::uint32_t b = 0; b < config_.blocks; ++b) {
-    if (states_[b] != State::kFree) continue;
+    if (states_[b] != BlockState::kFree) continue;
     // Wear policy preference; strict > keeps the lowest-id winner on
     // ties ("none" scores everything 0 and so picks by id, "dynamic"
     // scores -erase_count and so picks the least-erased block).
@@ -63,7 +64,7 @@ std::pair<std::uint32_t, std::uint32_t> DieAllocator::take_page(Stream stream) {
   Frontier& f = frontier(stream);
   if (!f.open || f.next_page >= config_.pages_per_block) {
     const std::uint32_t block = pick_free_block();
-    states_[block] = State::kOpen;
+    states_[block] = BlockState::kOpen;
     --free_count_;
     f.block = block;
     f.next_page = 0;
@@ -73,7 +74,7 @@ std::pair<std::uint32_t, std::uint32_t> DieAllocator::take_page(Stream stream) {
   ++f.next_page;
   if (f.next_page >= config_.pages_per_block) {
     // Fully written: the block becomes a GC candidate.
-    states_[f.block] = State::kClosed;
+    states_[f.block] = BlockState::kClosed;
     f.open = false;
   }
   return slot;
@@ -86,11 +87,65 @@ void DieAllocator::stamp_write(std::uint32_t block, std::uint64_t stamp) {
 
 void DieAllocator::on_erase(std::uint32_t block) {
   XLF_EXPECT(block < config_.blocks);
-  XLF_EXPECT(states_[block] == State::kClosed &&
+  XLF_EXPECT(states_[block] == BlockState::kClosed &&
              "only closed blocks are erased");
-  states_[block] = State::kFree;
+  states_[block] = BlockState::kFree;
   ++erase_counts_[block];
+  // A free block carries no age: clearing the stamp keeps the live
+  // state field-identical to what rebuild_from_oob reconstructs (an
+  // erased block has no OOB records to derive a stamp from).
+  last_write_[block] = 0;
   ++free_count_;
+}
+
+void DieAllocator::retire(std::uint32_t block) {
+  XLF_EXPECT(block < config_.blocks);
+  XLF_EXPECT(states_[block] == BlockState::kClosed &&
+             "only closed blocks reach the erase that can fail");
+  states_[block] = BlockState::kBad;
+  last_write_[block] = 0;
+}
+
+void DieAllocator::restore(std::uint32_t block, BlockState state,
+                           std::uint32_t erase_count,
+                           std::uint64_t last_write) {
+  XLF_EXPECT(block < config_.blocks);
+  XLF_EXPECT(state != BlockState::kOpen &&
+             "open blocks are restored through restore_frontier");
+  XLF_EXPECT(states_[block] == BlockState::kFree &&
+             "restore targets a freshly constructed allocator");
+  erase_counts_[block] = erase_count;
+  last_write_[block] = last_write;
+  if (state != BlockState::kFree) {
+    states_[block] = state;
+    --free_count_;
+  }
+}
+
+void DieAllocator::restore_frontier(Stream stream, std::uint32_t block,
+                                    std::uint32_t next_page,
+                                    std::uint32_t erase_count,
+                                    std::uint64_t last_write) {
+  XLF_EXPECT(block < config_.blocks);
+  XLF_EXPECT(next_page >= 1 && next_page < config_.pages_per_block &&
+             "an open frontier sits strictly inside its block");
+  XLF_EXPECT(states_[block] == BlockState::kFree &&
+             "restore targets a freshly constructed allocator");
+  Frontier& f = frontier(stream);
+  XLF_EXPECT(!f.open && "one open block per stream");
+  states_[block] = BlockState::kOpen;
+  --free_count_;
+  erase_counts_[block] = erase_count;
+  last_write_[block] = last_write;
+  f.block = block;
+  f.next_page = next_page;
+  f.open = true;
+}
+
+DieAllocator::FrontierView DieAllocator::frontier_view(Stream stream) const {
+  const Frontier& f = frontier(stream);
+  if (!f.open) return FrontierView{};
+  return FrontierView{true, f.block, f.next_page};
 }
 
 std::uint32_t DieAllocator::erase_count(std::uint32_t block) const {
@@ -99,17 +154,29 @@ std::uint32_t DieAllocator::erase_count(std::uint32_t block) const {
 }
 
 std::uint32_t DieAllocator::min_erase_count() const {
-  return *std::min_element(erase_counts_.begin(), erase_counts_.end());
+  std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+  bool any = false;
+  for (std::uint32_t b = 0; b < config_.blocks; ++b) {
+    if (states_[b] == BlockState::kBad) continue;
+    best = std::min(best, erase_counts_[b]);
+    any = true;
+  }
+  return any ? best : 0;
 }
 
 std::uint32_t DieAllocator::max_erase_count() const {
-  return *std::max_element(erase_counts_.begin(), erase_counts_.end());
+  std::uint32_t best = 0;
+  for (std::uint32_t b = 0; b < config_.blocks; ++b) {
+    if (states_[b] == BlockState::kBad) continue;
+    best = std::max(best, erase_counts_[b]);
+  }
+  return best;
 }
 
 std::optional<std::uint32_t> DieAllocator::pick_coldest() const {
   std::optional<std::uint32_t> best;
   for (std::uint32_t b = 0; b < config_.blocks; ++b) {
-    if (states_[b] != State::kClosed) continue;
+    if (states_[b] != BlockState::kClosed) continue;
     if (!best.has_value() || erase_counts_[b] < erase_counts_[*best] ||
         (erase_counts_[b] == erase_counts_[*best] &&
          last_write_[b] < last_write_[*best])) {

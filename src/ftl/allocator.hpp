@@ -4,9 +4,16 @@
 // (hot, freshly written data) and the GC stream (cold, relocated
 // data) — the classic hot/cold separation that keeps write
 // amplification down under skewed workloads. Blocks cycle through
-// free -> open -> closed -> (GC victim) -> free; the allocator owns
-// that state machine plus the FTL-visible erase counters the wear
-// leveler and the per-block ECC adaptation read.
+// free -> open -> closed -> (GC victim) -> free, with a terminal
+// `bad` state for blocks retired after an erase failure (never
+// allocated, never collected, excluded from the wear spread); the
+// allocator owns that state machine plus the FTL-visible erase
+// counters the wear leveler and the per-block ECC adaptation read.
+//
+// All of this is DRAM state: after a simulated power cycle the Ftl
+// reconstructs it through the restore()/restore_frontier() mount API
+// from the durable per-block table and the OOB scan (see
+// Ftl::rebuild_from_oob).
 //
 // Policy decisions are delegated to the xlf::policy plane:
 //  * GC victim selection scores closed blocks through a
@@ -45,6 +52,19 @@ class DieAllocator {
   // The two write frontiers (hot/cold separation).
   enum class Stream { kHost, kGc };
 
+  // Block life cycle; kBad is terminal (grown-bad retirement).
+  enum class BlockState { kFree, kOpen, kClosed, kBad };
+
+  struct FrontierView {
+    bool open = false;
+    // Zero when closed, so views compare cleanly across a remount
+    // (a closed frontier's stale block/page fields never leak).
+    std::uint32_t block = 0;
+    std::uint32_t next_page = 0;
+
+    friend bool operator==(const FrontierView&, const FrontierView&) = default;
+  };
+
   explicit DieAllocator(const AllocatorConfig& config);
 
   std::size_t free_count() const { return free_count_; }
@@ -58,14 +78,37 @@ class DieAllocator {
 
   // Record the logical write time of a block (cost-benefit age).
   void stamp_write(std::uint32_t block, std::uint64_t stamp);
-  // Erase bookkeeping: the block rejoins the free list and its erase
-  // counter advances. Must be a closed block (victims always are;
-  // open frontiers are never collected).
+  // Erase bookkeeping: the block rejoins the free list, its erase
+  // counter advances and its write stamp resets (a free block has no
+  // age). Must be a closed block (victims always are; open frontiers
+  // are never collected).
   void on_erase(std::uint32_t block);
+  // Grown-bad retirement: a closed block whose erase failed leaves
+  // the allocation cycle for good. Its erase counter does not advance
+  // (the erase did not happen).
+  void retire(std::uint32_t block);
 
   std::uint32_t erase_count(std::uint32_t block) const;
+  // Wear spread over blocks still in the allocation cycle (retired
+  // blocks' frozen counters must not drive wear-leveling decisions).
   std::uint32_t min_erase_count() const;
   std::uint32_t max_erase_count() const;
+
+  // --- mount-time restore (rebuild_from_oob) ------------------------
+  // Reconstruct a block's state on a freshly constructed allocator.
+  // kOpen goes through restore_frontier instead, which also reopens
+  // the stream's append position.
+  void restore(std::uint32_t block, BlockState state,
+               std::uint32_t erase_count, std::uint64_t last_write);
+  void restore_frontier(Stream stream, std::uint32_t block,
+                        std::uint32_t next_page, std::uint32_t erase_count,
+                        std::uint64_t last_write);
+
+  BlockState state(std::uint32_t block) const { return states_.at(block); }
+  std::uint64_t last_write(std::uint32_t block) const {
+    return last_write_.at(block);
+  }
+  FrontierView frontier_view(Stream stream) const;
 
   // GC victim among closed blocks with at least one invalid page:
   // the highest-scoring candidate under `score`, lowest block id on
@@ -95,11 +138,10 @@ class DieAllocator {
   std::optional<std::uint32_t> pick_coldest() const;
 
   bool is_closed(std::uint32_t block) const {
-    return states_.at(block) == State::kClosed;
+    return states_.at(block) == BlockState::kClosed;
   }
 
  private:
-  enum class State { kFree, kOpen, kClosed };
   struct Frontier {
     std::uint32_t block = 0;
     std::uint32_t next_page = 0;
@@ -111,7 +153,7 @@ class DieAllocator {
   const Frontier& frontier(Stream stream) const;
 
   AllocatorConfig config_;
-  std::vector<State> states_;
+  std::vector<BlockState> states_;
   std::vector<std::uint32_t> erase_counts_;
   std::vector<std::uint64_t> last_write_;
   Frontier host_;
@@ -126,7 +168,7 @@ std::optional<std::uint32_t> DieAllocator::pick_victim_scored(
   std::optional<std::uint32_t> best;
   double best_score = 0.0;
   for (std::uint32_t b = 0; b < config_.blocks; ++b) {
-    if (states_[b] != State::kClosed) continue;
+    if (states_[b] != BlockState::kClosed) continue;
     const std::uint32_t valid = valid_count(b);
     if (valid >= config_.pages_per_block) continue;  // nothing to reclaim
     policy::GcBlockView view;

@@ -1,0 +1,52 @@
+// The FTL's durable metadata region — the model of the reserved
+// system block a real controller journals into. Owned by the Ssd
+// facade (or the test harness), so it survives the Ftl object across
+// a simulated power cycle the way NAND state does.
+//
+// Contents:
+//  * the trim journal: a tombstone per flushed trim. Trims are
+//    metadata-only and buffer in FTL DRAM until the next flush()
+//    persists them — that is the durability barrier flush provides.
+//    A trim that never reached a flush is lost with DRAM, and the
+//    trimmed LPA may come back after remount (mapped to its pre-trim
+//    payload, or even an older surviving version if GC already erased
+//    the newest copy — the documented advisory-deallocate crash
+//    semantics). A flushed tombstone, by contrast, outranks every
+//    earlier write of its LPA by sequence number, so the LPA stays
+//    unmapped across any later crash.
+//  * a (seq, clock) checkpoint refreshed by every flush, so a clean
+//    shutdown (flush + remount) restores the FTL's logical clock and
+//    sequence counter exactly even when the newest-stamped OOB
+//    records were erased by GC before the shutdown.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ftl/mapping.hpp"
+
+namespace xlf::ftl {
+
+struct TrimTombstone {
+  Lpa lpa = 0;
+  // Same monotonic counter as the OOB records: during replay the
+  // tombstone invalidates every lower-seq write of the LPA and loses
+  // to any higher-seq rewrite.
+  std::uint64_t seq = 0;
+
+  friend bool operator==(const TrimTombstone&, const TrimTombstone&) = default;
+};
+
+struct DurableMeta {
+  // Append-only trim journal (a real device would checkpoint and
+  // compact it; at simulation scale replaying the full journal is
+  // cheap and keeps the replay rule trivial).
+  std::vector<TrimTombstone> tombstones;
+  // Counter checkpoint taken at the end of every completed flush.
+  std::uint64_t checkpoint_seq = 0;
+  std::uint64_t checkpoint_clock = 0;
+  // Completed flush barriers over the device's lifetime.
+  std::uint64_t flush_epochs = 0;
+};
+
+}  // namespace xlf::ftl

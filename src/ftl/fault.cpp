@@ -1,0 +1,87 @@
+#include "src/ftl/fault.hpp"
+
+#include <string>
+
+#include "src/util/expect.hpp"
+
+namespace xlf::ftl {
+namespace {
+
+const char* point_name(FaultPoint point) {
+  switch (point) {
+    case FaultPoint::kNone:
+      return "none";
+    case FaultPoint::kBeforeHostProgram:
+      return "before-host-program";
+    case FaultPoint::kMidHostProgram:
+      return "mid-host-program";
+    case FaultPoint::kBeforeGcProgram:
+      return "before-gc-program";
+    case FaultPoint::kMidGcProgram:
+      return "mid-gc-program";
+    case FaultPoint::kBeforeErase:
+      return "before-erase";
+    case FaultPoint::kAfterErase:
+      return "after-erase";
+    case FaultPoint::kMidFlush:
+      return "mid-flush";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+PowerLoss::PowerLoss(FaultPoint p, std::uint64_t e)
+    : std::runtime_error(std::string("power loss at event ") +
+                         std::to_string(e) + " (" + point_name(p) + ")"),
+      point(p),
+      event(e) {}
+
+void FaultInjector::arm_at_event(std::uint64_t event) {
+  kill_event_ = event;
+  kill_point_ = FaultPoint::kNone;
+  kill_occurrence_ = 0;
+  point_seen_ = 0;
+  fired_ = false;
+}
+
+void FaultInjector::arm_at_point(FaultPoint point, std::uint64_t occurrence) {
+  XLF_EXPECT(point != FaultPoint::kNone);
+  XLF_EXPECT(occurrence >= 1);
+  kill_event_ = 0;
+  kill_point_ = point;
+  kill_occurrence_ = occurrence;
+  point_seen_ = 0;
+  fired_ = false;
+}
+
+void FaultInjector::disarm() {
+  kill_event_ = 0;
+  kill_point_ = FaultPoint::kNone;
+  kill_occurrence_ = 0;
+  point_seen_ = 0;
+  fired_ = false;
+}
+
+void FaultInjector::hit(FaultPoint point) {
+  ++events_;
+  if (fired_) return;
+  if (kill_event_ != 0 && events_ == kill_event_) {
+    fired_ = true;
+    throw PowerLoss(point, events_);
+  }
+  if (kill_point_ == point && ++point_seen_ == kill_occurrence_) {
+    fired_ = true;
+    throw PowerLoss(point, events_);
+  }
+}
+
+void FaultInjector::fail_block(std::uint32_t die, std::uint32_t block) {
+  fail_.insert({die, block});
+}
+
+bool FaultInjector::should_fail(std::uint32_t die, std::uint32_t block) const {
+  return fail_.count({die, block}) != 0;
+}
+
+}  // namespace xlf::ftl

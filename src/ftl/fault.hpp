@@ -1,0 +1,88 @@
+// Fault plane for crash-consistency testing: a FaultInjector the FTL
+// consults at every durability-relevant step, able to kill the
+// simulation at an arbitrary event (power loss) or fail a block's
+// next erase (grown-bad injection).
+//
+// Kill semantics: power loss is modelled as a PowerLoss exception
+// thrown from inside an FTL operation. Everything already committed
+// to the NAND model (programmed cells, OOB records, the durable trim
+// journal) survives; everything in FTL DRAM (L2P map, valid counters,
+// frontiers, pending trim tombstones) is lost. The test harness
+// catches the exception, constructs a fresh Ftl over the surviving
+// state and calls rebuild_from_oob().
+//
+// The event counter is global and monotonic across the injector's
+// lifetime, so a counting run (attach, never arm) measures the total
+// number of kill opportunities of a workload, and a later armed run
+// of the same seeded workload kills at a chosen index —
+// deterministically, whatever the thread count.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace xlf::ftl {
+
+// Where in the FTL's program/erase/flush sequences the kill lands.
+// kMid*Program sits between the page's data program and its OOB
+// record — the torn-program window (arXiv 1805.03291's two-step
+// programming vulnerability): the data is on the cells but no record
+// says so, and rebuild must treat the page as never written.
+enum class FaultPoint {
+  kNone,
+  kBeforeHostProgram,  // host write: slot taken, nothing programmed yet
+  kMidHostProgram,     // host write: data committed, OOB record missing
+  kBeforeGcProgram,    // GC/scrub relocation: source read, copy not yet made
+  kMidGcProgram,       // relocation copy committed, OOB record missing
+  kBeforeErase,        // victim relocated, erase not started
+  kAfterErase,         // erase committed (OOB cleared), allocator updated
+  kMidFlush,           // between two tombstones of a flush barrier
+};
+
+// The power cut. Carries where and at which event index it struck so
+// torture tests can assert coverage of the interesting windows.
+struct PowerLoss : std::runtime_error {
+  PowerLoss(FaultPoint point, std::uint64_t event);
+
+  FaultPoint point;
+  std::uint64_t event;
+};
+
+class FaultInjector {
+ public:
+  // Kill when the running event counter reaches `event` (1-based
+  // against the counter's current value semantics: hit() increments
+  // first, then compares). 0 disarms.
+  void arm_at_event(std::uint64_t event);
+  // Kill at the nth occurrence (1-based) of a specific fault point —
+  // the way tests guarantee a kill lands mid-GC / mid-program /
+  // mid-flush regardless of the workload's event layout.
+  void arm_at_point(FaultPoint point, std::uint64_t occurrence = 1);
+  void disarm();
+
+  std::uint64_t events() const { return events_; }
+  bool fired() const { return fired_; }
+
+  // FTL-side hook: count the event and throw PowerLoss when armed for
+  // it. Fires at most once per arming (post-crash remount traffic
+  // does not re-trigger a spent injector).
+  void hit(FaultPoint point);
+
+  // Grown-bad injection: the block's next erase on `die` fails and
+  // the FTL retires it into the durable bad-block table.
+  void fail_block(std::uint32_t die, std::uint32_t block);
+  bool should_fail(std::uint32_t die, std::uint32_t block) const;
+
+ private:
+  std::uint64_t events_ = 0;
+  std::uint64_t kill_event_ = 0;  // 0 = not armed by index
+  FaultPoint kill_point_ = FaultPoint::kNone;
+  std::uint64_t kill_occurrence_ = 0;
+  std::uint64_t point_seen_ = 0;
+  bool fired_ = false;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> fail_;
+};
+
+}  // namespace xlf::ftl

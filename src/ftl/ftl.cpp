@@ -10,11 +10,13 @@
 namespace xlf::ftl {
 
 Ftl::Ftl(const FtlConfig& config,
-         std::vector<controller::MemoryController*> dies)
+         std::vector<controller::MemoryController*> dies,
+         DurableMeta* durable)
     : config_(config),
       controllers_(std::move(dies)),
       map_(1, 1, 2, 1),  // placeholder; rebuilt below once validated
-      clock_(0) {
+      clock_(0),
+      durable_(durable != nullptr ? durable : &owned_durable_) {
   XLF_EXPECT(!controllers_.empty());
   XLF_EXPECT_MSG(config_.gc_free_blocks >= 1,
                  "gc_free_blocks=" + std::to_string(config_.gc_free_blocks) +
@@ -119,7 +121,23 @@ unsigned Ftl::adapt_block_t(std::uint32_t die, std::uint32_t block) {
 }
 
 Seconds Ftl::erase_block(std::uint32_t die, std::uint32_t block) {
+  fault(FaultPoint::kBeforeErase);
   nand::NandDevice& dev = device(die);
+  if (fault_ != nullptr && fault_->should_fail(die, block)) {
+    // Grown-bad: the erase fails and the block retires into the
+    // durable bad-block table. Its data is already fully invalid
+    // (victims are erased only after relocation), so only the
+    // bookkeeping moves: no wear bump, no erase count, no free slot.
+    // The die still spent the attempt's time going busy.
+    dev.mark_bad(block);
+    map_.on_erase(die, block);
+    allocators_[die].retire(block);
+    block_t_[die][block] = 0;
+    ++stats_.bad_blocks;
+    log_info() << "erase failure: die " << die << " block " << block
+               << " retired to the bad-block table";
+    return dev.timing().erase_time();
+  }
   // Accelerated aging: bump the wear before the physical erase adds
   // its own cycle, so one FTL erase stands for pe_cycles_per_erase
   // cycles of the compressed deployment.
@@ -129,7 +147,9 @@ Seconds Ftl::erase_block(std::uint32_t die, std::uint32_t block) {
   const Seconds busy = ctrl(die).erase_block(block);
   map_.on_erase(die, block);
   allocators_[die].on_erase(block);
+  block_t_[die][block] = 0;  // no pages, no operating point (see rebuild)
   ++stats_.erases;
+  fault(FaultPoint::kAfterErase);
   return busy;
 }
 
@@ -144,13 +164,20 @@ Seconds Ftl::relocate_valid_pages(std::uint32_t die, std::uint32_t block,
     if (!map_.valid(src)) continue;
     const Lpa owner = map_.lpa_at(src);
 
+    fault(FaultPoint::kBeforeGcProgram);
     const controller::ReadResult rd = ctrl(die).read_page({block, p});
     if (rd.uncorrectable) ++stats_.gc_uncorrectable;
 
     const auto [dst_block, dst_page] = alloc.take_page(DieAllocator::Stream::kGc);
-    adapt_block_t(die, dst_block);
+    const unsigned t = adapt_block_t(die, dst_block);
     const controller::WriteResult wr =
         ctrl(die).write_page({dst_block, dst_page}, rd.data);
+    // The torn-program window: data committed, record not yet. A kill
+    // here leaves the source copy (lower seq, still on flash until
+    // the erase below) as the LPA's surviving version.
+    fault(FaultPoint::kMidGcProgram);
+    device(die).write_oob({dst_block, dst_page},
+                          {owner, ++seq_, t, 1, clock_});
 
     map_.map(owner, Ppa{die, dst_block, dst_page});
     // Relocated data keeps the current logical time without advancing
@@ -218,13 +245,20 @@ FtlOpResult Ftl::write(Lpa lpa, const BitVec& data) {
 
   const Seconds overhead = ensure_capacity(die, result);
 
+  fault(FaultPoint::kBeforeHostProgram);
   const auto [block, page] =
       allocators_[die].take_page(DieAllocator::Stream::kHost);
   result.t_used = adapt_block_t(die, block);
   const controller::WriteResult wr = ctrl(die).write_page({block, page}, data);
+  // Torn-program window (data on the cells, no OOB record): a kill
+  // here must leave the LPA reading its previous version at rebuild.
+  fault(FaultPoint::kMidHostProgram);
+  ++clock_;
+  device(die).write_oob({block, page},
+                        {lpa, ++seq_, result.t_used, 0, clock_});
   result.ok = wr.ok;
   map_.map(lpa, Ppa{die, block, page});
-  allocators_[die].stamp_write(block, ++clock_);
+  allocators_[die].stamp_write(block, clock_);
 
   result.io_time = wr.io_latency;
   result.cell_time = (wr.latency - wr.io_latency) + overhead;
@@ -273,13 +307,29 @@ FtlOpResult Ftl::trim(Lpa lpa) {
     return result;
   }
   map_.unmap(lpa);
+  // The deallocation is DRAM-only until a flush journals the
+  // tombstone; its seq rides the same counter as the OOB records so
+  // replay ranks it against the LPA's writes.
+  pending_trims_.push_back({lpa, ++seq_});
   ++stats_.trimmed_pages;
   return result;
 }
 
 FtlOpResult Ftl::flush() {
-  // Write-through: nothing buffered, nothing to persist (see header).
+  // The durability barrier: page data is write-through (durable at
+  // acknowledge), so what flush persists is the trim journal and the
+  // counter checkpoint. Tombstones land one at a time — the kMidFlush
+  // window models a power cut after a prefix of the journal append.
   FtlOpResult result;
+  for (const TrimTombstone& tombstone : pending_trims_) {
+    fault(FaultPoint::kMidFlush);
+    durable_->tombstones.push_back(tombstone);
+    ++stats_.flushed_tombstones;
+  }
+  pending_trims_.clear();
+  durable_->checkpoint_seq = seq_;
+  durable_->checkpoint_clock = clock_;
+  ++durable_->flush_epochs;
   ++stats_.host_flushes;
   return result;
 }
@@ -342,6 +392,186 @@ ScrubResult Ftl::scrub() {
                << scrub_result.pages_relocated << " pages)";
   }
   return scrub_result;
+}
+
+void Ftl::rebuild_from_oob() {
+  const nand::Geometry& geometry = controllers_.front()->device().geometry();
+  const std::uint32_t die_count = dies();
+  const std::uint32_t ppb = geometry.pages_per_block;
+
+  // Reset the DRAM state to the fresh-mount layout; the scan below
+  // repopulates it. Counters start from the last flush's checkpoint
+  // and advance to whatever the scan proves happened after it.
+  map_ = PageMap(die_count, geometry.blocks, ppb, map_.logical_pages());
+  AllocatorConfig alloc_config;
+  alloc_config.blocks = geometry.blocks;
+  alloc_config.pages_per_block = ppb;
+  alloc_config.wear = wear_policy_;
+  allocators_.assign(die_count, DieAllocator(alloc_config));
+  block_t_.assign(die_count, std::vector<unsigned>(geometry.blocks, 0));
+  pending_trims_.clear();
+  stats_ = FtlStats{};
+  clock_ = durable_->checkpoint_clock;
+  seq_ = durable_->checkpoint_seq;
+
+  struct Replay {
+    std::uint64_t seq = 0;
+    Lpa lpa = 0;
+    Ppa ppa;  // invalid for tombstones
+    bool tombstone = false;
+  };
+  std::vector<Replay> replay;
+
+  for (std::uint32_t d = 0; d < die_count; ++d) {
+    nand::NandDevice& dev = device(d);
+    DieAllocator& alloc = allocators_[d];
+    for (std::uint32_t b = 0; b < geometry.blocks; ++b) {
+      const std::uint32_t erases = dev.erase_count(b);
+      if (dev.is_bad(b)) {
+        // Retired for good; stale records inside are never replayed.
+        alloc.restore(b, DieAllocator::BlockState::kBad, erases, 0);
+        continue;
+      }
+      std::uint64_t block_stamp = 0;  // newest program's clock stamp
+      std::uint64_t best_seq = 0;
+      unsigned last_t = 0;
+      std::uint8_t last_stream = 0;
+      bool any = false;
+      for (std::uint32_t p = 0; p < ppb; ++p) {
+        const std::optional<nand::OobRecord>& rec = dev.oob({b, p});
+        if (!rec.has_value()) continue;
+        replay.push_back({rec->seq, rec->lba, Ppa{d, b, p}, false});
+        if (rec->seq >= best_seq) {
+          best_seq = rec->seq;
+          last_t = rec->t;
+          last_stream = rec->stream;
+        }
+        block_stamp = std::max(block_stamp, rec->stamp);
+        clock_ = std::max(clock_, rec->stamp);
+        seq_ = std::max(seq_, rec->seq);
+        stats_.min_t_used = std::min(stats_.min_t_used, rec->t);
+        stats_.max_t_used = std::max(stats_.max_t_used, rec->t);
+        any = true;
+      }
+      // Frontier rule: the erased-and-unrecorded suffix is where the
+      // block's append position stood. A torn page (programmed cells,
+      // no record) stops the suffix scan — it sits below the frontier
+      // as an invalid page until the block's next erase.
+      std::uint32_t next = ppb;
+      while (next > 0 && !dev.oob({b, next - 1}).has_value() &&
+             dev.array().is_erased({b, next - 1})) {
+        --next;
+      }
+      if (next == 0) {
+        alloc.restore(b, DieAllocator::BlockState::kFree, erases, 0);
+      } else if (next == ppb || !any) {
+        // Full, or holding nothing but torn pages (a kill on the very
+        // first program of a fresh block): closed either way, so GC
+        // reclaims it through the normal victim path.
+        alloc.restore(b, DieAllocator::BlockState::kClosed, erases,
+                      block_stamp);
+        block_t_[d][b] = any ? last_t : 0;
+      } else {
+        // Partially written: reopen as the write frontier of the
+        // stream that was filling it (at most one such block per
+        // stream — append-only discipline). The defensive fallback
+        // closes a second claimant rather than corrupt the frontier.
+        const DieAllocator::Stream stream =
+            last_stream == 0 ? DieAllocator::Stream::kHost
+                             : DieAllocator::Stream::kGc;
+        if (alloc.frontier_view(stream).open) {
+          alloc.restore(b, DieAllocator::BlockState::kClosed, erases,
+                        block_stamp);
+        } else {
+          alloc.restore_frontier(stream, b, next, erases, block_stamp);
+        }
+        block_t_[d][b] = last_t;
+      }
+    }
+  }
+
+  for (const TrimTombstone& tombstone : durable_->tombstones) {
+    replay.push_back({tombstone.seq, tombstone.lpa, Ppa{}, true});
+    seq_ = std::max(seq_, tombstone.seq);
+  }
+
+  // Replay in sequence order: for every LPA the highest surviving seq
+  // wins — later writes supersede earlier ones, a journaled trim
+  // invalidates everything before it and loses to any rewrite after.
+  std::sort(replay.begin(), replay.end(),
+            [](const Replay& a, const Replay& b) { return a.seq < b.seq; });
+  for (const Replay& r : replay) {
+    if (r.tombstone) {
+      // No-op when already superseded (double trim, GC'd copy, or a
+      // journal entry whose write never survived).
+      if (r.lpa < map_.logical_pages() && map_.mapped(r.lpa)) {
+        map_.unmap(r.lpa);
+      }
+      continue;
+    }
+    XLF_ENSURE(r.lpa < map_.logical_pages());
+    map_.map(r.lpa, r.ppa);
+  }
+}
+
+void Ftl::check_consistency() const {
+  const nand::Geometry& geometry = controllers_.front()->device().geometry();
+  // Every mapping round-trips through the P2L inverse and respects
+  // the die affinity.
+  for (Lpa lpa = 0; lpa < map_.logical_pages(); ++lpa) {
+    if (!map_.mapped(lpa)) continue;
+    const Ppa ppa = map_.lookup(lpa);
+    XLF_ENSURE(ppa.die == die_of(lpa));
+    XLF_ENSURE(ppa.block < geometry.blocks &&
+               ppa.page < geometry.pages_per_block);
+    XLF_ENSURE(map_.valid(ppa));
+    XLF_ENSURE(map_.lpa_at(ppa) == lpa);
+  }
+  for (std::uint32_t d = 0; d < dies(); ++d) {
+    const DieAllocator& alloc = allocators_[d];
+    const nand::NandDevice& dev = device(d);
+    std::size_t free_blocks = 0;
+    std::size_t open_blocks = 0;
+    for (std::uint32_t b = 0; b < geometry.blocks; ++b) {
+      // Valid counter == recount of P2L-valid pages, each owned by a
+      // live mapping.
+      std::uint32_t valid = 0;
+      for (std::uint32_t p = 0; p < geometry.pages_per_block; ++p) {
+        const Ppa ppa{d, b, p};
+        if (!map_.valid(ppa)) continue;
+        const Lpa owner = map_.lpa_at(ppa);
+        XLF_ENSURE(owner < map_.logical_pages());
+        XLF_ENSURE(map_.mapped(owner) && map_.lookup(owner) == ppa);
+        ++valid;
+      }
+      XLF_ENSURE(valid == map_.valid_count(d, b));
+      const DieAllocator::BlockState state = alloc.state(b);
+      XLF_ENSURE(dev.is_bad(b) == (state == DieAllocator::BlockState::kBad));
+      if (state == DieAllocator::BlockState::kFree ||
+          state == DieAllocator::BlockState::kBad) {
+        XLF_ENSURE(valid == 0);
+      }
+      if (state == DieAllocator::BlockState::kFree) ++free_blocks;
+      if (state == DieAllocator::BlockState::kOpen) ++open_blocks;
+    }
+    XLF_ENSURE(free_blocks == alloc.free_count());
+    // Open blocks and open frontiers are one and the same set.
+    std::size_t open_frontiers = 0;
+    for (const DieAllocator::Stream stream :
+         {DieAllocator::Stream::kHost, DieAllocator::Stream::kGc}) {
+      const DieAllocator::FrontierView f = alloc.frontier_view(stream);
+      if (!f.open) continue;
+      ++open_frontiers;
+      XLF_ENSURE(alloc.state(f.block) == DieAllocator::BlockState::kOpen);
+      XLF_ENSURE(f.next_page >= 1 && f.next_page < geometry.pages_per_block);
+    }
+    XLF_ENSURE(open_frontiers == open_blocks);
+  }
+}
+
+bool Ftl::is_bad(std::uint32_t die, std::uint32_t block) const {
+  XLF_EXPECT(die < dies());
+  return device(die).is_bad(block);
 }
 
 double Ftl::wear(std::uint32_t die, std::uint32_t block) const {

@@ -21,7 +21,18 @@
 //    capability t — the paper's (algo, t) schedule applied at block
 //    granularity. Hot blocks (high wear from GC churn) get a larger t
 //    than cold blocks in the same run, and every page remembers the t
-//    it was written with, so reads decode correctly either way.
+//    it was written with, so reads decode correctly either way;
+//  * crash consistency: every program writes an OOB record (LBA,
+//    monotonic seq, stream, clock stamp, t) into the page's spare
+//    area, trims journal tombstones that flush() persists, and
+//    rebuild_from_oob() reconstructs the whole DRAM state — L2P map,
+//    valid counters, frontiers, erase counters, per-block t — from
+//    the surviving NAND after a power loss (see fault.hpp for the
+//    injection hooks and ARCHITECTURE.md for the crash model);
+//  * grown-bad blocks: an erase failure (FaultInjector-injected)
+//    retires the block into the device's durable bad-block table;
+//    retired blocks are never allocated, never collected, excluded
+//    from the wear spread, and stay retired across remounts.
 //
 // All policies are registry-resolved from the names in FtlConfig, so
 // the decision logic is swappable (and sweepable from an experiment
@@ -44,6 +55,8 @@
 
 #include "src/controller/controller.hpp"
 #include "src/ftl/allocator.hpp"
+#include "src/ftl/durable.hpp"
+#include "src/ftl/fault.hpp"
 #include "src/ftl/mapping.hpp"
 #include "src/policy/policy.hpp"
 
@@ -128,6 +141,10 @@ struct FtlStats {
   // Relocation reads that came back uncorrectable (data propagated
   // as decoded; the mismatch surfaces in the simulator's verify).
   std::uint64_t gc_uncorrectable = 0;
+  // Trim tombstones persisted by flush barriers, and blocks retired
+  // to the bad-block table, this mount.
+  std::uint64_t flushed_tombstones = 0;
+  std::uint64_t bad_blocks = 0;
   // Spread of the per-block correction capability the reliability
   // manager assigned across all programs of the run.
   unsigned min_t_used = std::numeric_limits<unsigned>::max();
@@ -145,9 +162,13 @@ class Ftl {
  public:
   // One controller per die; non-owning, all dies must share a
   // geometry. The FTL drives each controller's reliability manager
-  // and ECC configuration per block.
+  // and ECC configuration per block. `durable` is the device's
+  // durable metadata region (trim journal + counter checkpoint); it
+  // must outlive the Ftl and survive remounts — nullptr falls back to
+  // an internal instance for single-mount use.
   Ftl(const FtlConfig& config,
-      std::vector<controller::MemoryController*> dies);
+      std::vector<controller::MemoryController*> dies,
+      DurableMeta* durable = nullptr);
 
   const FtlConfig& config() const { return config_; }
   std::uint32_t dies() const {
@@ -170,17 +191,22 @@ class Ftl {
   // physical page. Metadata-only (no flash op, zero service time) —
   // but the invalidated page lowers its block's valid count, which is
   // exactly the GC victim signal, so trimmed workloads reclaim blocks
-  // with fewer relocations. Trimming a never-written LPA is a no-op
-  // with `unmapped` set, mirroring the read path.
+  // with fewer relocations. The trim also buffers a tombstone in DRAM;
+  // only the next flush() makes the deallocation durable (until then
+  // a crash may resurrect the LPA — advisory-deallocate semantics).
+  // Trimming a never-written LPA is a no-op with `unmapped` set,
+  // mirroring the read path.
   FtlOpResult trim(Lpa lpa);
-  // Host flush/durability barrier. This FTL writes through — every
-  // accepted write is on flash (and its map update applied) before
-  // write() returns — so there is nothing to drain and the call
-  // completes immediately; it exists so the host command set has a
-  // stable durability point, and so a future write-back cache has a
-  // place to empty. Ordering against in-flight commands is the
-  // driver's job (the simulator holds a flush until every previously
-  // issued command of its queue completes).
+  // Host flush/durability barrier. Writes are durable at acknowledge
+  // (data + OOB record land in one program), so the barrier's real
+  // work is the metadata that is NOT write-through: every pending
+  // trim tombstone is persisted into the durable journal, and the
+  // (seq, clock) checkpoint is refreshed. After a completed flush,
+  // rebuild_from_oob() is exact for everything acknowledged before
+  // it. Zero modeled service time (journal appends ride the system
+  // block; ordering against in-flight commands is the driver's job —
+  // the simulator holds a flush until every previously issued command
+  // of its queue completes).
   FtlOpResult flush();
 
   // Background scrub: every closed block is offered to the refresh
@@ -191,6 +217,33 @@ class Ftl {
   // the maintenance cost a deployment would schedule into idle
   // windows.
   ScrubResult scrub();
+
+  // --- crash consistency ----------------------------------------------
+  // Attach the fault plane (non-owning; nullptr detaches). The FTL
+  // consults it at every program/erase/flush step.
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+  // Mount path: reset the DRAM state and reconstruct it from the
+  // surviving NAND — scan every non-retired block's OOB records,
+  // merge them with the durable trim journal, and replay in sequence
+  // order (highest seq wins per LPA). Torn pages (programmed cells,
+  // no OOB record) are treated as never written; a partially written
+  // block reopens as the write frontier of the stream that was
+  // filling it. Call on a freshly constructed Ftl over the same
+  // controllers and DurableMeta as the pre-crash instance.
+  void rebuild_from_oob();
+  // Full cross-structure invariant audit (L2P/P2L inverse, valid
+  // counters, allocator states, frontiers, bad-block table). Throws
+  // std::logic_error on the first violation; O(physical pages).
+  void check_consistency() const;
+
+  std::uint64_t sequence() const { return seq_; }
+  std::uint64_t logical_clock() const { return clock_; }
+  std::size_t pending_trims() const { return pending_trims_.size(); }
+  const DurableMeta& durable() const { return *durable_; }
+  const DieAllocator& allocator(std::uint32_t die) const {
+    return allocators_.at(die);
+  }
+  bool is_bad(std::uint32_t die, std::uint32_t block) const;
 
   // --- wear / configuration visibility --------------------------------
   double wear(std::uint32_t die, std::uint32_t block) const;
@@ -207,6 +260,14 @@ class Ftl {
   }
   nand::NandDevice& device(std::uint32_t die) {
     return controllers_[die]->device();
+  }
+  const nand::NandDevice& device(std::uint32_t die) const {
+    return static_cast<const controller::MemoryController*>(controllers_[die])
+        ->device();
+  }
+  // Fault-plane hook: no-op without an injector.
+  void fault(FaultPoint point) {
+    if (fault_ != nullptr) fault_->hit(point);
   }
   // Reliability manager pass for the target block's own wear; records
   // the chosen t.
@@ -232,6 +293,12 @@ class Ftl {
   std::shared_ptr<const policy::RefreshPolicy> refresh_policy_;
   std::vector<std::vector<unsigned>> block_t_;  // [die][block]
   std::uint64_t clock_ = 0;  // logical write stamp (cost-benefit age)
+  std::uint64_t seq_ = 0;    // OOB/tombstone sequence counter
+  // Trim tombstones accepted but not yet flushed (lost on power loss).
+  std::vector<TrimTombstone> pending_trims_;
+  DurableMeta* durable_ = nullptr;  // external or &owned_durable_
+  DurableMeta owned_durable_;
+  FaultInjector* fault_ = nullptr;  // non-owning fault plane
   FtlStats stats_;
 };
 

@@ -28,7 +28,24 @@ Ssd::Ssd(const SsdConfig& config)
   }
   apply(config.point);
   dispatcher_ = std::make_unique<controller::DieDispatcher>(config.topology);
-  ftl_ = std::make_unique<Ftl>(config.ftl, std::move(controllers));
+  ftl_ = std::make_unique<Ftl>(config.ftl, std::move(controllers), &durable_);
+}
+
+void Ssd::set_fault_injector(FaultInjector* injector) {
+  fault_ = injector;
+  ftl_->set_fault_injector(injector);
+}
+
+void Ssd::remount() {
+  std::vector<controller::MemoryController*> controllers;
+  controllers.reserve(subsystems_.size());
+  for (auto& subsystem : subsystems_) {
+    controllers.push_back(&subsystem->controller());
+  }
+  ftl_.reset();  // DRAM gone first — nothing of the old mount survives
+  ftl_ = std::make_unique<Ftl>(config_.ftl, std::move(controllers), &durable_);
+  ftl_->set_fault_injector(fault_);
+  ftl_->rebuild_from_oob();
 }
 
 void Ssd::apply(const core::OperatingPoint& point) {

@@ -57,12 +57,24 @@ class Ssd {
   // this block's age.
   core::Metrics block_metrics(std::uint32_t die, std::uint32_t block) const;
 
+  // Attach the fault plane to the FTL (remembered across remounts).
+  void set_fault_injector(FaultInjector* injector);
+  // Simulated power cycle: the FTL object (all DRAM state) is thrown
+  // away and a fresh one is mounted over the surviving NAND + durable
+  // metadata via rebuild_from_oob(). Dies, controllers, dispatcher
+  // timelines and the durable region carry over.
+  void remount();
+  const DurableMeta& durable() const { return durable_; }
+
  private:
   SsdConfig config_;
   std::vector<std::unique_ptr<core::MemorySubsystem>> subsystems_;
   std::unique_ptr<controller::DieDispatcher> dispatcher_;
+  // The reserved system block's contents: outlives every Ftl mount.
+  DurableMeta durable_;
   std::unique_ptr<Ftl> ftl_;
   core::OperatingPoint active_point_;
+  FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace xlf::ftl

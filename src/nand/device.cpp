@@ -14,6 +14,18 @@ NandDevice::NandDevice(const DeviceConfig& config)
       resident_(config.available_algorithms) {
   XLF_EXPECT(!resident_.empty());
   active_algorithm_ = resident_.front();
+  const Geometry& g = geometry();
+  oob_.assign(static_cast<std::size_t>(g.blocks) * g.pages_per_block,
+              std::nullopt);
+  erase_counts_.assign(g.blocks, 0);
+  bad_.assign(g.blocks, 0);
+}
+
+std::size_t NandDevice::page_index(PageAddress addr) const {
+  XLF_EXPECT(addr.block < geometry().blocks &&
+             addr.page < geometry().pages_per_block);
+  return static_cast<std::size_t>(addr.block) * geometry().pages_per_block +
+         addr.page;
 }
 
 void NandDevice::select_program_algorithm(ProgramAlgorithm algo) {
@@ -61,8 +73,45 @@ ProgramOutcome NandDevice::program_page(PageAddress addr, const BitVec& data,
 }
 
 EraseOutcome NandDevice::erase_block(std::uint32_t block) {
+  XLF_EXPECT(block < geometry().blocks);
+  XLF_EXPECT(!bad_[block] && "erasing a retired (grown-bad) block");
   array_.erase_block(block);
+  // The spare area is erased with the data, and the durable erase
+  // counter advances — this pair is what rebuild reads at mount.
+  const std::size_t base =
+      static_cast<std::size_t>(block) * geometry().pages_per_block;
+  for (std::uint32_t p = 0; p < geometry().pages_per_block; ++p) {
+    oob_[base + p].reset();
+  }
+  ++erase_counts_[block];
   return EraseOutcome{timing_.erase_time()};
+}
+
+void NandDevice::write_oob(PageAddress addr, const OobRecord& record) {
+  const std::size_t index = page_index(addr);
+  XLF_EXPECT(!bad_[addr.block] && "programming a retired block's spare area");
+  XLF_EXPECT(!oob_[index].has_value() &&
+             "spare area already programmed (program without erase)");
+  oob_[index] = record;
+}
+
+const std::optional<OobRecord>& NandDevice::oob(PageAddress addr) const {
+  return oob_[page_index(addr)];
+}
+
+void NandDevice::mark_bad(std::uint32_t block) {
+  XLF_EXPECT(block < geometry().blocks);
+  bad_[block] = 1;
+}
+
+bool NandDevice::is_bad(std::uint32_t block) const {
+  XLF_EXPECT(block < geometry().blocks);
+  return bad_[block] != 0;
+}
+
+std::uint32_t NandDevice::erase_count(std::uint32_t block) const {
+  XLF_EXPECT(block < geometry().blocks);
+  return erase_counts_[block];
 }
 
 void NandDevice::set_wear(std::uint32_t block, double cycles) {

@@ -11,9 +11,11 @@
 //  * per-operation timing from the NandTiming characterisation.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "src/nand/array.hpp"
+#include "src/nand/oob.hpp"
 #include "src/nand/timing.hpp"
 
 namespace xlf::nand {
@@ -77,6 +79,23 @@ class NandDevice {
                               LoadStrategy strategy = LoadStrategy::kFullSequence);
   EraseOutcome erase_block(std::uint32_t block);
 
+  // --- durable metadata (spare area + system block) -------------------
+  // Spare-area write of the page's OOB record; modelled as the tail
+  // of the page's program operation (no extra time — the spare bytes
+  // ride the same ISPP pass). The page must not already carry a
+  // record and the block must not be retired.
+  void write_oob(PageAddress addr, const OobRecord& record);
+  // The page's surviving record; nullopt for erased pages and for
+  // torn programs (data committed, crash before the OOB step).
+  const std::optional<OobRecord>& oob(PageAddress addr) const;
+  // Grown-bad bookkeeping: a block whose erase failed is retired into
+  // the durable bad-block table and never touched again.
+  void mark_bad(std::uint32_t block);
+  bool is_bad(std::uint32_t block) const;
+  // Durable per-block erase counter (survives remount, unlike the
+  // FTL allocator's DRAM copy, which is rebuilt from this).
+  std::uint32_t erase_count(std::uint32_t block) const;
+
   // --- wear / lifetime -------------------------------------------------
   double wear(std::uint32_t block) const { return array_.wear(block); }
   void set_wear(std::uint32_t block, double cycles);
@@ -88,11 +107,18 @@ class NandDevice {
   std::size_t algorithms_resident() const { return resident_.size(); }
 
  private:
+  std::size_t page_index(PageAddress addr) const;
+
   DeviceConfig config_;
   NandArray array_;
   NandTiming timing_;
   std::vector<ProgramAlgorithm> resident_;
   ProgramAlgorithm active_algorithm_ = ProgramAlgorithm::kIsppSv;
+  // Durable metadata plane: per-page spare records, per-block erase
+  // counters and the grown-bad table.
+  std::vector<std::optional<OobRecord>> oob_;
+  std::vector<std::uint32_t> erase_counts_;
+  std::vector<char> bad_;
 };
 
 }  // namespace xlf::nand

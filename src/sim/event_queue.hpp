@@ -26,6 +26,11 @@ class EventQueue {
   // Schedule `fn` after a delay.
   void schedule_in(Seconds delay, Callback fn);
 
+  // Drop every pending event without running it — the power-loss
+  // path: a killed simulation must not fire callbacks scheduled by
+  // the pre-crash timeline. The clock stays where it stopped.
+  void clear() { heap_ = {}; }
+
   // Run the next event; returns false when the queue is empty.
   bool step();
   // Run everything (or until `limit` events, as a runaway guard).

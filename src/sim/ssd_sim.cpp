@@ -178,6 +178,15 @@ SsdSimStats SsdSimulator::run(const std::vector<HostRequest>& requests) {
   return run(to_commands(requests));
 }
 
+std::size_t SsdSimulator::verify_stored() {
+  std::size_t mismatches = 0;
+  for (const auto& [lpa, payload] : written_) {
+    const ftl::FtlOpResult res = ssd_->ftl().read(lpa);
+    if (res.unmapped || !(res.data == payload)) ++mismatches;
+  }
+  return mismatches;
+}
+
 SsdSimStats SsdSimulator::run(const std::vector<host::Command>& commands) {
   SsdSimStats stats;
   host::HostInterface host(config_.host);
@@ -205,8 +214,17 @@ SsdSimStats SsdSimulator::run(const std::vector<host::Command>& commands) {
       try_issue(stats);
     });
   }
-  queue_.run();
-  XLF_ENSURE(outstanding_ == 0 && !host.pending());
+  try {
+    queue_.run();
+    XLF_ENSURE(outstanding_ == 0 && !host.pending());
+  } catch (const ftl::PowerLoss&) {
+    // Power cut: everything scheduled after the kill instant never
+    // happens. Drop the timeline and report the crash in the stats;
+    // the caller remounts the Ssd over the surviving NAND state.
+    queue_.clear();
+    outstanding_ = 0;
+    stats.power_loss = true;
+  }
 
   stats.elapsed = queue_.now() - start;
   const ftl::FtlStats& ftl_after = ssd_->ftl().stats();
@@ -214,6 +232,7 @@ SsdSimStats SsdSimulator::run(const std::vector<host::Command>& commands) {
   stats.erases = ftl_after.erases - ftl_before.erases;
   stats.wl_swaps = ftl_after.wl_swaps - ftl_before.wl_swaps;
   stats.trimmed_pages = ftl_after.trimmed_pages - ftl_before.trimmed_pages;
+  stats.bad_blocks = ftl_after.bad_blocks - ftl_before.bad_blocks;
   const std::uint64_t host_writes =
       ftl_after.host_writes - ftl_before.host_writes;
   stats.write_amplification =

@@ -63,6 +63,13 @@ struct SsdSimStats {
   std::size_t trimmed_pages = 0;
   std::size_t flushes = 0;
 
+  // True when an armed FaultInjector cut power mid-run: the command
+  // stream stopped at the kill instant and the FTL's DRAM state is
+  // considered lost (remount the Ssd before touching it again).
+  bool power_loss = false;
+  // Blocks retired to the bad-block table during this run.
+  std::uint64_t bad_blocks = 0;
+
   // FTL activity attributable to this run (deltas over the run).
   std::uint64_t gc_relocations = 0;
   std::uint64_t erases = 0;
@@ -113,10 +120,22 @@ class SsdSimulator {
   void prepopulate();
 
   // Execute a host command stream; returns this run's statistics.
+  // A PowerLoss thrown by an armed FaultInjector does not propagate:
+  // the run returns early with stats.power_loss set and the pending
+  // timeline dropped (the host oracle keeps every acknowledged
+  // write, so verify_stored() audits the rebuilt device).
   SsdSimStats run(const std::vector<host::Command>& commands);
   // Degenerate single-stream form: the flat request vector converted
   // onto queue 0 (see to_commands).
   SsdSimStats run(const std::vector<HostRequest>& requests);
+
+  // Recovery audit: read every LPA the host holds a payload for and
+  // count the ones that come back unmapped or bit-different. Zero is
+  // the expected answer even after a crash + remount — acknowledged
+  // writes are durable, and trims (whose resurrection is legal until
+  // flushed) left the oracle at trim time. Direct FTL reads, outside
+  // any run's accounting.
+  std::size_t verify_stored();
 
  private:
   BitVec random_payload();

@@ -276,12 +276,37 @@ TEST(Ftl, TrimmedBlocksMakeGcMeasurablyCheaper) {
   EXPECT_LT(trimmed, untrimmed);
 }
 
-TEST(Ftl, FlushIsAnAcceptedNoOpOnWriteThrough) {
+TEST(Ftl, FlushIsTheDurabilityBarrierForTrimsAndCounters) {
+  // Flush stopped being a no-op: it persists the buffered trim
+  // tombstones into the durable journal and checkpoints the sequence/
+  // clock counters, still at zero modeled device time (data pages are
+  // write-through; only the trim metadata needs the barrier).
   Ssd ssd(small_ssd());
-  const FtlOpResult flushed = ssd.ftl().flush();
+  Ftl& ftl = ssd.ftl();
+  const BitVec payload(ssd.die_geometry().data_bits_per_page());
+  ftl.write(7, payload);
+  ftl.trim(7);
+  // The tombstone buffers in DRAM until a flush persists it.
+  EXPECT_EQ(ftl.pending_trims(), 1u);
+  EXPECT_TRUE(ssd.durable().tombstones.empty());
+
+  const FtlOpResult flushed = ftl.flush();
   EXPECT_TRUE(flushed.ok);
   EXPECT_EQ(flushed.cell_time.value(), 0.0);
-  EXPECT_EQ(ssd.ftl().stats().host_flushes, 1u);
+  EXPECT_EQ(flushed.io_time.value(), 0.0);
+  EXPECT_EQ(ftl.pending_trims(), 0u);
+  ASSERT_EQ(ssd.durable().tombstones.size(), 1u);
+  EXPECT_EQ(ssd.durable().tombstones[0].lpa, 7u);
+  EXPECT_EQ(ssd.durable().checkpoint_seq, ftl.sequence());
+  EXPECT_EQ(ssd.durable().checkpoint_clock, ftl.logical_clock());
+  EXPECT_EQ(ssd.durable().flush_epochs, 1u);
+  EXPECT_EQ(ftl.stats().host_flushes, 1u);
+  EXPECT_EQ(ftl.stats().flushed_tombstones, 1u);
+
+  // A second flush is a pure checkpoint: no new tombstones.
+  ftl.flush();
+  EXPECT_EQ(ssd.durable().tombstones.size(), 1u);
+  EXPECT_EQ(ssd.durable().flush_epochs, 2u);
 }
 
 TEST(Ftl, LpaDieAffinityStripesAcrossDies) {

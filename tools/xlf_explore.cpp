@@ -85,6 +85,10 @@ void usage() {
       "  --ftl-tuning LIST     tuning policies by registry name\n"
       "                        (default model_based)\n"
       "  --ftl-refresh LIST    refresh policies by registry name (default none)\n"
+      "  --ftl-fail-blocks LIST  grown-bad blocks injected per die (the\n"
+      "                        lowest block ids fail on first erase;\n"
+      "                        default 0 — needs spare blocks beyond the\n"
+      "                        logical share + GC slack)\n"
       "  --ftl-requests N      host requests per combo (200)\n"
       "  --ftl-blocks B        blocks per die (8)\n"
       "  --ftl-pages P         pages per block (4)\n"
@@ -306,6 +310,18 @@ bool parse_args(int argc, char** argv, Options& opt) {
       shape();
       if ((v = value(i)) == nullptr) return false;
       exp.ftl.refresh_policies = split(v, ',');
+    } else if (arg == "--ftl-fail-blocks") {
+      shape();
+      if ((v = value(i)) == nullptr) return false;
+      exp.ftl.fail_blocks.clear();
+      for (const std::string& part : split(v, ',')) {
+        const long fail = std::atol(part.c_str());
+        if (fail < 0) {
+          std::cerr << "xlf_explore: --ftl-fail-blocks entries must be >= 0\n";
+          return false;
+        }
+        exp.ftl.fail_blocks.push_back(static_cast<std::uint32_t>(fail));
+      }
     } else if (arg == "--ftl-requests") {
       shape();
       if ((v = value(i)) == nullptr) return false;
