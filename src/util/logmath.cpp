@@ -9,7 +9,16 @@
 namespace xlf {
 
 double log_factorial(std::uint64_t n) {
+#if defined(__GLIBC__)
+  // std::lgamma writes the process-global `signgam`, which is a data
+  // race when sweep workers evaluate UBER concurrently (TSan report).
+  // lgamma_r computes the identical value and hands the sign to a
+  // caller-local instead.
+  int sign = 0;
+  return lgamma_r(static_cast<double>(n) + 1.0, &sign);
+#else
   return std::lgamma(static_cast<double>(n) + 1.0);
+#endif
 }
 
 double log_choose(std::uint64_t n, std::uint64_t k) {

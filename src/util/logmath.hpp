@@ -6,6 +6,11 @@
 // probability math therefore lives in natural-log space and only
 // converts to linear at the edges (printing, comparisons against
 // targets that are themselves converted to logs).
+//
+// Thread safety: every function here is called concurrently by sweep
+// workers evaluating UBER, so none may touch process-global state —
+// in particular lgamma's `signgam` global (log_factorial uses the
+// reentrant lgamma_r on glibc; the TSan CI job guards this).
 #pragma once
 
 #include <cstdint>

@@ -93,5 +93,53 @@ TEST(ThreadPool, SerialPathDrainsAndPropagatesLikePooledPath) {
   EXPECT_EQ(completed, 4u);
 }
 
+// ---- TSan-facing edge cases: the exact paths the tsan CI job walks.
+
+TEST(ThreadPool, SingleTaskOnPooledPoolRunsExactlyOnce) {
+  // count == 1 with workers around: the caller's drain usually claims
+  // the only index while workers wake to an exhausted job and retire.
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> hits{0};
+    pool.parallel_for(1, [&](std::size_t i) {
+      EXPECT_EQ(i, 0u);
+      ++hits;
+    });
+    EXPECT_EQ(hits.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ExceptionFromTheOnlyTaskPropagates) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(1,
+                        [](std::size_t) { throw std::runtime_error("only"); }),
+      std::runtime_error);
+  std::atomic<int> after{0};
+  pool.parallel_for(4, [&](std::size_t) { ++after; });
+  EXPECT_EQ(after.load(), 4);
+}
+
+TEST(ThreadPool, DestructionWithNoWorkEverSubmitted) {
+  // Workers park in the idle wait and must all join on shutdown even
+  // though no generation ever advanced.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.thread_count(), 4u);
+  }
+}
+
+TEST(ThreadPool, DestructionRightAfterAJobJoinsLateWakers) {
+  // A worker can wake for a finished job (or never wake for it at
+  // all) while the pool is already being torn down; the shutdown
+  // flag must win over the stale generation either way.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(4);
+    std::atomic<int> hits{0};
+    pool.parallel_for(2, [&](std::size_t) { ++hits; });
+    EXPECT_EQ(hits.load(), 2);
+  }
+}
+
 }  // namespace
 }  // namespace xlf

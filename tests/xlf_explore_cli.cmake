@@ -39,6 +39,30 @@ if(NOT out MATCHES "round-robin" OR NOT out MATCHES "weighted")
   message(FATAL_ERROR "--list-policies missing arbitration built-ins: ${out}")
 endif()
 
+# --- --version/--build-info: provenance lines, exit 0 ----------------
+foreach(flag --version --build-info)
+  execute_process(COMMAND ${XLF_EXPLORE} ${flag}
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${flag} must exit 0 (got ${rc}): ${err}")
+  endif()
+  foreach(field "xlf_explore " "compiler:" "build type:" "sanitizers:")
+    if(NOT out MATCHES "${field}")
+      message(FATAL_ERROR "${flag} output missing '${field}': ${out}")
+    endif()
+  endforeach()
+endforeach()
+
+# --- --version is exclusive with --spec ------------------------------
+execute_process(COMMAND ${XLF_EXPLORE} --version --spec ${SPEC}
+                RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--version --spec must exit non-zero (got 0)")
+endif()
+if(NOT err MATCHES "exclusive")
+  message(FATAL_ERROR "--version/--spec conflict message unclear, got: ${err}")
+endif()
+
 # --- an unknown flag with a valid one around it still fails ----------
 execute_process(COMMAND ${XLF_EXPLORE} --threads 1 --ftl-swep
                 RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)

@@ -1,0 +1,74 @@
+# Cross-check: tools/lint/layers.txt (the DAG xlf_lint enforces) must
+# equal the real xlf::<layer> link edges declared by xlf_add_layer()
+# in the top-level CMakeLists.txt — same layers, same direct deps, in
+# both directions. Run as a CTest script:
+#   cmake -DLAYERS=... -DCMAKE_LISTS=... -P check_layers_vs_cmake.cmake
+# so the lint DAG can never drift from the build's DAG.
+
+if(NOT DEFINED LAYERS OR NOT DEFINED CMAKE_LISTS)
+  message(FATAL_ERROR
+          "usage: cmake -DLAYERS=layers.txt -DCMAKE_LISTS=CMakeLists.txt "
+          "-P check_layers_vs_cmake.cmake")
+endif()
+
+# --- layers.txt: "layer: dep dep ..." lines, '#' comments -------------
+# file(READ) + manual split: file(STRINGS) splits lines at non-ASCII
+# bytes, and the comment header contains typography. Comments are
+# stripped from the whole text first — a ';' inside a comment would
+# otherwise fork a bogus list element.
+file(READ ${LAYERS} lint_text)
+string(REGEX REPLACE "#[^\n]*" "" lint_text "${lint_text}")
+string(REPLACE "\n" ";" lint_lines "${lint_text}")
+set(lint_layers "")
+foreach(line IN LISTS lint_lines)
+  string(STRIP "${line}" line)
+  if(line STREQUAL "")
+    continue()
+  endif()
+  if(NOT line MATCHES "^([A-Za-z0-9_]+):(.*)$")
+    message(FATAL_ERROR "layers.txt: malformed line '${line}'")
+  endif()
+  set(layer ${CMAKE_MATCH_1})
+  string(STRIP "${CMAKE_MATCH_2}" deps)
+  string(REPLACE " " ";" deps "${deps}")
+  list(REMOVE_ITEM deps "")
+  list(SORT deps)
+  list(APPEND lint_layers ${layer})
+  set(lint_deps_${layer} "${deps}")
+endforeach()
+
+# --- CMakeLists.txt: xlf_add_layer(<layer> <deps...>) calls -----------
+file(READ ${CMAKE_LISTS} cmake_text)
+string(REGEX MATCHALL "xlf_add_layer\\(([A-Za-z0-9_ \t\r\n]+)\\)" calls
+       "${cmake_text}")
+set(cmake_layers "")
+foreach(call IN LISTS calls)
+  string(REGEX REPLACE "xlf_add_layer\\((.*)\\)" "\\1" body "${call}")
+  string(REGEX REPLACE "[ \t\r\n]+" ";" body "${body}")
+  list(REMOVE_ITEM body "")
+  list(POP_FRONT body layer)
+  list(SORT body)
+  list(APPEND cmake_layers ${layer})
+  set(cmake_deps_${layer} "${body}")
+endforeach()
+if(cmake_layers STREQUAL "")
+  message(FATAL_ERROR "no xlf_add_layer() calls found in ${CMAKE_LISTS}")
+endif()
+
+# --- compare both directions ------------------------------------------
+list(SORT lint_layers)
+list(SORT cmake_layers)
+if(NOT lint_layers STREQUAL cmake_layers)
+  message(FATAL_ERROR
+          "layer sets differ:\n  layers.txt: ${lint_layers}\n"
+          "  CMakeLists: ${cmake_layers}")
+endif()
+foreach(layer IN LISTS lint_layers)
+  if(NOT lint_deps_${layer} STREQUAL cmake_deps_${layer})
+    message(FATAL_ERROR
+            "direct deps of '${layer}' differ:\n"
+            "  layers.txt: ${lint_deps_${layer}}\n"
+            "  CMakeLists: ${cmake_deps_${layer}}")
+  endif()
+endforeach()
+message(STATUS "layers.txt matches CMake link edges for: ${lint_layers}")

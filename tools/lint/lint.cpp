@@ -1,0 +1,434 @@
+#include "tools/lint/lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <ostream>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+
+namespace xlf::lint {
+namespace {
+
+// ---------------------------------------------------------------- rules
+
+constexpr const char* kLayering = "layering";
+constexpr const char* kNoRandom = "no-ambient-random";
+constexpr const char* kNoWallClock = "no-wall-clock";
+constexpr const char* kNoUnorderedEmit = "no-unordered-emit";
+constexpr const char* kNoPtrOrder = "no-ptr-order";
+constexpr const char* kRawAssert = "raw-assert";
+
+const std::vector<RuleInfo> kRules = {
+    {kLayering,
+     "src/<layer>/ may only include its own layer plus the transitive "
+     "closure of its layers.txt dependencies"},
+    {kNoRandom,
+     "ambient randomness (std::random_device, rand, srand) bypasses the "
+     "seeded xlf::Rng streams and breaks reproducibility"},
+    {kNoWallClock,
+     "wall-clock reads (time(), clock(), gettimeofday, std::chrono "
+     "system/steady/high_resolution clocks) make output run-dependent"},
+    {kNoUnorderedEmit,
+     "unordered_map/unordered_set in a report/*_csv/*_json emitter TU: "
+     "hash iteration order is not part of the determinism contract"},
+    {kNoPtrOrder,
+     "ordering by pointer value (std::less<T*>, reinterpret_cast to "
+     "uintptr_t) depends on allocation addresses, not logical state"},
+    {kRawAssert,
+     "raw assert() compiles out under NDEBUG; use XLF_EXPECT / "
+     "XLF_EXPECT_MSG / XLF_ENSURE from src/util/expect.hpp"},
+};
+
+// Lines of a file with comments and string/char literals blanked out
+// (same length, same line count), so a banned token inside a comment
+// or a log string is never a finding. Raw line text is kept alongside
+// for the allow-comment scan.
+struct FileView {
+  std::vector<std::string> raw;
+  std::vector<std::string> code;  // literals/comments replaced by spaces
+};
+
+FileView strip(const std::string& contents) {
+  FileView view;
+  std::string line;
+  std::istringstream stream(contents);
+  bool in_block_comment = false;
+  while (std::getline(stream, line)) {
+    std::string code(line.size(), ' ');
+    bool in_string = false;
+    bool in_char = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      if (in_block_comment) {
+        if (c == '*' && next == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+      } else if (in_string || in_char) {
+        if (c == '\\') {
+          ++i;  // escaped char stays blanked
+        } else if (in_string && c == '"') {
+          in_string = false;
+        } else if (in_char && c == '\'') {
+          in_char = false;
+        }
+      } else if (c == '/' && next == '/') {
+        break;  // rest of the line is a comment
+      } else if (c == '/' && next == '*') {
+        in_block_comment = true;
+        ++i;
+      } else if (c == '"') {
+        in_string = true;
+        code[i] = c;  // keep the delimiters: #include "..." stays visible
+      } else if (c == '\'') {
+        in_char = true;
+      } else {
+        code[i] = c;
+      }
+    }
+    // Unterminated string literals do not span lines in this codebase;
+    // reset so one stray quote cannot blank the rest of the file.
+    view.raw.push_back(line);
+    view.code.push_back(std::move(code));
+  }
+  return view;
+}
+
+// `// xlf-lint: allow(rule)` (comma-separated rules accepted) on the
+// finding's own line, or alone on the line directly above it.
+const std::regex kAllowRe(R"(//\s*xlf-lint:\s*allow\(([^)]*)\))");
+
+bool allow_matches(const std::string& raw_line, const std::string& rule) {
+  std::smatch match;
+  if (!std::regex_search(raw_line, match, kAllowRe)) return false;
+  std::istringstream list(match[1].str());
+  std::string name;
+  while (std::getline(list, name, ',')) {
+    const auto begin = name.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    const auto end = name.find_last_not_of(" \t");
+    if (name.substr(begin, end - begin + 1) == rule) return true;
+  }
+  return false;
+}
+
+bool is_allowed(const FileView& view, std::size_t line_index,
+                const std::string& rule) {
+  if (allow_matches(view.raw[line_index], rule)) return true;
+  if (line_index > 0) {
+    const std::string& above = view.raw[line_index - 1];
+    // Only a line that is nothing but the allow comment arms the next
+    // line; an allow trailing other code covers that code alone.
+    const auto first = above.find_first_not_of(" \t");
+    if (first != std::string::npos && above.compare(first, 2, "//") == 0 &&
+        allow_matches(above, rule)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ------------------------------------------------------- rule patterns
+
+const std::regex kIncludeRe(R"(^\s*#\s*include\s+"src/([A-Za-z0-9_]+)/)");
+const std::regex kRandomRe(R"(\brandom_device\b|\bs?rand\s*\()");
+const std::regex kWallClockRe(
+    R"(\bsystem_clock\b|\bsteady_clock\b|\bhigh_resolution_clock\b|\btime\s*\(|\bclock\s*\(|\bgettimeofday\b)");
+const std::regex kUnorderedRe(R"(\bunordered_(map|set|multimap|multiset)\b)");
+const std::regex kPtrOrderRe(
+    R"(std::(less|greater)\s*<[^<>;]*\*[^<>;]*>|reinterpret_cast<\s*(std::)?uintptr_t\s*>)");
+const std::regex kAssertRe(R"(\bassert\s*\()");
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_infos() { return kRules; }
+
+bool is_rule_name(const std::string& name) {
+  return std::any_of(kRules.begin(), kRules.end(),
+                     [&](const RuleInfo& r) { return name == r.name; });
+}
+
+std::string format_finding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+// ----------------------------------------------------------- LayerGraph
+
+LayerGraph LayerGraph::parse(const std::string& text) {
+  LayerGraph graph;
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) {
+      throw std::runtime_error("layers.txt line " + std::to_string(line_no) +
+                               ": expected 'layer: dep dep ...'");
+    }
+    std::string layer = line.substr(first, colon - first);
+    const auto layer_end = layer.find_last_not_of(" \t");
+    layer = layer.substr(0, layer_end + 1);
+    if (graph.direct_.count(layer) != 0) {
+      throw std::runtime_error("layers.txt: duplicate layer '" + layer + "'");
+    }
+    std::vector<std::string> deps;
+    std::istringstream rest(line.substr(colon + 1));
+    std::string dep;
+    while (rest >> dep) deps.push_back(dep);
+    graph.direct_.emplace(layer, std::move(deps));
+  }
+  // Every dependency must itself be a declared layer.
+  for (const auto& [layer, deps] : graph.direct_) {
+    for (const std::string& dep : deps) {
+      if (graph.direct_.count(dep) == 0) {
+        throw std::runtime_error("layers.txt: layer '" + layer +
+                                 "' depends on undeclared layer '" + dep +
+                                 "'");
+      }
+    }
+  }
+  // Transitive closure by DFS; a layer revisited while still on the
+  // stack is a cycle (a DAG is the whole point of the file).
+  enum class Mark { kUnvisited, kOnStack, kDone };
+  std::map<std::string, Mark> marks;
+  for (const auto& [layer, deps] : graph.direct_) marks[layer] = Mark::kUnvisited;
+  const std::function<void(const std::string&)> visit =
+      [&](const std::string& layer) {
+        if (marks[layer] == Mark::kDone) return;
+        if (marks[layer] == Mark::kOnStack) {
+          throw std::runtime_error("layers.txt: dependency cycle through '" +
+                                   layer + "'");
+        }
+        marks[layer] = Mark::kOnStack;
+        std::set<std::string>& allowed = graph.allowed_[layer];
+        allowed.insert(layer);
+        for (const std::string& dep : graph.direct_.at(layer)) {
+          visit(dep);
+          const std::set<std::string>& below = graph.allowed_.at(dep);
+          allowed.insert(below.begin(), below.end());
+        }
+        marks[layer] = Mark::kDone;
+      };
+  for (const auto& [layer, deps] : graph.direct_) visit(layer);
+  return graph;
+}
+
+LayerGraph LayerGraph::parse_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("cannot open layers file " + path);
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  return parse(text.str());
+}
+
+const std::set<std::string>& LayerGraph::allowed(
+    const std::string& layer) const {
+  const auto it = allowed_.find(layer);
+  if (it == allowed_.end()) {
+    throw std::runtime_error("unknown layer '" + layer + "'");
+  }
+  return it->second;
+}
+
+bool LayerGraph::has_layer(const std::string& layer) const {
+  return direct_.count(layer) != 0;
+}
+
+// -------------------------------------------------------------- linting
+
+std::string layer_of(const std::string& path) {
+  const std::string generic = std::filesystem::path(path).generic_string();
+  std::smatch match;
+  static const std::regex kLayerRe(R"((^|/)src/([A-Za-z0-9_]+)/)");
+  if (std::regex_search(generic, match, kLayerRe)) return match[2].str();
+  return "";
+}
+
+bool is_emitter_tu(const std::string& path) {
+  const std::string stem = std::filesystem::path(path).stem().string();
+  return stem.rfind("report", 0) == 0 ||
+         stem.find("_csv") != std::string::npos ||
+         stem.find("_json") != std::string::npos;
+}
+
+std::vector<Finding> lint_file(const std::string& path,
+                               const std::string& contents,
+                               const LayerGraph& graph) {
+  const FileView view = strip(contents);
+  const std::string layer = layer_of(path);
+  const bool emitter = is_emitter_tu(path);
+  std::vector<Finding> findings;
+  const auto report = [&](std::size_t index, const char* rule,
+                          std::string message) {
+    if (is_allowed(view, index, rule)) return;
+    findings.push_back(Finding{path, static_cast<int>(index + 1), rule,
+                               std::move(message)});
+  };
+
+  for (std::size_t i = 0; i < view.code.size(); ++i) {
+    const std::string& code = view.code[i];
+    std::smatch match;
+
+    // Includes are matched on the RAW line: the stripper blanks string
+    // literals, and the include path is lexically one.
+    if (!layer.empty() && graph.has_layer(layer) &&
+        std::regex_search(view.raw[i], match, kIncludeRe)) {
+      const std::string target = match[1].str();
+      if (graph.allowed(layer).count(target) == 0) {
+        report(i, kLayering,
+               "layer '" + layer + "' must not include \"src/" + target +
+                   "/...\": '" + target +
+                   "' is not in its dependency closure (see "
+                   "tools/lint/layers.txt); move the shared code to a lower "
+                   "layer or invert the dependency");
+      }
+    }
+    if (std::regex_search(code, kRandomRe)) {
+      report(i, kNoRandom,
+             "ambient randomness breaks the seeded-stream reproducibility "
+             "contract; draw from an xlf::Rng forked from the experiment "
+             "seed instead");
+    }
+    if (std::regex_search(code, kWallClockRe)) {
+      report(i, kNoWallClock,
+             "wall-clock time makes output differ run to run; use the "
+             "simulated clock (EventQueue time, FTL logical clock) or take "
+             "the timestamp as a parameter");
+    }
+    if (emitter && std::regex_search(code, kUnorderedRe)) {
+      report(i, kNoUnorderedEmit,
+             "emitter TUs must not touch unordered containers: hash "
+             "iteration order varies across libstdc++ versions and seeds; "
+             "use std::map or sort into a vector before emitting");
+    }
+    if (std::regex_search(code, kPtrOrderRe)) {
+      report(i, kNoPtrOrder,
+             "pointer-value ordering follows the allocator, not the model; "
+             "sort by a stable id (block id, LBA, queue id) instead");
+    }
+    if (std::regex_search(code, kAssertRe)) {
+      report(i, kRawAssert,
+             "raw assert() is compiled out in NDEBUG/Release builds, where "
+             "the determinism CI runs; use XLF_EXPECT / XLF_EXPECT_MSG / "
+             "XLF_ENSURE (src/util/expect.hpp) so the contract always "
+             "holds");
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> lint_tree(const std::string& root,
+                               const LayerGraph& graph) {
+  namespace fs = std::filesystem;
+  if (!fs::exists(root)) {
+    throw std::runtime_error("no such file or directory: " + root);
+  }
+  std::vector<std::string> paths;
+  if (fs::is_directory(root)) {
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
+        paths.push_back(entry.path().generic_string());
+      }
+    }
+    // Directory iteration order is filesystem-dependent; finding order
+    // is part of the CLI contract, so sort.
+    std::sort(paths.begin(), paths.end());
+  } else {
+    paths.push_back(root);
+  }
+  std::vector<Finding> findings;
+  for (const std::string& path : paths) {
+    std::ifstream file(path);
+    if (!file) {
+      throw std::runtime_error("cannot read " + path);
+    }
+    std::ostringstream contents;
+    contents << file.rdbuf();
+    std::vector<Finding> file_findings =
+        lint_file(path, contents.str(), graph);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+// ------------------------------------------------------------------ CLI
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  std::string layers_path = "tools/lint/layers.txt";
+  std::vector<std::string> targets;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      out << "usage: xlf_lint [--layers FILE] [--list-rules] PATH...\n"
+             "  --layers FILE   layer DAG (default tools/lint/layers.txt)\n"
+             "  --list-rules    print every rule with its summary and exit\n"
+             "  PATH            files or directories (typically src/)\n"
+             "exit codes: 0 clean, 1 findings, 2 usage or I/O error\n"
+             "suppress one finding: // xlf-lint: allow(<rule>)\n";
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      for (const RuleInfo& rule : rule_infos()) {
+        out << rule.name << ": " << rule.summary << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--layers") {
+      if (i + 1 >= args.size()) {
+        err << "xlf_lint: missing value for --layers\n";
+        return 2;
+      }
+      layers_path = args[++i];
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      err << "xlf_lint: unknown flag '" << arg << "' (try --help)\n";
+      return 2;
+    }
+    targets.push_back(arg);
+  }
+  if (targets.empty()) {
+    err << "xlf_lint: no paths given (try `xlf_lint src`)\n";
+    return 2;
+  }
+  try {
+    const LayerGraph graph = LayerGraph::parse_file(layers_path);
+    std::vector<Finding> findings;
+    for (const std::string& target : targets) {
+      std::vector<Finding> tree = lint_tree(target, graph);
+      findings.insert(findings.end(), std::make_move_iterator(tree.begin()),
+                      std::make_move_iterator(tree.end()));
+    }
+    for (const Finding& finding : findings) {
+      out << format_finding(finding) << "\n";
+    }
+    if (!findings.empty()) {
+      err << "xlf_lint: " << findings.size() << " finding"
+          << (findings.size() == 1 ? "" : "s") << "\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << "xlf_lint: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace xlf::lint

@@ -1,0 +1,107 @@
+// xlf_lint — in-repo static analyzer for the repo's machine-checkable
+// invariants. Three rule families:
+//
+//  * layering       — the include-layer DAG. src/<layer>/ may include
+//                     itself plus the transitive closure of its direct
+//                     dependencies as declared in tools/lint/layers.txt
+//                     (cross-checked against the CMake link edges by a
+//                     ctest, so the two can never drift).
+//  * determinism    — ban-list of nondeterminism sources: ambient
+//                     randomness (std::random_device, rand), wall-clock
+//                     time (time(), C clocks, std::chrono clocks),
+//                     unordered-container iteration in report/CSV/JSON
+//                     emitter TUs, and pointer-value ordering in
+//                     comparators. Every sweep/spec/torture cell must
+//                     be byte-identical for any --threads; these are
+//                     the constructs that break that contract silently.
+//  * raw-assert     — assertion hygiene: raw assert() vanishes under
+//                     NDEBUG; contracts must use XLF_EXPECT /
+//                     XLF_EXPECT_MSG / XLF_ENSURE (src/util/expect.hpp)
+//                     so they hold in Release builds too.
+//
+// Escape hatch: a `// xlf-lint: allow(<rule>)` comment on the same
+// line (or alone on the line directly above) suppresses that one rule
+// at that one site. There is no file- or tree-wide suppression on
+// purpose.
+//
+// The analysis is line-based over a comment- and string-stripped view
+// of each file: a banned construct mentioned in a comment or a string
+// literal is not a finding.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace xlf::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* name;
+  const char* summary;
+};
+
+// All rules, in the order --list-rules prints them.
+const std::vector<RuleInfo>& rule_infos();
+bool is_rule_name(const std::string& name);
+
+// "file:line: [rule] message" — the one-line form the CLI prints.
+std::string format_finding(const Finding& finding);
+
+// The layer DAG from layers.txt. parse() throws std::runtime_error on
+// syntax errors, references to undeclared layers, or cycles.
+class LayerGraph {
+ public:
+  static LayerGraph parse(const std::string& text);
+  static LayerGraph parse_file(const std::string& path);
+
+  // Layers a file under src/<layer>/ may include from: the layer
+  // itself plus the transitive closure of its declared dependencies.
+  const std::set<std::string>& allowed(const std::string& layer) const;
+  bool has_layer(const std::string& layer) const;
+
+  // Direct edges exactly as declared, for the CMake cross-check.
+  const std::map<std::string, std::vector<std::string>>& direct() const {
+    return direct_;
+  }
+
+ private:
+  std::map<std::string, std::vector<std::string>> direct_;
+  std::map<std::string, std::set<std::string>> allowed_;
+};
+
+// Layer a path belongs to ("" when the path has no src/<layer>/
+// component — such files skip the layering rule).
+std::string layer_of(const std::string& path);
+
+// True for TUs whose emitted bytes are report artifacts (basename
+// starts with "report" or contains "_csv"/"_json"): the unordered-
+// container rule applies only there.
+bool is_emitter_tu(const std::string& path);
+
+// Lint one file's contents. `path` provides the layer (layering rule)
+// and the TU kind (emitter rule) and is echoed in findings.
+std::vector<Finding> lint_file(const std::string& path,
+                               const std::string& contents,
+                               const LayerGraph& graph);
+
+// Recursively lint every .hpp/.cpp under `root` in sorted path order.
+// Throws std::runtime_error if root does not exist.
+std::vector<Finding> lint_tree(const std::string& root,
+                               const LayerGraph& graph);
+
+// Full CLI (main() is a one-liner around this so the exit-code
+// contract is unit-testable). Exit codes: 0 = clean, 1 = findings,
+// 2 = usage or I/O error.
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace xlf::lint

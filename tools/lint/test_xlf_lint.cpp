@@ -1,0 +1,252 @@
+// Unit suite for xlf_lint: rule hits, the allow-comment escape hatch,
+// DAG parsing/violations, and the CLI exit-code contract (0 clean,
+// 1 findings, 2 usage/I-O error) — the contract CI leans on.
+#include "tools/lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace xlf::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* kMiniDag =
+    "util:\n"
+    "gf: util\n"
+    "bch: gf util\n"
+    "ftl: util\n";
+
+LayerGraph mini_graph() { return LayerGraph::parse(kMiniDag); }
+
+std::vector<std::string> rules_of(const std::vector<Finding>& findings) {
+  std::vector<std::string> out;
+  out.reserve(findings.size());
+  for (const Finding& f : findings) out.push_back(f.rule);
+  return out;
+}
+
+TEST(Rules, ListCoversEveryRuleFamily) {
+  const std::vector<RuleInfo>& rules = rule_infos();
+  ASSERT_EQ(rules.size(), 6u);
+  for (const char* name :
+       {"layering", "no-ambient-random", "no-wall-clock",
+        "no-unordered-emit", "no-ptr-order", "raw-assert"}) {
+    EXPECT_TRUE(is_rule_name(name)) << name;
+  }
+  EXPECT_FALSE(is_rule_name("no-such-rule"));
+}
+
+TEST(LayerGraph, ClosureIsTransitiveAndIncludesSelf) {
+  const LayerGraph graph = mini_graph();
+  const std::set<std::string>& bch = graph.allowed("bch");
+  EXPECT_EQ(bch, (std::set<std::string>{"bch", "gf", "util"}));
+  EXPECT_EQ(graph.allowed("util"), std::set<std::string>{"util"});
+  EXPECT_FALSE(graph.has_layer("explore"));
+}
+
+TEST(LayerGraph, RejectsCycleUndeclaredDepAndDuplicate) {
+  EXPECT_THROW(LayerGraph::parse("a: b\nb: a\n"), std::runtime_error);
+  EXPECT_THROW(LayerGraph::parse("a: ghost\n"), std::runtime_error);
+  EXPECT_THROW(LayerGraph::parse("a:\na: \n"), std::runtime_error);
+  EXPECT_THROW(LayerGraph::parse("just-a-layer-no-colon\n"),
+               std::runtime_error);
+}
+
+TEST(Layering, UpwardIncludeIsAViolationDownwardIsNot) {
+  const LayerGraph graph = mini_graph();
+  const auto up = lint_file("src/util/widget.hpp",
+                            "#include \"src/ftl/ftl.hpp\"\n", graph);
+  ASSERT_EQ(up.size(), 1u);
+  EXPECT_EQ(up[0].rule, "layering");
+  EXPECT_EQ(up[0].line, 1);
+  EXPECT_NE(up[0].message.find("layers.txt"), std::string::npos);
+
+  const auto down = lint_file(
+      "src/bch/decoder.cpp",
+      "#include \"src/gf/gf2m.hpp\"\n#include \"src/util/rng.hpp\"\n"
+      "#include \"src/bch/decoder.hpp\"\n",
+      graph);
+  EXPECT_TRUE(down.empty());
+}
+
+TEST(Layering, CrossIncludeBetweenSiblingsIsAViolation) {
+  const LayerGraph graph = mini_graph();
+  // gf and ftl are siblings off util; neither may see the other.
+  const auto cross =
+      lint_file("src/ftl/x.cpp", "#include \"src/gf/gf2m.hpp\"\n", graph);
+  ASSERT_EQ(cross.size(), 1u);
+  EXPECT_EQ(cross[0].rule, "layering");
+}
+
+TEST(Layering, FilesOutsideSrcLayersAreExempt) {
+  const LayerGraph graph = mini_graph();
+  const auto findings = lint_file(
+      "tools/xlf_explore.cpp", "#include \"src/ftl/ftl.hpp\"\n", graph);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(Determinism, BanListHitsEachPattern) {
+  const LayerGraph graph = mini_graph();
+  const auto findings = lint_file("src/util/bad.cpp",
+                                  "std::random_device rd;\n"
+                                  "int r = rand();\n"
+                                  "auto t0 = std::chrono::steady_clock::now();\n"
+                                  "time_t t = time(nullptr);\n",
+                                  graph);
+  EXPECT_EQ(rules_of(findings),
+            (std::vector<std::string>{"no-ambient-random", "no-ambient-random",
+                                      "no-wall-clock", "no-wall-clock"}));
+}
+
+TEST(Determinism, CommentsAndStringsAreNotFindings) {
+  const LayerGraph graph = mini_graph();
+  const auto findings =
+      lint_file("src/util/ok.cpp",
+                "// program time(), rand() and steady_clock in a comment\n"
+                "/* time( in a block comment */\n"
+                "const char* msg = \"wall time() of rand()\";\n"
+                "double sim_time(int events);  // not the C time()\n",
+                graph);
+  EXPECT_TRUE(findings.empty()) << format_finding(findings.front());
+}
+
+TEST(Determinism, UnorderedContainersOnlyFlaggedInEmitterTus) {
+  const LayerGraph graph = mini_graph();
+  const std::string code = "std::unordered_map<int, int> index;\n";
+  EXPECT_TRUE(lint_file("src/ftl/mapping.cpp", code, graph).empty());
+  EXPECT_TRUE(is_emitter_tu("src/explore/report.cpp"));
+  EXPECT_TRUE(is_emitter_tu("src/explore/ftl_csv.cpp"));
+  EXPECT_FALSE(is_emitter_tu("src/util/json.cpp"));
+  const auto report = lint_file("src/explore/report.cpp", code, graph);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report[0].rule, "no-unordered-emit");
+}
+
+TEST(Determinism, PointerOrderingIsFlagged) {
+  const LayerGraph graph = mini_graph();
+  const auto findings = lint_file(
+      "src/ftl/bad.cpp",
+      "std::set<Block*, std::less<Block*>> by_addr;\n"
+      "auto key = reinterpret_cast<std::uintptr_t>(block);\n",
+      graph);
+  EXPECT_EQ(rules_of(findings), (std::vector<std::string>{"no-ptr-order",
+                                                          "no-ptr-order"}));
+}
+
+TEST(AssertHygiene, RawAssertFlaggedStaticAndGtestAssertsNot) {
+  const LayerGraph graph = mini_graph();
+  const auto raw =
+      lint_file("src/nand/cell.cpp", "  assert(level < 4);\n", graph);
+  ASSERT_EQ(raw.size(), 1u);
+  EXPECT_EQ(raw[0].rule, "raw-assert");
+  EXPECT_NE(raw[0].message.find("XLF_EXPECT"), std::string::npos);
+
+  const auto clean = lint_file("src/nand/cell.cpp",
+                               "static_assert(sizeof(int) == 4);\n"
+                               "ASSERT_EQ(a, b);\n"
+                               "XLF_EXPECT(level < 4);\n",
+                               graph);
+  EXPECT_TRUE(clean.empty());
+}
+
+TEST(AllowComment, SameLineAndPrecedingLineSuppressWrongRuleDoesNot) {
+  const LayerGraph graph = mini_graph();
+  EXPECT_TRUE(lint_file("src/nand/c.cpp",
+                        "assert(x);  // xlf-lint: allow(raw-assert)\n", graph)
+                  .empty());
+  EXPECT_TRUE(lint_file("src/nand/c.cpp",
+                        "// xlf-lint: allow(raw-assert)\nassert(x);\n", graph)
+                  .empty());
+  // An allow for a different rule suppresses nothing.
+  EXPECT_EQ(lint_file("src/nand/c.cpp",
+                      "assert(x);  // xlf-lint: allow(no-wall-clock)\n", graph)
+                .size(),
+            1u);
+  // A preceding-line allow only arms the next line, not the whole file.
+  EXPECT_EQ(lint_file("src/nand/c.cpp",
+                      "// xlf-lint: allow(raw-assert)\nint y;\nassert(x);\n",
+                      graph)
+                .size(),
+            1u);
+}
+
+// ------------------------------------------------------------------ CLI
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) / "xlf_lint_cli";
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "src" / "util");
+    fs::create_directories(root_ / "src" / "ftl");
+    write("layers.txt", "util:\nftl: util\n");
+    write("src/util/ok.hpp", "#pragma once\nint fine();\n");
+    write("src/ftl/ok.cpp", "#include \"src/util/ok.hpp\"\n");
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write(const std::string& rel, const std::string& text) {
+    std::ofstream out(root_ / rel);
+    out << text;
+  }
+  int run(const std::vector<std::string>& extra_args) {
+    std::vector<std::string> args = {"--layers",
+                                     (root_ / "layers.txt").string()};
+    args.insert(args.end(), extra_args.begin(), extra_args.end());
+    out_.str("");
+    err_.str("");
+    return run_cli(args, out_, err_);
+  }
+
+  fs::path root_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(CliTest, CleanTreeExitsZeroWithNoOutput) {
+  EXPECT_EQ(run({(root_ / "src").string()}), 0);
+  EXPECT_EQ(out_.str(), "");
+}
+
+TEST_F(CliTest, SeededLayeringViolationExitsOneAndNamesTheSite) {
+  write("src/util/scratch.hpp", "#include \"src/ftl/ok.hpp\"\n");
+  EXPECT_EQ(run({(root_ / "src").string()}), 1);
+  EXPECT_NE(out_.str().find("scratch.hpp:1: [layering]"), std::string::npos)
+      << out_.str();
+  EXPECT_NE(err_.str().find("1 finding"), std::string::npos);
+}
+
+TEST_F(CliTest, AllowCommentTurnsTheSameSeedClean) {
+  write("src/util/scratch.hpp",
+        "// xlf-lint: allow(layering)\n#include \"src/ftl/ok.hpp\"\n");
+  EXPECT_EQ(run({(root_ / "src").string()}), 0) << out_.str();
+}
+
+TEST_F(CliTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(run({"--no-such-flag"}), 2);
+  EXPECT_NE(err_.str().find("--help"), std::string::npos);
+  EXPECT_EQ(run({}), 2);  // no paths
+  EXPECT_EQ(run_cli({"--layers"}, out_, err_), 2);  // missing value
+  // Unreadable layers file or target path: I/O error, not findings.
+  EXPECT_EQ(run_cli({"--layers", "/nonexistent/layers.txt", "src"}, out_,
+                    err_),
+            2);
+  EXPECT_EQ(run({(root_ / "no-such-dir").string()}), 2);
+}
+
+TEST_F(CliTest, ListRulesPrintsEveryRuleAndExitsZero) {
+  EXPECT_EQ(run({"--list-rules"}), 0);
+  for (const RuleInfo& rule : rule_infos()) {
+    EXPECT_NE(out_.str().find(rule.name), std::string::npos) << rule.name;
+  }
+}
+
+}  // namespace
+}  // namespace xlf::lint

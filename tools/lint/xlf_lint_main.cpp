@@ -1,0 +1,13 @@
+// xlf_lint CLI — see tools/lint/lint.hpp for the rule set and the
+// exit-code contract (0 clean, 1 findings, 2 usage/I/O error). All
+// behavior lives in xlf::lint::run_cli so it is unit-testable.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return xlf::lint::run_cli(args, std::cout, std::cerr);
+}

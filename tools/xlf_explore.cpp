@@ -42,10 +42,22 @@ struct Options {
   explore::ExperimentSpec experiment = explore::ExperimentSpec::defaults();
   std::string spec_path;        // --spec; exclusive with shaping flags
   bool shaped_by_flags = false; // any experiment-shaping flag seen
+  bool show_version = false;    // --version/--build-info; excl. --spec
   unsigned threads = 0;         // 0 = hardware concurrency
   std::string format;           // empty = csv
   std::string out_path;         // empty = stdout
 };
+
+// Build provenance (--version/--build-info): with sweeps feeding CSV
+// artifacts into papers, the binary must be able to say exactly what
+// produced the bytes — compiler, build type, sanitizer runtimes. The
+// macros are injected per-configure from tools/CMakeLists.txt.
+void print_build_info() {
+  std::cout << "xlf_explore " << XLF_VERSION << "\n"
+            << "compiler: " << XLF_COMPILER << "\n"
+            << "build type: " << XLF_BUILD_TYPE << "\n"
+            << "sanitizers: " << XLF_SANITIZERS << "\n";
+}
 
 void usage() {
   std::cerr <<
@@ -55,6 +67,9 @@ void usage() {
       "                        --threads/--format/--out still apply)\n"
       "  --list-policies       print the registered policy names per kind\n"
       "                        (tuning, gc, wear, refresh, arbitration) and exit\n"
+      "  --version             print version + build provenance (compiler,\n"
+      "  --build-info          build type, sanitizer flags) and exit;\n"
+      "                        exclusive with --spec\n"
       "  --threads N           total threads, 1 = serial (default: hardware)\n"
       "  --format csv|json     output format (default csv)\n"
       "  --out PATH            write to PATH instead of stdout\n"
@@ -170,6 +185,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (arg == "--list-policies") {
       list_policies();
       std::exit(0);
+    } else if (arg == "--version" || arg == "--build-info") {
+      // Not an immediate exit: a later --spec on the line must still
+      // be rejected (same exclusivity teaching as shaping flags).
+      opt.show_version = true;
     } else if (arg == "--spec") {
       if ((v = value(i)) == nullptr) return false;
       opt.spec_path = v;
@@ -372,6 +391,12 @@ bool parse_args(int argc, char** argv, Options& opt) {
                  "(--threads/--format/--out still apply)\n";
     return false;
   }
+  if (opt.show_version && !opt.spec_path.empty()) {
+    std::cerr << "xlf_explore: --version/--build-info is exclusive with "
+                 "--spec; query provenance and run the experiment as two "
+                 "invocations\n";
+    return false;
+  }
   return true;
 }
 
@@ -380,6 +405,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
 int main(int argc, char** argv) {
   Options opt;
   if (!parse_args(argc, argv, opt)) return 2;
+  if (opt.show_version) {
+    print_build_info();
+    return 0;
+  }
 
   try {
     if (!opt.spec_path.empty()) {
