@@ -10,6 +10,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/ftl/allocator.hpp"
@@ -151,6 +154,99 @@ void BM_GcVictimCostBenefitInlined(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_GcVictimCostBenefitInlined);
+
+// Victim selection at production block counts: the incremental index
+// (O(pages_per_block) bucket-head probes per pick) against the linear
+// oracle scan (O(blocks)), both through the production pick_victim
+// entry point so the numbers include the policy virtual call. Each
+// iteration is one steady-state GC step: a pick plus an
+// invalidate/remap churn pair on a closed block, so the index path
+// also pays its per-update maintenance. Geometry uses 16 pages/block
+// to keep the 1M-block fixture's one-time population tractable; the
+// pick asymptotics only depend on the block count (linear) vs the
+// bucket count (indexed).
+constexpr std::uint32_t kScalePages = 16;
+
+struct VictimScaleFixture {
+  ftl::DieAllocator alloc;
+  std::vector<std::uint32_t> churn;  // closed blocks with >= 1 valid page
+  std::uint64_t now = 1u << 20;      // beyond every setup stamp
+
+  VictimScaleFixture(std::uint32_t blocks, ftl::GcIndexKind kind)
+      : alloc(ftl::AllocatorConfig{
+            blocks, kScalePages,
+            policy::PolicyRegistry<policy::WearPolicy>::instance()
+                .make_shared("dynamic"),
+            kind}) {
+    Rng rng(11);
+    for (std::uint32_t b = 0; b + 4 < blocks; ++b) {
+      std::uint32_t block = 0;
+      for (std::uint32_t p = 0; p < kScalePages; ++p) {
+        block = alloc.take_page(ftl::DieAllocator::Stream::kHost).first;
+      }
+      const auto valid =
+          static_cast<std::uint32_t>(rng.below(kScalePages + 1));
+      for (std::uint32_t v = 0; v < valid; ++v) alloc.on_page_mapped(block);
+      alloc.stamp_write(block, rng.below(1u << 20));
+      if (valid >= 1) churn.push_back(block);
+    }
+  }
+};
+
+// Fixtures cache across the harness's calibration re-entries (the 1M
+// population pass is seconds); the churn pair is net-zero, so the
+// block population a later invocation sees is the one it left.
+VictimScaleFixture& scale_fixture(std::uint32_t blocks,
+                                  ftl::GcIndexKind kind) {
+  static std::map<std::pair<std::uint32_t, int>,
+                  std::unique_ptr<VictimScaleFixture>>
+      cache;
+  auto& slot = cache[{blocks, static_cast<int>(kind)}];
+  if (slot == nullptr) {
+    slot = std::make_unique<VictimScaleFixture>(blocks, kind);
+  }
+  return *slot;
+}
+
+void BM_VictimIndex(benchmark::State& state, const char* policy_name,
+                    bool indexed) {
+  const auto blocks = static_cast<std::uint32_t>(state.range(0));
+  const ftl::GcIndexKind kind = indexed
+                                    ? ftl::gc_index_kind_for(policy_name)
+                                    : ftl::GcIndexKind::kNone;
+  VictimScaleFixture& fixture = scale_fixture(blocks, kind);
+  const auto policy =
+      policy::PolicyRegistry<policy::GcPolicy>::instance().make(policy_name);
+  const auto valid_count = [&](std::uint32_t b) {
+    return fixture.alloc.cached_valid(b);
+  };
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto victim =
+        fixture.alloc.pick_victim(*policy, valid_count, fixture.now++);
+    benchmark::DoNotOptimize(victim);
+    const std::uint32_t target = fixture.churn[i++ % fixture.churn.size()];
+    fixture.alloc.on_page_invalidated(target);
+    fixture.alloc.on_page_mapped(target);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK_CAPTURE(BM_VictimIndex, greedy_indexed, "greedy", true)
+    ->Arg(4096)
+    ->Arg(65536)
+    ->Arg(1 << 20);
+BENCHMARK_CAPTURE(BM_VictimIndex, greedy_linear, "greedy", false)
+    ->Arg(4096)
+    ->Arg(65536)
+    ->Arg(1 << 20);
+BENCHMARK_CAPTURE(BM_VictimIndex, cost_benefit_indexed, "cost-benefit", true)
+    ->Arg(4096)
+    ->Arg(65536)
+    ->Arg(1 << 20);
+BENCHMARK_CAPTURE(BM_VictimIndex, cost_benefit_linear, "cost-benefit", false)
+    ->Arg(4096)
+    ->Arg(65536)
+    ->Arg(1 << 20);
 
 // The host submission path the multi-queue interface adds in front of
 // every command: submit onto a queue, arbitrate across the backlogs,

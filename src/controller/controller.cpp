@@ -63,6 +63,7 @@ unsigned MemoryController::adapt_ecc(double pe_cycles) {
 
 WriteResult MemoryController::write_page(nand::PageAddress addr,
                                          const BitVec& data) {
+  if (!device_->config().data_plane) return write_page_meta(addr, data);
   XLF_EXPECT(data.size() == config_.codec.k);
   WriteResult result;
   registers_.set_busy(true);
@@ -97,10 +98,46 @@ WriteResult MemoryController::write_page(nand::PageAddress addr,
   return result;
 }
 
+WriteResult MemoryController::write_page_meta(nand::PageAddress addr,
+                                              const BitVec& data) {
+  // Metadata-only pipeline: the same stage arithmetic as the bit-true
+  // path — OCP burst + buffer stream, model encode, statistical-mode
+  // program time — with no payload bits moved (callers pass empty or
+  // full-size data; only its modeled size matters).
+  XLF_EXPECT(data.size() == config_.codec.k || data.size() == 0);
+  const std::size_t k = config_.codec.k;
+  WriteResult result;
+  registers_.set_busy(true);
+
+  const OcpRequest request{OcpCommand::kWrite, 0,
+                           static_cast<std::uint32_t>(k / 8)};
+  ocp_.record(request);
+  result.io_latency = ocp_.transfer_time(request) + buffer_.stream_time(k);
+  result.latency += result.io_latency;
+
+  result.latency += ecc_.latency_model().encode_latency();
+  result.ecc_energy +=
+      ecc_.power_model().encode_energy(ecc_.correction_capability());
+  result.t_used = ecc_.correction_capability();
+
+  const double wear = device_->wear(addr.block);
+  const nand::ProgramOutcome programmed =
+      device_->program_page(addr, BitVec(0), config_.load_strategy);
+  result.ok = programmed.ok;
+  result.latency += programmed.busy_time;
+  result.nand_energy += nand_power_.program_energy(program_algorithm(), wear);
+
+  page_meta_[key_of(addr)] = PageMeta{result.t_used, BitVec(0)};
+  registers_.set_busy(false);
+  registers_.set_error(!result.ok);
+  return result;
+}
+
 ReadResult MemoryController::read_page(nand::PageAddress addr) {
   const auto meta_it = page_meta_.find(key_of(addr));
   XLF_EXPECT(meta_it != page_meta_.end() && "reading an unwritten page");
   const PageMeta& meta = meta_it->second;
+  if (!device_->config().data_plane) return read_page_meta(meta);
 
   ReadResult result;
   registers_.set_busy(true);
@@ -146,6 +183,37 @@ ReadResult MemoryController::read_page(nand::PageAddress addr) {
 
   registers_.set_busy(false);
   registers_.set_error(!result.ok);
+  return result;
+}
+
+ReadResult MemoryController::read_page_meta(const PageMeta& meta) {
+  // Metadata-only read service: sensing time + the worst-case decode
+  // at the page's written t (the paper's throughput convention) and a
+  // clean-decode outcome — no cells exist to produce errors, so the
+  // payload is an all-zero page and the reliability feedback sees a
+  // clean decode.
+  ReadResult result;
+  registers_.set_busy(true);
+
+  result.latency += device_->timing().read_time();
+  result.nand_energy += nand_power_.read_energy();
+
+  const bch::CodeParams params{config_.codec.m, config_.codec.k, meta.t};
+  result.latency += ecc_.latency_model().decode_latency(meta.t);
+  result.ecc_energy += ecc_.power_model().decode_energy(meta.t, 0.0);
+  result.data = BitVec(config_.codec.k);
+
+  reliability_.observe_decode(0, params.n());
+  registers_.record_decode(0, false);
+
+  const OcpRequest request{OcpCommand::kRead, 0,
+                           static_cast<std::uint32_t>(result.data.size() / 8)};
+  ocp_.record(request);
+  result.io_latency = ocp_.transfer_time(request);
+  result.latency += result.io_latency;
+
+  registers_.set_busy(false);
+  registers_.set_error(false);
   return result;
 }
 

@@ -107,6 +107,13 @@ class MemoryController {
     BitVec reference;  // written codeword (simulation fast decode)
   };
 
+  // Metadata-only device service (DeviceConfig::data_plane == false):
+  // the same pipeline arithmetic fed from the timing/energy models
+  // alone — no payload bits move, reads model a clean worst-case
+  // decode of an all-zero page.
+  WriteResult write_page_meta(nand::PageAddress addr, const BitVec& data);
+  ReadResult read_page_meta(const PageMeta& meta);
+
   ControllerConfig config_;
   nand::NandDevice* device_;
   RegisterFile registers_;

@@ -1,9 +1,12 @@
 #include "src/explore/ftl_sweep.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <optional>
 #include <sstream>
 
 #include "src/ftl/fault.hpp"
+#include "src/sim/die_shard.hpp"
 #include "src/sim/host_workload.hpp"
 #include "src/util/expect.hpp"
 
@@ -21,6 +24,9 @@ FtlSweepResult ftl_sweep(const FtlSweepSpec& spec, ThreadPool& pool) {
   XLF_EXPECT(spec.requests > 0);
   XLF_EXPECT(spec.trim_fraction >= 0.0 && spec.trim_fraction < 1.0);
   XLF_EXPECT(!spec.fail_blocks.empty());
+  XLF_EXPECT_MSG(spec.data_plane || !spec.shard_dies,
+                 "shard_dies defers cell-array work, which metadata-only "
+                 "devices do not have");
 
   // Every fail-block count must leave each die its logical share plus
   // the GC slack (the same viability bound Ftl's constructor enforces,
@@ -80,8 +86,11 @@ FtlSweepResult ftl_sweep(const FtlSweepSpec& spec, ThreadPool& pool) {
 
   FtlSweepResult result;
   result.rows.resize(combos);
+  if (spec.measure_throughput) {
+    result.throughput_commands_per_second.assign(combos, 0.0);
+  }
 
-  pool.parallel_for(combos, [&](std::size_t index) {
+  const auto run_combo = [&](std::size_t index) {
     // Decompose: topology-major, then queue depth, queue count,
     // arbitration, then the policy axes gc > wear > tuning > refresh,
     // then the fail-block count (innermost).
@@ -109,9 +118,14 @@ FtlSweepResult ftl_sweep(const FtlSweepSpec& spec, ThreadPool& pool) {
     config.ftl.wear_policy = spec.wear_policies[w];
     config.ftl.refresh_policy = spec.refresh_policies[r];
     config.die.controller.tuning_policy = spec.tuning_policies[u];
+    config.die.device.data_plane = spec.data_plane;
 
     Rng stream = streams[index];
     ftl::Ssd ssd(config);
+    // Sharded mode: this combo owns the whole pool (combos run
+    // serially), so the per-die cell queues drain in parallel.
+    std::optional<sim::DieShardExecutor> shards;
+    if (spec.shard_dies) shards.emplace(ssd, pool);
 
     // Grown-bad injection: the combo's fail count retires the lowest
     // block ids of every die on their first erase — the blocks every
@@ -139,6 +153,7 @@ FtlSweepResult ftl_sweep(const FtlSweepSpec& spec, ThreadPool& pool) {
             static_cast<std::ptrdiff_t>(
                 std::min(queues, spec.queue_weights.size())));
     sim_config.data_seed = stream.next();
+    if (shards.has_value()) sim_config.data_plane_shards = &*shards;
     sim::SsdSimulator simulator(ssd, sim_config);
     if (spec.prepopulate) simulator.prepopulate();
 
@@ -163,7 +178,25 @@ FtlSweepResult ftl_sweep(const FtlSweepSpec& spec, ThreadPool& pool) {
     row.wear_policy = spec.wear_policies[w];
     row.tuning_policy = spec.tuning_policies[u];
     row.refresh_policy = spec.refresh_policies[r];
-    row.stats = simulator.run(commands);
+    if (spec.measure_throughput) {
+      // Wall-clock throughput read-out, reported beside (never inside)
+      // the deterministic rows.
+      const auto begin =
+          std::chrono::steady_clock::now();  // xlf-lint: allow(no-wall-clock)
+      row.stats = simulator.run(commands);
+      const std::chrono::duration<double> wall =
+          std::chrono::steady_clock::now() -  // xlf-lint: allow(no-wall-clock)
+          begin;
+      result.throughput_commands_per_second[index] =
+          wall.count() > 0.0
+              ? static_cast<double>(commands.size()) / wall.count()
+              : 0.0;
+    } else {
+      row.stats = simulator.run(commands);
+    }
+    // Land any deferred cell work and revert to inline execution
+    // before the scrub / remount / read-back tail touches the arrays.
+    shards.reset();
     // One maintenance scrub after the request stream: the refresh
     // policy's effect shows up as preventive relocations in the row.
     // Unconditional — a policy that refreshes nothing (the "none"
@@ -183,7 +216,15 @@ FtlSweepResult ftl_sweep(const FtlSweepSpec& spec, ThreadPool& pool) {
     ssd.ftl().check_consistency();
     row.rebuild_mismatches = simulator.verify_stored();
     result.rows[index] = std::move(row);
-  });
+  };
+  if (spec.shard_dies) {
+    // The pool is not reentrant: sharded combos borrow it for their
+    // per-die flushes, so the combo loop itself runs serially. Row
+    // order — and row content — is identical either way.
+    for (std::size_t index = 0; index < combos; ++index) run_combo(index);
+  } else {
+    pool.parallel_for(combos, run_combo);
+  }
   return result;
 }
 

@@ -69,6 +69,22 @@ struct FtlSweepSpec {
   std::size_t requests = 200;
   bool prepopulate = true;
   std::uint64_t seed = 0x55DF71;
+  // Bit-true cell arrays (true, the default) or metadata-only devices
+  // (false): programs/reads cost their modeled times but move no
+  // payload bits, which is what makes production block counts (64k+
+  // blocks/die, millions of commands) tractable. The post-run
+  // read-back audit still runs but has no payloads to compare.
+  bool data_plane = true;
+  // Shard each combo's cell work into per-die queues drained on the
+  // sweep's ThreadPool (sim::DieShardExecutor). Combos then run
+  // serially so the pool belongs to the per-die flushes; rows are
+  // byte-identical either way. Requires data_plane.
+  bool shard_dies = false;
+  // Measure wall-clock simulation throughput per combo (fills
+  // FtlSweepResult::throughput_commands_per_second). Off by default:
+  // wall-clock readings are run-dependent and must stay out of the
+  // deterministic row set.
+  bool measure_throughput = false;
 };
 
 struct FtlSweepRow {
@@ -95,6 +111,11 @@ struct FtlSweepResult {
   // Topology-major, then queue depth, then queue count, arbitration,
   // gc / wear / tuning / refresh policy, fail-block count (innermost).
   std::vector<FtlSweepRow> rows;
+  // Wall-clock commands/s per combo (same order as rows); only filled
+  // under FtlSweepSpec::measure_throughput, and deliberately kept out
+  // of FtlSweepRow so the deterministic row set never carries
+  // run-dependent readings.
+  std::vector<double> throughput_commands_per_second;
 };
 
 FtlSweepResult ftl_sweep(const FtlSweepSpec& spec, ThreadPool& pool);

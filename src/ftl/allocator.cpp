@@ -25,7 +25,13 @@ DieAllocator::DieAllocator(const AllocatorConfig& config) : config_(config) {
   states_.assign(config.blocks, BlockState::kFree);
   erase_counts_.assign(config.blocks, 0);
   last_write_.assign(config.blocks, 0);
+  cached_valid_.assign(config.blocks, 0);
   free_count_ = config.blocks;
+  victims_.reset(config_.gc_index, config_.blocks, config_.pages_per_block);
+  free_index_.reset(config_.blocks);
+  for (std::uint32_t b = 0; b < config_.blocks; ++b) {
+    free_index_.push(b, config_.wear->free_block_score(0));
+  }
 }
 
 DieAllocator::Frontier& DieAllocator::frontier(Stream stream) {
@@ -43,21 +49,15 @@ bool DieAllocator::needs_block(Stream stream) const {
 
 std::uint32_t DieAllocator::pick_free_block() const {
   XLF_EXPECT(free_count_ > 0 && "allocating with an empty free list");
-  std::optional<std::uint32_t> best;
-  double best_score = 0.0;
-  for (std::uint32_t b = 0; b < config_.blocks; ++b) {
-    if (states_[b] != BlockState::kFree) continue;
-    // Wear policy preference; strict > keeps the lowest-id winner on
-    // ties ("none" scores everything 0 and so picks by id, "dynamic"
-    // scores -erase_count and so picks the least-erased block).
-    const double score = config_.wear->free_block_score(erase_counts_[b]);
-    if (!best.has_value() || score > best_score) {
-      best = b;
-      best_score = score;
-    }
-  }
-  XLF_ENSURE(best.has_value());
-  return *best;
+  // Heap-backed wear-policy preference: the snapshot scores in the
+  // index are exact (free_block_score depends only on the erase count,
+  // frozen while a block stays free), and the heap's (score, lowest
+  // id) order matches the linear scan's strict-> tie-break ("none"
+  // scores everything 0 and so picks by id, "dynamic" scores
+  // -erase_count and so picks the least-erased block).
+  const std::uint32_t best = free_index_.best();
+  XLF_ENSURE(best != FreeBlockIndex::kNone);
+  return best;
 }
 
 std::pair<std::uint32_t, std::uint32_t> DieAllocator::take_page(Stream stream) {
@@ -65,6 +65,7 @@ std::pair<std::uint32_t, std::uint32_t> DieAllocator::take_page(Stream stream) {
   if (!f.open || f.next_page >= config_.pages_per_block) {
     const std::uint32_t block = pick_free_block();
     states_[block] = BlockState::kOpen;
+    free_index_.remove(block);
     --free_count_;
     f.block = block;
     f.next_page = 0;
@@ -73,9 +74,13 @@ std::pair<std::uint32_t, std::uint32_t> DieAllocator::take_page(Stream stream) {
   const std::pair<std::uint32_t, std::uint32_t> slot{f.block, f.next_page};
   ++f.next_page;
   if (f.next_page >= config_.pages_per_block) {
-    // Fully written: the block becomes a GC candidate.
+    // Fully written: the block becomes a GC candidate. The valid
+    // count is still settling (the caller maps the final page after
+    // take_page returns), so the index entry pushed here is refreshed
+    // by the trailing on_page_mapped/stamp_write notifications.
     states_[f.block] = BlockState::kClosed;
     f.open = false;
+    index_update(f.block);
   }
   return slot;
 }
@@ -83,6 +88,27 @@ std::pair<std::uint32_t, std::uint32_t> DieAllocator::take_page(Stream stream) {
 void DieAllocator::stamp_write(std::uint32_t block, std::uint64_t stamp) {
   XLF_EXPECT(block < config_.blocks);
   last_write_[block] = stamp;
+  // A closed block's stamp feeds the cost-benefit bucket key.
+  index_update(block);
+}
+
+void DieAllocator::on_page_mapped(std::uint32_t block) {
+  XLF_EXPECT(block < config_.blocks);
+  XLF_EXPECT(cached_valid_[block] < config_.pages_per_block);
+  ++cached_valid_[block];
+  index_update(block);
+}
+
+void DieAllocator::on_page_invalidated(std::uint32_t block) {
+  XLF_EXPECT(block < config_.blocks);
+  XLF_EXPECT(cached_valid_[block] > 0);
+  --cached_valid_[block];
+  index_update(block);
+}
+
+void DieAllocator::index_update(std::uint32_t block) {
+  if (states_[block] != BlockState::kClosed) return;
+  victims_.update(block, cached_valid_[block], last_write_[block]);
 }
 
 void DieAllocator::on_erase(std::uint32_t block) {
@@ -95,7 +121,10 @@ void DieAllocator::on_erase(std::uint32_t block) {
   // state field-identical to what rebuild_from_oob reconstructs (an
   // erased block has no OOB records to derive a stamp from).
   last_write_[block] = 0;
+  cached_valid_[block] = 0;
   ++free_count_;
+  victims_.remove(block);
+  free_index_.push(block, config_.wear->free_block_score(erase_counts_[block]));
 }
 
 void DieAllocator::retire(std::uint32_t block) {
@@ -104,6 +133,8 @@ void DieAllocator::retire(std::uint32_t block) {
              "only closed blocks reach the erase that can fail");
   states_[block] = BlockState::kBad;
   last_write_[block] = 0;
+  cached_valid_[block] = 0;
+  victims_.remove(block);
 }
 
 void DieAllocator::restore(std::uint32_t block, BlockState state,
@@ -119,6 +150,15 @@ void DieAllocator::restore(std::uint32_t block, BlockState state,
   if (state != BlockState::kFree) {
     states_[block] = state;
     --free_count_;
+    free_index_.remove(block);
+    // A restored closed block enters the index with zero valid pages;
+    // the mount replay feeds the real count back through
+    // on_page_mapped as it reconstructs the L2P map.
+    index_update(block);
+  } else {
+    // Erase count changed under the ctor's snapshot score: re-push.
+    free_index_.push(block,
+                     config_.wear->free_block_score(erase_counts_[block]));
   }
 }
 
@@ -134,6 +174,7 @@ void DieAllocator::restore_frontier(Stream stream, std::uint32_t block,
   Frontier& f = frontier(stream);
   XLF_EXPECT(!f.open && "one open block per stream");
   states_[block] = BlockState::kOpen;
+  free_index_.remove(block);
   --free_count_;
   erase_counts_[block] = erase_count;
   last_write_[block] = last_write;
@@ -170,6 +211,36 @@ std::uint32_t DieAllocator::max_erase_count() const {
     if (states_[b] == BlockState::kBad) continue;
     best = std::max(best, erase_counts_[b]);
   }
+  return best;
+}
+
+std::optional<std::uint32_t> DieAllocator::pick_victim_indexed(
+    const policy::GcPolicy& policy, std::uint64_t now) const {
+  XLF_EXPECT(victims_.enabled());
+  // Each bucket head is the best candidate at its valid count (the
+  // bucket key is the policy's within-bucket tie-break; see
+  // victim_index.hpp). Scoring the heads through the policy object —
+  // the same virtual call, view fields and floating-point path as the
+  // oracle scan — and keeping the argmax under the oracle's strict-> /
+  // lowest-id rule reproduces pick_victim_scored byte for byte at
+  // O(pages_per_block) instead of O(blocks).
+  std::optional<std::uint32_t> best;
+  double best_score = 0.0;
+  victims_.for_each_head([&](std::uint32_t block, std::uint32_t valid) {
+    policy::GcBlockView view;
+    view.block = block;
+    view.valid_pages = valid;
+    view.pages_per_block = config_.pages_per_block;
+    view.erase_count = erase_counts_[block];
+    view.last_write = last_write_[block];
+    view.now = now;
+    const double candidate = policy.score(view);
+    if (!best.has_value() || candidate > best_score ||
+        (candidate == best_score && block < *best)) {
+      best = block;
+      best_score = candidate;
+    }
+  });
   return best;
 }
 

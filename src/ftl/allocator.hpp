@@ -35,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/ftl/victim_index.hpp"
 #include "src/policy/policy.hpp"
 
 namespace xlf::ftl {
@@ -45,6 +46,12 @@ struct AllocatorConfig {
   // Shared, immutable wear-leveling strategy; nullptr resolves to the
   // registry's "dynamic" built-in (the historical default).
   std::shared_ptr<const policy::WearPolicy> wear;
+  // Enables the incremental victim index when the GC policy is a
+  // built-in whose scoring the index can mirror (see victim_index.hpp).
+  // kNone keeps pick_victim on the linear oracle scan. Callers that
+  // enable it must report valid-count changes through on_page_mapped /
+  // on_page_invalidated (the Ftl does).
+  GcIndexKind gc_index = GcIndexKind::kNone;
 };
 
 class DieAllocator {
@@ -78,6 +85,19 @@ class DieAllocator {
 
   // Record the logical write time of a block (cost-benefit age).
   void stamp_write(std::uint32_t block, std::uint64_t stamp);
+
+  // --- victim-index valid-count feed --------------------------------
+  // The allocator mirrors the PageMap's per-block valid counters so
+  // the victim index can re-bucket closed blocks incrementally. The
+  // Ftl calls these on every map/unmap transition (host writes, GC
+  // relocation, trim). Cheap unconditionally; with the index enabled
+  // they also refresh the block's index entry.
+  void on_page_mapped(std::uint32_t block);
+  void on_page_invalidated(std::uint32_t block);
+  std::uint32_t cached_valid(std::uint32_t block) const {
+    return cached_valid_.at(block);
+  }
+  bool victim_index_enabled() const { return victims_.enabled(); }
   // Erase bookkeeping: the block rejoins the free list, its erase
   // counter advances and its write stamp resets (a free block has no
   // age). Must be a closed block (victims always are; open frontiers
@@ -121,16 +141,28 @@ class DieAllocator {
       const ScoreFn& score, const ValidCountFn& valid_count,
       std::uint64_t now) const;
 
+  // Policy-plane victim selection. With the victim index enabled the
+  // pick costs O(pages_per_block) bucket-head probes instead of an
+  // O(blocks) scan, and is byte-identical to the oracle (scores run
+  // through the same policy object; ties break toward the lowest id
+  // in both). `valid_count` is only consulted on the fallback path —
+  // the index path reads the mirrored counters.
   template <class ValidCountFn>
   std::optional<std::uint32_t> pick_victim(const policy::GcPolicy& policy,
                                            const ValidCountFn& valid_count,
                                            std::uint64_t now) const {
+    if (victims_.enabled()) return pick_victim_indexed(policy, now);
     return pick_victim_scored(
         [&policy](const policy::GcBlockView& view) {
           return policy.score(view);
         },
         valid_count, now);
   }
+
+  // Index-backed pick (requires victim_index_enabled()); exposed so
+  // tests can pin it against pick_victim_scored directly.
+  std::optional<std::uint32_t> pick_victim_indexed(
+      const policy::GcPolicy& policy, std::uint64_t now) const;
 
   // Coldest closed block (lowest erase count, oldest stamp as the
   // tiebreak) — the static wear leveler's swap source. nullopt when
@@ -151,11 +183,19 @@ class DieAllocator {
   std::uint32_t pick_free_block() const;
   Frontier& frontier(Stream stream);
   const Frontier& frontier(Stream stream) const;
+  // Refresh the block's victim-index entry from the mirrored state
+  // (no-op while the block is not closed or the index is disabled).
+  void index_update(std::uint32_t block);
 
   AllocatorConfig config_;
   std::vector<BlockState> states_;
   std::vector<std::uint32_t> erase_counts_;
   std::vector<std::uint64_t> last_write_;
+  // Mirror of the PageMap's per-block valid counts, fed through
+  // on_page_mapped / on_page_invalidated; drives the victim index.
+  std::vector<std::uint32_t> cached_valid_;
+  VictimIndex victims_;
+  FreeBlockIndex free_index_;
   Frontier host_;
   Frontier gc_;
   std::size_t free_count_ = 0;

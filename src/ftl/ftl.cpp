@@ -104,8 +104,25 @@ Ftl::Ftl(const FtlConfig& config,
   alloc_config.blocks = geometry.blocks;
   alloc_config.pages_per_block = geometry.pages_per_block;
   alloc_config.wear = wear_policy_;
+  // Built-in GC policies get the incremental victim index (O(ppb)
+  // picks); custom registrations keep the linear oracle scan.
+  alloc_config.gc_index = gc_index_kind_for(config_.gc_policy);
   allocators_.assign(die_count, DieAllocator(alloc_config));
   block_t_.assign(die_count, std::vector<unsigned>(geometry.blocks, 0));
+}
+
+void Ftl::map_page(Lpa lpa, Ppa ppa) {
+  // Every map transition feeds the allocators' mirrored valid
+  // counters (and through them the victim index): +1 on the new
+  // block, -1 on the displaced copy's block when the LPA was mapped.
+  const Ppa old = map_.map(lpa, ppa);
+  allocators_[ppa.die].on_page_mapped(ppa.block);
+  if (old.valid()) allocators_[old.die].on_page_invalidated(old.block);
+}
+
+void Ftl::unmap_page(Lpa lpa) {
+  const Ppa old = map_.unmap(lpa);
+  allocators_[old.die].on_page_invalidated(old.block);
 }
 
 unsigned Ftl::adapt_block_t(std::uint32_t die, std::uint32_t block) {
@@ -179,7 +196,7 @@ Seconds Ftl::relocate_valid_pages(std::uint32_t die, std::uint32_t block,
     device(die).write_oob({dst_block, dst_page},
                           {owner, ++seq_, t, 1, clock_});
 
-    map_.map(owner, Ppa{die, dst_block, dst_page});
+    map_page(owner, Ppa{die, dst_block, dst_page});
     // Relocated data keeps the current logical time without advancing
     // it: GC traffic must not make victims look freshly written.
     alloc.stamp_write(dst_block, clock_);
@@ -257,7 +274,7 @@ FtlOpResult Ftl::write(Lpa lpa, const BitVec& data) {
   device(die).write_oob({block, page},
                         {lpa, ++seq_, result.t_used, 0, clock_});
   result.ok = wr.ok;
-  map_.map(lpa, Ppa{die, block, page});
+  map_page(lpa, Ppa{die, block, page});
   allocators_[die].stamp_write(block, clock_);
 
   result.io_time = wr.io_latency;
@@ -306,7 +323,7 @@ FtlOpResult Ftl::trim(Lpa lpa) {
     result.unmapped = true;
     return result;
   }
-  map_.unmap(lpa);
+  unmap_page(lpa);
   // The deallocation is DRAM-only until a flush journals the
   // tombstone; its seq rides the same counter as the OOB records so
   // replay ranks it against the LPA's writes.
@@ -407,6 +424,7 @@ void Ftl::rebuild_from_oob() {
   alloc_config.blocks = geometry.blocks;
   alloc_config.pages_per_block = ppb;
   alloc_config.wear = wear_policy_;
+  alloc_config.gc_index = gc_index_kind_for(config_.gc_policy);
   allocators_.assign(die_count, DieAllocator(alloc_config));
   block_t_.assign(die_count, std::vector<unsigned>(geometry.blocks, 0));
   pending_trims_.clear();
@@ -459,7 +477,7 @@ void Ftl::rebuild_from_oob() {
       // as an invalid page until the block's next erase.
       std::uint32_t next = ppb;
       while (next > 0 && !dev.oob({b, next - 1}).has_value() &&
-             dev.array().is_erased({b, next - 1})) {
+             !dev.page_programmed({b, next - 1})) {
         --next;
       }
       if (next == 0) {
@@ -505,12 +523,15 @@ void Ftl::rebuild_from_oob() {
       // No-op when already superseded (double trim, GC'd copy, or a
       // journal entry whose write never survived).
       if (r.lpa < map_.logical_pages() && map_.mapped(r.lpa)) {
-        map_.unmap(r.lpa);
+        unmap_page(r.lpa);
       }
       continue;
     }
     XLF_ENSURE(r.lpa < map_.logical_pages());
-    map_.map(r.lpa, r.ppa);
+    // map_page keeps the allocators' mirrored counters — and with
+    // them the victim index — in lockstep with the replay, so the
+    // index is fully reconstructed by the time the mount returns.
+    map_page(r.lpa, r.ppa);
   }
 }
 
@@ -545,6 +566,9 @@ void Ftl::check_consistency() const {
         ++valid;
       }
       XLF_ENSURE(valid == map_.valid_count(d, b));
+      // The allocator's mirrored counter (the victim-index feed) must
+      // track the map exactly.
+      XLF_ENSURE(valid == alloc.cached_valid(b));
       const DieAllocator::BlockState state = alloc.state(b);
       XLF_ENSURE(dev.is_bad(b) == (state == DieAllocator::BlockState::kBad));
       if (state == DieAllocator::BlockState::kFree ||
@@ -566,6 +590,17 @@ void Ftl::check_consistency() const {
       XLF_ENSURE(f.next_page >= 1 && f.next_page < geometry.pages_per_block);
     }
     XLF_ENSURE(open_frontiers == open_blocks);
+    // Victim-index audit: the incremental index must reproduce the
+    // from-scratch oracle scan — same victim (or both empty) under
+    // the live policy and clock.
+    if (alloc.victim_index_enabled()) {
+      const std::optional<std::uint32_t> oracle = alloc.pick_victim_scored(
+          [&](const policy::GcBlockView& view) {
+            return gc_policy_->score(view);
+          },
+          [&](std::uint32_t b) { return map_.valid_count(d, b); }, clock_);
+      XLF_ENSURE(alloc.pick_victim_indexed(*gc_policy_, clock_) == oracle);
+    }
   }
 }
 

@@ -269,6 +269,12 @@ class Ftl {
   void fault(FaultPoint point) {
     if (fault_ != nullptr) fault_->hit(point);
   }
+  // PageMap transitions routed through the allocators' mirrored
+  // valid counters (the victim-index feed). All Ftl code paths —
+  // host writes, GC relocation, trim, mount replay — use these
+  // instead of touching map_.map/unmap directly.
+  void map_page(Lpa lpa, Ppa ppa);
+  void unmap_page(Lpa lpa);
   // Reliability manager pass for the target block's own wear; records
   // the chosen t.
   unsigned adapt_block_t(std::uint32_t die, std::uint32_t block);

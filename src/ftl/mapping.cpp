@@ -46,7 +46,7 @@ Ppa PageMap::lookup(Lpa lpa) const {
   return l2p_[lpa];
 }
 
-void PageMap::map(Lpa lpa, Ppa ppa) {
+Ppa PageMap::map(Lpa lpa, Ppa ppa) {
   XLF_EXPECT(lpa < logical_pages_);
   check(ppa);
   const std::size_t target = page_index(ppa);
@@ -63,9 +63,10 @@ void PageMap::map(Lpa lpa, Ppa ppa) {
   p2l_[target] = lpa;
   ++valid_counts_[static_cast<std::size_t>(ppa.die) * blocks_per_die_ +
                   ppa.block];
+  return old;
 }
 
-void PageMap::unmap(Lpa lpa) {
+Ppa PageMap::unmap(Lpa lpa) {
   XLF_EXPECT(lpa < logical_pages_);
   const Ppa old = l2p_[lpa];
   XLF_EXPECT(old.valid() && "trimming an unmapped LPA");
@@ -75,6 +76,7 @@ void PageMap::unmap(Lpa lpa) {
   --valid_counts_[static_cast<std::size_t>(old.die) * blocks_per_die_ +
                   old.block];
   l2p_[lpa] = Ppa{};
+  return old;
 }
 
 bool PageMap::valid(Ppa ppa) const {

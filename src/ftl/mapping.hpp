@@ -45,13 +45,15 @@ class PageMap {
   Ppa lookup(Lpa lpa) const;
   // Point `lpa` at a fresh physical page, invalidating its previous
   // location (the out-of-place write step). The target page must not
-  // already hold a valid mapping.
-  void map(Lpa lpa, Ppa ppa);
+  // already hold a valid mapping. Returns the displaced location
+  // (Ppa::valid() false when the LPA was unmapped) so the caller can
+  // feed per-block valid-count listeners (the victim index).
+  Ppa map(Lpa lpa, Ppa ppa);
   // Drop `lpa`'s mapping entirely (host trim/deallocate): its
   // physical page goes invalid — feeding the block's GC signal — and
   // subsequent lookups see the LPA as never written. The LPA must be
-  // mapped.
-  void unmap(Lpa lpa);
+  // mapped. Returns the dropped location.
+  Ppa unmap(Lpa lpa);
 
   // True when the physical page holds the current copy of some LPA.
   bool valid(Ppa ppa) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/policy/arbitration_impl.hpp"
 #include "src/policy/registry.hpp"
 #include "src/util/expect.hpp"
 
@@ -23,6 +24,14 @@ HostInterface::HostInterface(const HostConfig& config)
   arbitration_ =
       policy::PolicyRegistry<policy::ArbitrationPolicy>::instance()
           .make_shared(config.arbitration);
+  // The registry call above stays authoritative (name validation,
+  // custom registrations); the enum only short-circuits the per-pick
+  // virtual dispatch for the two built-ins.
+  if (config.arbitration == "round-robin") {
+    builtin_arb_ = BuiltinArb::kRoundRobin;
+  } else if (config.arbitration == "weighted") {
+    builtin_arb_ = BuiltinArb::kWeighted;
+  }
   states_.resize(config.queues);
   views_.resize(config.queues);
   for (std::size_t q = 0; q < config.queue_weights.size(); ++q) {
@@ -51,36 +60,71 @@ void HostInterface::submit(const Command& command, Seconds arrival) {
     return msg.str();
   }());
   XLF_EXPECT(command.type == CmdType::kFlush || command.length >= 1);
-  states_[command.queue].submission.emplace_back(command, arrival);
+  QueueState& s = states_[command.queue];
+  const std::uint32_t slot = acquire_slot(s);
+  SubmissionSlot& node = s.slots[slot];
+  node.command = command;
+  node.arrival = arrival;
+  node.next = kNilSlot;
+  if (s.tail == kNilSlot) {
+    s.head = slot;
+  } else {
+    s.slots[s.tail].next = slot;
+  }
+  s.tail = slot;
+  ++s.backlog;
+}
+
+std::uint32_t HostInterface::acquire_slot(QueueState& s) {
+  if (s.free_head != kNilSlot) {
+    const std::uint32_t slot = s.free_head;
+    s.free_head = s.slots[slot].next;
+    return slot;
+  }
+  s.slots.emplace_back();
+  return static_cast<std::uint32_t>(s.slots.size() - 1);
 }
 
 bool HostInterface::pending() const {
   for (const QueueState& s : states_) {
-    if (!s.submission.empty()) return true;
+    if (s.backlog != 0) return true;
   }
   return false;
 }
 
 std::size_t HostInterface::backlog(std::size_t q) const {
-  return state(q).submission.size();
+  return state(q).backlog;
 }
 
 std::optional<std::uint32_t> HostInterface::arbitrate() const {
   bool any = false;
   for (std::size_t q = 0; q < states_.size(); ++q) {
     views_[q].id = static_cast<std::uint32_t>(q);
-    views_[q].backlog = states_[q].submission.size();
+    views_[q].backlog = states_[q].backlog;
     views_[q].issued = states_[q].issued;
     views_[q].weight = states_[q].weight;
-    views_[q].eligible = !states_[q].blocked && !states_[q].submission.empty();
+    views_[q].eligible = !states_[q].blocked && states_[q].backlog != 0;
     any = any || views_[q].eligible;
   }
   if (!any) return std::nullopt;
-  policy::ArbitrationContext ctx;
-  ctx.queues = views_.data();
-  ctx.queue_count = views_.size();
-  ctx.last_queue = last_queue_;
-  const std::uint32_t pick = arbitration_->pick(ctx);
+  std::uint32_t pick = 0;
+  switch (builtin_arb_) {
+    case BuiltinArb::kRoundRobin:
+      pick = policy::detail::round_robin_pick(views_.data(), views_.size(),
+                                              last_queue_);
+      break;
+    case BuiltinArb::kWeighted:
+      pick = policy::detail::weighted_pick(views_.data(), views_.size());
+      break;
+    case BuiltinArb::kCustom: {
+      policy::ArbitrationContext ctx;
+      ctx.queues = views_.data();
+      ctx.queue_count = views_.size();
+      ctx.last_queue = last_queue_;
+      pick = arbitration_->pick(ctx);
+      break;
+    }
+  }
   // A policy that picks an out-of-range or ineligible queue would
   // stall or corrupt the issue loop; fail loudly instead.
   XLF_ENSURE(pick < views_.size() && views_[pick].eligible);
@@ -90,9 +134,15 @@ std::optional<std::uint32_t> HostInterface::arbitrate() const {
 std::pair<Command, Seconds> HostInterface::pop(std::uint32_t q) {
   XLF_EXPECT(q < states_.size());
   QueueState& s = states_[q];
-  XLF_EXPECT(!s.blocked && !s.submission.empty());
-  std::pair<Command, Seconds> head = s.submission.front();
-  s.submission.pop_front();
+  XLF_EXPECT(!s.blocked && s.backlog != 0);
+  SubmissionSlot& node = s.slots[s.head];
+  std::pair<Command, Seconds> head{node.command, node.arrival};
+  const std::uint32_t slot = s.head;
+  s.head = node.next;
+  if (s.head == kNilSlot) s.tail = kNilSlot;
+  node.next = s.free_head;
+  s.free_head = slot;
+  --s.backlog;
   ++s.issued;
   last_queue_ = q;
   return head;

@@ -21,7 +21,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
@@ -113,8 +112,27 @@ class HostInterface {
   std::vector<QueueStats> all_stats() const;
 
  private:
+  static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
+
+  // One arena slot: a pending command, its arrival stamp, and the
+  // intrusive link that threads it into the FIFO (while queued) or
+  // the free list (while recycled).
+  struct SubmissionSlot {
+    Command command;
+    Seconds arrival{0.0};
+    std::uint32_t next = kNilSlot;
+  };
+
   struct QueueState {
-    std::deque<std::pair<Command, Seconds>> submission;
+    // Per-queue submission arena: slots slab-allocate once and then
+    // recycle through the free list, so the steady-state submit/pop
+    // cycle touches no allocator (the deque this replaces paid node
+    // churn on every command — BM_HostSubmissionPath is the guard).
+    std::vector<SubmissionSlot> slots;
+    std::uint32_t free_head = kNilSlot;  // recycled slots
+    std::uint32_t head = kNilSlot;       // FIFO front (next pop)
+    std::uint32_t tail = kNilSlot;
+    std::size_t backlog = 0;
     std::vector<Completion> completion;
     std::uint64_t issued = 0;
     double weight = 1.0;
@@ -123,9 +141,17 @@ class HostInterface {
     QueueStats stats;
   };
 
+  // Built-in arbitration policies devirtualized by registry name: the
+  // once-per-issued-command pick runs the shared inline scan from
+  // policy/arbitration_impl.hpp instead of the virtual call. kCustom
+  // routes through the registry-resolved policy object.
+  enum class BuiltinArb { kCustom, kRoundRobin, kWeighted };
+
   const QueueState& state(std::size_t q) const;
+  static std::uint32_t acquire_slot(QueueState& s);
 
   std::shared_ptr<const policy::ArbitrationPolicy> arbitration_;
+  BuiltinArb builtin_arb_ = BuiltinArb::kCustom;
   std::vector<QueueState> states_;
   bool record_completions_;
   // == queues() before the first issue (the round-robin start cue).

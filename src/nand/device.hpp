@@ -11,10 +11,12 @@
 //  * per-operation timing from the NandTiming characterisation.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "src/nand/array.hpp"
+#include "src/nand/data_plane.hpp"
 #include "src/nand/oob.hpp"
 #include "src/nand/timing.hpp"
 
@@ -38,6 +40,15 @@ struct DeviceConfig {
   std::size_t bytes_per_algorithm = 2 * 1024;
   // Default array programming fidelity.
   ProgramMode program_mode = ProgramMode::kStatistical;
+  // Instantiate the bit-true cell array (true, the default) or run
+  // metadata-only (false): no cells exist, programs and erases update
+  // only the durable metadata plane and the device-level wear /
+  // programmed-page trackers, and service times come from the same
+  // NandTiming models the statistical mode uses. Metadata-only
+  // devices make production block counts (64k+ blocks/die) cheap to
+  // construct and simulate; reads then carry no payload, so drivers
+  // must not verify data.
+  bool data_plane = true;
 };
 
 struct ReadOutcome {
@@ -61,9 +72,19 @@ class NandDevice {
 
   const DeviceConfig& config() const { return config_; }
   const Geometry& geometry() const { return config_.array.geometry; }
-  NandArray& array() { return array_; }
-  const NandArray& array() const { return array_; }
+  // The cell array; only exists on data-plane devices.
+  NandArray& array();
+  const NandArray& array() const;
   const NandTiming& timing() const { return timing_; }
+
+  // Defer cell-array mutations (programs, erases, wear jumps) into
+  // `queue` instead of running them inline; nullptr detaches. While
+  // attached, wear reads come from the device's synchronously
+  // maintained shadow and reads drain the queue first, so results are
+  // byte-identical to undeferred execution (see data_plane.hpp for
+  // the ordering contract). Statistical-mode data-plane devices only:
+  // ISPP-trace timing needs the cells at program time.
+  void attach_data_plane(DataPlaneQueue* queue);
 
   // --- the cross-layer knob -----------------------------------------
   // Selects the ISPP variant for subsequent programs. Rejects
@@ -95,9 +116,15 @@ class NandDevice {
   // Durable per-block erase counter (survives remount, unlike the
   // FTL allocator's DRAM copy, which is rebuilt from this).
   std::uint32_t erase_count(std::uint32_t block) const;
+  // Whether the page has been programmed since its block's last erase
+  // (tracked at device level, so it answers in metadata-only and
+  // deferred modes too — the FTL's rebuild frontier scan reads this).
+  bool page_programmed(PageAddress addr) const;
 
   // --- wear / lifetime -------------------------------------------------
-  double wear(std::uint32_t block) const { return array_.wear(block); }
+  // Device-level wear, kept in lockstep with the array's own counter
+  // (and authoritative when the array is deferred or absent).
+  double wear(std::uint32_t block) const;
   void set_wear(std::uint32_t block, double cycles);
   // Convenience: age every block (uniform wear-levelled device).
   void set_uniform_wear(double cycles);
@@ -110,7 +137,9 @@ class NandDevice {
   std::size_t page_index(PageAddress addr) const;
 
   DeviceConfig config_;
-  NandArray array_;
+  // nullptr on metadata-only devices (constructing the array samples
+  // every cell of every block — exactly the cost that mode avoids).
+  std::unique_ptr<NandArray> array_;
   NandTiming timing_;
   std::vector<ProgramAlgorithm> resident_;
   ProgramAlgorithm active_algorithm_ = ProgramAlgorithm::kIsppSv;
@@ -119,6 +148,12 @@ class NandDevice {
   std::vector<std::optional<OobRecord>> oob_;
   std::vector<std::uint32_t> erase_counts_;
   std::vector<char> bad_;
+  // Device-level mirrors of array state, valid in every mode: wear_
+  // answers wear() while cell work is deferred (or absent), and
+  // programmed_ answers page_programmed().
+  std::vector<double> wear_;
+  std::vector<char> programmed_;
+  DataPlaneQueue* deferred_ = nullptr;
 };
 
 }  // namespace xlf::nand

@@ -1,0 +1,54 @@
+// Shared inner loops of the built-in arbitration policies.
+//
+// Two call sites compile these: the registry-facing policy classes in
+// builtin_arbitration.cpp (the policy-plane contract, virtual
+// dispatch) and the host interface's devirtualized fast path
+// (src/host/queues.cpp), which recognizes the built-in registry names
+// at construction and calls these directly once per issued command.
+// Keeping one definition guarantees the two paths stay byte-identical
+// — BM_HostSubmissionPath guards the speedup, the host-queue tests
+// guard the equivalence.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "src/policy/policy.hpp"
+
+namespace xlf::policy::detail {
+
+// Round-robin: first eligible queue scanning circularly from just
+// past the last issuer (queue 0 before anything has issued).
+inline std::uint32_t round_robin_pick(const QueueView* queues, std::size_t n,
+                                      std::uint32_t last_queue) {
+  const std::size_t start = last_queue >= n ? 0 : (last_queue + 1) % n;
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t q = (start + step) % n;
+    if (queues[q].eligible) return queues[q].id;
+  }
+  // The contract guarantees an eligible queue; reaching here is a
+  // host-interface bug.
+  return queues[0].id;
+}
+
+// Weighted deficit: the eligible queue furthest behind its weighted
+// issue share goes next; strict < keeps ties on the lowest id.
+inline std::uint32_t weighted_pick(const QueueView* queues, std::size_t n) {
+  double best = std::numeric_limits<double>::infinity();
+  std::uint32_t pick = queues[0].id;
+  bool found = false;
+  for (std::size_t q = 0; q < n; ++q) {
+    const QueueView& view = queues[q];
+    if (!view.eligible) continue;
+    const double share = static_cast<double>(view.issued) / view.weight;
+    if (!found || share < best) {
+      best = share;
+      pick = view.id;
+      found = true;
+    }
+  }
+  return pick;
+}
+
+}  // namespace xlf::policy::detail

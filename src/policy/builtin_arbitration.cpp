@@ -7,8 +7,10 @@
 //    eligible queue with the smallest issued/weight ratio, so issue
 //    opportunities converge to the configured weight proportions and
 //    heavy queues drain (and complete) first under contention.
-#include <limits>
-
+//
+// The scan bodies live in arbitration_impl.hpp, shared with the host
+// interface's devirtualized fast path for these two names.
+#include "src/policy/arbitration_impl.hpp"
 #include "src/policy/policy.hpp"
 #include "src/policy/registry.hpp"
 
@@ -18,41 +20,15 @@ namespace {
 class RoundRobinArbitration final : public ArbitrationPolicy {
  public:
   std::uint32_t pick(const ArbitrationContext& ctx) const override {
-    // Start scanning just past the last issuer (or at queue 0 before
-    // anything has issued) so service rotates instead of pinning on
-    // the lowest id.
-    const std::size_t n = ctx.queue_count;
-    const std::size_t start =
-        ctx.last_queue >= n ? 0 : (ctx.last_queue + 1) % n;
-    for (std::size_t step = 0; step < n; ++step) {
-      const std::size_t q = (start + step) % n;
-      if (ctx.queues[q].eligible) return ctx.queues[q].id;
-    }
-    // The contract guarantees an eligible queue; reaching here is a
-    // host-interface bug.
-    return ctx.queues[0].id;
+    return detail::round_robin_pick(ctx.queues, ctx.queue_count,
+                                    ctx.last_queue);
   }
 };
 
 class WeightedArbitration final : public ArbitrationPolicy {
  public:
   std::uint32_t pick(const ArbitrationContext& ctx) const override {
-    double best = std::numeric_limits<double>::infinity();
-    std::uint32_t pick = ctx.queues[0].id;
-    bool found = false;
-    for (std::size_t q = 0; q < ctx.queue_count; ++q) {
-      const QueueView& view = ctx.queues[q];
-      if (!view.eligible) continue;
-      // Deficit: the queue furthest behind its weighted share of
-      // issues goes next. Strict < keeps ties on the lowest id.
-      const double share = static_cast<double>(view.issued) / view.weight;
-      if (!found || share < best) {
-        best = share;
-        pick = view.id;
-        found = true;
-      }
-    }
-    return pick;
+    return detail::weighted_pick(ctx.queues, ctx.queue_count);
   }
 };
 

@@ -1,0 +1,35 @@
+#include "src/sim/die_shard.hpp"
+
+namespace xlf::sim {
+
+DieShardExecutor::DieShardExecutor(ftl::Ssd& ssd, ThreadPool& pool,
+                                   std::size_t batch_jobs)
+    : ssd_(&ssd), pool_(&pool), batch_jobs_(batch_jobs),
+      queues_(ssd.dies()) {
+  for (std::size_t d = 0; d < queues_.size(); ++d) {
+    ssd_->die(d).device().attach_data_plane(&queues_[d]);
+  }
+}
+
+DieShardExecutor::~DieShardExecutor() {
+  // attach_data_plane(nullptr) drains each die's queue before
+  // detaching, so destruction leaves the arrays current even without
+  // an explicit flush.
+  for (std::size_t d = 0; d < queues_.size(); ++d) {
+    ssd_->die(d).device().attach_data_plane(nullptr);
+  }
+}
+
+std::size_t DieShardExecutor::pending_jobs() const {
+  std::size_t total = 0;
+  for (const nand::DataPlaneQueue& q : queues_) total += q.pending_jobs();
+  return total;
+}
+
+void DieShardExecutor::flush() {
+  if (pending_jobs() == 0) return;
+  pool_->parallel_for(queues_.size(),
+                      [this](std::size_t d) { queues_[d].drain(); });
+}
+
+}  // namespace xlf::sim

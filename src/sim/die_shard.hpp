@@ -1,0 +1,64 @@
+// Sharded per-die data-plane execution for one simulation run.
+//
+// The simulator's logical event loop (arrivals, arbitration, FTL
+// state, completion merge) is inherently serial — that is what makes
+// runs byte-reproducible. What parallelizes is the physical work
+// underneath it: each die's cell-array mutations (page programs,
+// erases, wear jumps) touch only that die's private array and noise
+// Rng. DieShardExecutor attaches one nand::DataPlaneQueue to every
+// die of an Ssd, so the issue loop appends cell jobs instead of
+// running them inline, and flush() drains all dies concurrently on a
+// borrowed ThreadPool — one worker per die, each queue in strict push
+// order.
+//
+// Determinism contract: ordering is per-die FIFO, and the serial
+// merge point is the issue loop itself — every cross-die interaction
+// (the L2P map, allocators, the clock, channel timelines) already
+// happened serially before a job was enqueued. A read landing on a
+// die with pending jobs drains that die inline first (see
+// NandDevice::read_page), so data dependencies hold. Any thread
+// count — including 1 — therefore produces byte-identical results,
+// and so does detaching the executor entirely.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/ftl/ssd.hpp"
+#include "src/nand/data_plane.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace xlf::sim {
+
+class DieShardExecutor {
+ public:
+  // Attaches to every die of `ssd`; both referents must outlive the
+  // executor. `batch_jobs` is the backlog at which batch_ready()
+  // starts asking the driver for a flush (bounds captured-payload
+  // memory while keeping flush batches big enough to amortize the
+  // fork-join).
+  DieShardExecutor(ftl::Ssd& ssd, ThreadPool& pool,
+                   std::size_t batch_jobs = 4096);
+  // Drains remaining work and detaches (the Ssd reverts to inline
+  // execution).
+  ~DieShardExecutor();
+
+  DieShardExecutor(const DieShardExecutor&) = delete;
+  DieShardExecutor& operator=(const DieShardExecutor&) = delete;
+
+  std::size_t pending_jobs() const;
+  bool batch_ready() const { return pending_jobs() >= batch_jobs_; }
+
+  // Run every pending cell job, dies in parallel (one worker per
+  // die), each die's jobs in push order. Callers must be at a safe
+  // point: not inside an FTL or controller operation.
+  void flush();
+
+ private:
+  ftl::Ssd* ssd_;
+  ThreadPool* pool_;
+  std::size_t batch_jobs_;
+  std::vector<nand::DataPlaneQueue> queues_;
+};
+
+}  // namespace xlf::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/sim/die_shard.hpp"
 #include "src/util/expect.hpp"
 
 namespace xlf::sim {
@@ -35,6 +36,19 @@ SsdSimulator::SsdSimulator(ftl::Ssd& ssd, const SsdSimConfig& config)
   // Surface a bad queue shape / arbitration name at construction, not
   // mid-run: building a throwaway interface runs all the checks.
   host::HostInterface probe(config_.host);
+  // Metadata-only devices hold no payload bits: nothing to generate,
+  // nothing to verify.
+  if (!ssd.die(0).device().config().data_plane) {
+    config_.generate_payloads = false;
+    config_.verify_data = false;
+  }
+}
+
+void SsdSimulator::maybe_flush_shards() {
+  if (config_.data_plane_shards != nullptr &&
+      config_.data_plane_shards->batch_ready()) {
+    config_.data_plane_shards->flush();
+  }
 }
 
 BitVec SsdSimulator::random_payload() {
@@ -48,9 +62,14 @@ BitVec SsdSimulator::random_payload() {
 
 void SsdSimulator::prepopulate() {
   for (ftl::Lpa lpa = 0; lpa < ssd_->logical_pages(); ++lpa) {
-    BitVec payload = random_payload();
-    ssd_->ftl().write(lpa, payload);
-    written_[lpa] = std::move(payload);
+    if (config_.generate_payloads) {
+      BitVec payload = random_payload();
+      ssd_->ftl().write(lpa, payload);
+      written_[lpa] = std::move(payload);
+    } else {
+      ssd_->ftl().write(lpa, BitVec(0));
+    }
+    maybe_flush_shards();
   }
 }
 
@@ -74,9 +93,10 @@ void SsdSimulator::issue(std::uint32_t q, const host::Command& command,
     case host::CmdType::kWrite: {
       for (std::uint32_t p = 0; p < command.length; ++p) {
         const ftl::Lpa lpa = command.lba + p;
-        BitVec payload = random_payload();
+        BitVec payload =
+            config_.generate_payloads ? random_payload() : BitVec(0);
         const ftl::FtlOpResult res = ssd_->ftl().write(lpa, payload);
-        written_[lpa] = std::move(payload);
+        if (config_.generate_payloads) written_[lpa] = std::move(payload);
         stats.gc_busy += res.gc_time;
         stats.ecc_energy += res.ecc_energy;
         stats.nand_energy += res.nand_energy;
@@ -144,25 +164,48 @@ void SsdSimulator::issue(std::uint32_t q, const host::Command& command,
   entry.completed = completion;
   host_->note_scheduled_completion(q, completion);
   ++outstanding_;
-  queue_.schedule_at(completion, [this, &stats, entry, q] {
-    const double latency = entry.latency().value();
-    switch (entry.type) {
-      case host::CmdType::kRead:
-        stats.read_latency.add(latency);
-        break;
-      case host::CmdType::kWrite:
-        stats.write_latency.add(latency);
-        break;
-      case host::CmdType::kTrim:
-        break;
-      case host::CmdType::kFlush:
-        host_->unblock(q);
-        break;
-    }
-    host_->complete(entry);
-    --outstanding_;
-    try_issue(stats);
-  });
+  // Park the Completion in the inflight arena and schedule only the
+  // slot index: the {this, slot} capture fits std::function's
+  // small-buffer storage, so the per-command completion event costs
+  // no allocation.
+  const std::uint32_t slot = acquire_inflight();
+  inflight_[slot] = entry;
+  queue_.schedule_at(completion, [this, slot] { complete_slot(slot); });
+}
+
+std::uint32_t SsdSimulator::acquire_inflight() {
+  if (!inflight_free_.empty()) {
+    const std::uint32_t slot = inflight_free_.back();
+    inflight_free_.pop_back();
+    return slot;
+  }
+  inflight_.emplace_back();
+  return static_cast<std::uint32_t>(inflight_.size() - 1);
+}
+
+void SsdSimulator::complete_slot(std::uint32_t slot) {
+  // Copy out before recycling: try_issue below reuses the slot, and a
+  // pool grow would invalidate a reference into it.
+  const host::Completion entry = inflight_[slot];
+  inflight_free_.push_back(slot);
+  SsdSimStats& stats = *run_stats_;
+  const double latency = entry.latency().value();
+  switch (entry.type) {
+    case host::CmdType::kRead:
+      stats.read_latency.add(latency);
+      break;
+    case host::CmdType::kWrite:
+      stats.write_latency.add(latency);
+      break;
+    case host::CmdType::kTrim:
+      break;
+    case host::CmdType::kFlush:
+      host_->unblock(entry.queue);
+      break;
+  }
+  host_->complete(entry);
+  --outstanding_;
+  try_issue(stats);
 }
 
 void SsdSimulator::try_issue(SsdSimStats& stats) {
@@ -171,6 +214,10 @@ void SsdSimulator::try_issue(SsdSimStats& stats) {
     if (!q.has_value()) break;
     const auto [command, arrival] = host_->pop(*q);
     issue(*q, command, arrival, stats);
+    // Between commands is a safe point (no FTL/controller operation
+    // in progress): drain accumulated per-die cell work in parallel
+    // once a batch is worth the fork-join.
+    maybe_flush_shards();
   }
 }
 
@@ -192,6 +239,10 @@ SsdSimStats SsdSimulator::run(const std::vector<host::Command>& commands) {
   host::HostInterface host(config_.host);
   host_ = &host;
   outstanding_ = 0;
+  run_commands_ = &commands;
+  run_stats_ = &stats;
+  inflight_.clear();
+  inflight_free_.clear();
 
   const Seconds start = queue_.now();
   const ftl::FtlStats ftl_before = ssd_->ftl().stats();
@@ -207,11 +258,15 @@ SsdSimStats SsdSimulator::run(const std::vector<host::Command>& commands) {
   // Open loop: every arrival is on the calendar before the first
   // event fires; completions never delay arrivals, only issue.
   Seconds arrival = start;
-  for (const host::Command& command : commands) {
-    arrival += command.gap;
-    queue_.schedule_at(arrival, [this, &command, arrival, &stats] {
-      host_->submit(command, arrival);
-      try_issue(stats);
+  for (std::size_t i = 0; i < commands.size(); ++i) {
+    arrival += commands[i].gap;
+    // The event fires exactly at its scheduled instant, so the
+    // callback recovers the arrival stamp from queue_.now(); capturing
+    // only {this, index} keeps the event inside std::function's
+    // small-buffer storage (no per-command allocation).
+    queue_.schedule_at(arrival, [this, i] {
+      host_->submit((*run_commands_)[i], queue_.now());
+      try_issue(*run_stats_);
     });
   }
   try {
@@ -225,6 +280,10 @@ SsdSimStats SsdSimulator::run(const std::vector<host::Command>& commands) {
     outstanding_ = 0;
     stats.power_loss = true;
   }
+  // Deferred cell work models data already on the cells (its OOB
+  // record committed at issue); land it before anyone reads the
+  // arrays — including the post-crash remount audit.
+  if (config_.data_plane_shards != nullptr) config_.data_plane_shards->flush();
 
   stats.elapsed = queue_.now() - start;
   const ftl::FtlStats& ftl_after = ssd_->ftl().stats();
@@ -264,6 +323,8 @@ SsdSimStats SsdSimulator::run(const std::vector<host::Command>& commands) {
   }
   stats.queue_stats = host.all_stats();
   host_ = nullptr;
+  run_commands_ = nullptr;
+  run_stats_ = nullptr;
   return stats;
 }
 

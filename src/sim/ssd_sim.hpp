@@ -37,6 +37,8 @@
 
 namespace xlf::sim {
 
+class DieShardExecutor;
+
 struct SsdSimConfig {
   // Maximum commands in flight across the whole SSD (shared by all
   // submission queues; the arbiter divides it).
@@ -46,6 +48,17 @@ struct SsdSimConfig {
   // Verify read payloads bit-for-bit against the host's write record.
   bool verify_data = true;
   std::uint64_t data_seed = 0xDA7A5EED;
+  // Optional sharded data plane (see die_shard.hpp): the simulator
+  // asks it to flush between commands whenever a batch is ready, and
+  // always before a run returns. Attach/detach is the caller's job;
+  // results are byte-identical with or without it, for any thread
+  // count.
+  DieShardExecutor* data_plane_shards = nullptr;
+  // Skip payload generation and the host write oracle — for
+  // metadata-only devices (no cells to hold data) and for throughput
+  // measurements where the host-side payload RNG would dominate.
+  // Implies no data verification.
+  bool generate_payloads = true;
 };
 
 struct SsdSimStats {
@@ -142,6 +155,12 @@ class SsdSimulator {
   void try_issue(SsdSimStats& stats);
   void issue(std::uint32_t q, const host::Command& command, Seconds arrival,
              SsdSimStats& stats);
+  // Fire the completion parked in inflight_[slot] (stats, unblock,
+  // issue step), recycling the slot.
+  void complete_slot(std::uint32_t slot);
+  std::uint32_t acquire_inflight();
+  // Flush the attached sharded data plane when a batch is ready.
+  void maybe_flush_shards();
 
   ftl::Ssd* ssd_;
   SsdSimConfig config_;
@@ -151,9 +170,20 @@ class SsdSimulator {
   // trims erase their entry, matching the device's deallocation.
   std::map<ftl::Lpa, BitVec> written_;
 
-  // Per-run issue state (valid while run() executes).
+  // Per-run issue state (valid while run() executes). run_commands_ /
+  // run_stats_ exist so event callbacks capture only {this, index}:
+  // 16 bytes keeps every per-command std::function inside libstdc++'s
+  // small-buffer storage — zero heap traffic per event at 10M-command
+  // scale (Completion payloads park in the inflight_ arena instead of
+  // the closure).
   host::HostInterface* host_ = nullptr;
   std::size_t outstanding_ = 0;
+  const std::vector<host::Command>* run_commands_ = nullptr;
+  SsdSimStats* run_stats_ = nullptr;
+  // In-flight Completion arena (bounded by queue_depth + 1; slots
+  // recycle through the free list).
+  std::vector<host::Completion> inflight_;
+  std::vector<std::uint32_t> inflight_free_;
 };
 
 }  // namespace xlf::sim

@@ -9,10 +9,12 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "src/ftl/fault.hpp"
 #include "src/ftl/ssd.hpp"
+#include "src/policy/registry.hpp"
 
 namespace xlf::ftl {
 namespace {
@@ -382,6 +384,55 @@ TEST(CrashRecovery, GrownBadBlocksRetireRouteAroundAndSurviveRemount) {
     EXPECT_NE(ssd.ftl().map().lookup(lpa).block, kDoomed);
   }
   ssd.ftl().check_consistency();
+}
+
+// The victim index after a crash + remount: rebuild_from_oob feeds
+// the rebuilt allocators through the same map/close notifications as
+// live traffic, so the indexed pick must equal a from-scratch linear
+// scan of the rebuilt state — killed mid-GC, the worst case, because
+// the victim's partially relocated valid counts and the GC frontier
+// both land in the index via replay rather than live churn.
+TEST(CrashRecovery, VictimIndexRebuildMatchesScratchScanAfterMidGcCrash) {
+  for (const std::string name : {"greedy", "cost-benefit"}) {
+    SsdConfig config = small_ssd();
+    config.ftl.gc_policy = name;
+    Ssd ssd(config);
+    FaultInjector injector;
+    ssd.set_fault_injector(&injector);
+    Ftl& ftl = ssd.ftl();
+    const std::uint32_t bits = ssd.die_geometry().data_bits_per_page();
+
+    for (Lpa lpa = 0; lpa < ftl.logical_pages(); ++lpa) {
+      ASSERT_TRUE(ftl.write(lpa, pattern(bits, 0x7000u + lpa)).ok);
+    }
+    injector.arm_at_point(FaultPoint::kMidGcProgram);
+    bool crashed = false;
+    for (int pass = 0; pass < 12 && !crashed; ++pass) {
+      for (Lpa lpa = 0; lpa < 4 && !crashed; ++lpa) {
+        try {
+          ftl.write(lpa, pattern(bits, 0x8000u + pass * 16u + lpa));
+        } catch (const PowerLoss&) {
+          crashed = true;
+        }
+      }
+    }
+    ASSERT_TRUE(crashed) << name << ": overwrites must trigger GC here";
+
+    ssd.remount();
+    ssd.ftl().check_consistency();
+    const auto policy =
+        policy::PolicyRegistry<policy::GcPolicy>::instance().make(name);
+    const std::uint64_t now = ssd.ftl().logical_clock();
+    for (std::uint32_t d = 0; d < ssd.dies(); ++d) {
+      const DieAllocator& alloc = ssd.ftl().allocator(d);
+      ASSERT_TRUE(alloc.victim_index_enabled());
+      const auto scratch = alloc.pick_victim_scored(
+          [&](const policy::GcBlockView& view) { return policy->score(view); },
+          [&](std::uint32_t b) { return alloc.cached_valid(b); }, now);
+      EXPECT_EQ(alloc.pick_victim_indexed(*policy, now), scratch)
+          << name << " die " << d;
+    }
+  }
 }
 
 TEST(CrashRecovery, SpentInjectorDoesNotRefireOnRemountTraffic) {

@@ -114,7 +114,16 @@ void usage() {
       "  --ftl-hot-fraction F  hot slice of the LPA space (0.25)\n"
       "  --ftl-hot-writes F    write share hitting the hot slice (0.85)\n"
       "  --ftl-trim-fraction F share of non-read requests that trim a\n"
-      "                        written LPA (0)\n";
+      "                        written LPA (0)\n"
+      "  --ftl-data-plane M    bit-true | meta: cell arrays or metadata-only\n"
+      "                        devices (timing/energy models, no payload\n"
+      "                        bits; default bit-true)\n"
+      "  --ftl-shard-dies      shard each combo's cell work into per-die\n"
+      "                        queues drained on the thread pool (combos\n"
+      "                        then run serially; rows are byte-identical\n"
+      "                        either way; needs bit-true data plane)\n"
+      "  --ftl-perf            report wall-clock commands/s per combo\n"
+      "                        beside the deterministic rows (JSON only)\n";
 }
 
 // The discovery companion of the registry's unknown-name errors: the
@@ -379,11 +388,37 @@ bool parse_args(int argc, char** argv, Options& opt) {
       shape();
       if ((v = value(i)) == nullptr) return false;
       exp.ftl.hot_write_fraction = std::atof(v);
+    } else if (arg == "--ftl-data-plane") {
+      shape();
+      if ((v = value(i)) == nullptr) return false;
+      const std::string mode = v;
+      if (mode == "bit-true") {
+        exp.ftl.data_plane = true;
+      } else if (mode == "meta") {
+        exp.ftl.data_plane = false;
+      } else {
+        std::cerr << "xlf_explore: --ftl-data-plane expects bit-true or "
+                     "meta, got "
+                  << mode << "\n";
+        return false;
+      }
+    } else if (arg == "--ftl-shard-dies") {
+      shape();
+      exp.ftl.shard_dies = true;
+    } else if (arg == "--ftl-perf") {
+      shape();
+      exp.ftl.measure_throughput = true;
     } else {
       std::cerr << "xlf_explore: unknown flag '" << arg
                 << "' (try --help)\n";
       return false;
     }
+  }
+  if (!exp.ftl.data_plane && exp.ftl.shard_dies) {
+    std::cerr << "xlf_explore: --ftl-shard-dies needs the bit-true data "
+                 "plane (metadata-only devices have no cell work to "
+                 "shard)\n";
+    return false;
   }
   if (!opt.spec_path.empty() && opt.shaped_by_flags) {
     std::cerr << "xlf_explore: --spec is exclusive with the sweep-shaping "
