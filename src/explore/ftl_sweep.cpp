@@ -1,7 +1,6 @@
 #include "src/explore/ftl_sweep.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <optional>
 #include <sstream>
 
@@ -9,6 +8,7 @@
 #include "src/sim/die_shard.hpp"
 #include "src/sim/host_workload.hpp"
 #include "src/util/expect.hpp"
+#include "src/util/stopwatch.hpp"
 
 namespace xlf::explore {
 
@@ -180,17 +180,13 @@ FtlSweepResult ftl_sweep(const FtlSweepSpec& spec, ThreadPool& pool) {
     row.refresh_policy = spec.refresh_policies[r];
     if (spec.measure_throughput) {
       // Wall-clock throughput read-out, reported beside (never inside)
-      // the deterministic rows.
-      const auto begin =
-          std::chrono::steady_clock::now();  // xlf-lint: allow(no-wall-clock)
+      // the deterministic rows. Stopwatch owns the repo's only
+      // sanctioned wall-clock read (src/util/stopwatch.hpp).
+      const Stopwatch watch;
       row.stats = simulator.run(commands);
-      const std::chrono::duration<double> wall =
-          std::chrono::steady_clock::now() -  // xlf-lint: allow(no-wall-clock)
-          begin;
+      const double wall = watch.elapsed_seconds();
       result.throughput_commands_per_second[index] =
-          wall.count() > 0.0
-              ? static_cast<double>(commands.size()) / wall.count()
-              : 0.0;
+          wall > 0.0 ? static_cast<double>(commands.size()) / wall : 0.0;
     } else {
       row.stats = simulator.run(commands);
     }

@@ -214,6 +214,8 @@ std::uint32_t DieAllocator::max_erase_count() const {
   return best;
 }
 
+// xlf: hot — the indexed pick exists to keep GC selection off the
+// allocator; the bucket-head walk must stay allocation-free.
 std::optional<std::uint32_t> DieAllocator::pick_victim_indexed(
     const policy::GcPolicy& policy, std::uint64_t now) const {
   XLF_EXPECT(victims_.enabled());

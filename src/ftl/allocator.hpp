@@ -147,6 +147,7 @@ class DieAllocator {
   // through the same policy object; ties break toward the lowest id
   // in both). `valid_count` is only consulted on the fallback path —
   // the index path reads the mirrored counters.
+  // xlf: hot — on the GC trigger path of every write burst.
   template <class ValidCountFn>
   std::optional<std::uint32_t> pick_victim(const policy::GcPolicy& policy,
                                            const ValidCountFn& valid_count,

@@ -67,6 +67,7 @@ void VictimIndex::remove(std::uint32_t block) {
   bucket_of_[block] = kNoBucket;
 }
 
+// xlf: hot — lazy-deletion pops on the pick path; shrink-only.
 void VictimIndex::purge(std::uint32_t bucket) const {
   auto& heap = buckets_[bucket];
   while (!heap.empty() && !live(heap.front(), bucket)) {
@@ -133,6 +134,7 @@ void FreeBlockIndex::remove(std::uint32_t block) {
   is_free_[block] = 0;
 }
 
+// xlf: hot — every open-block choice lands here; shrink-only pops.
 std::uint32_t FreeBlockIndex::best() const {
   while (!heap_.empty() && !live(heap_.front())) {
     std::pop_heap(heap_.begin(), heap_.end(),

@@ -69,6 +69,7 @@ class VictimIndex {
   // Call visit(block, valid) on the minimal-key live entry of every
   // non-empty bucket, in ascending valid-count order. Purges stale
   // entries as they surface (hence the mutable heaps).
+  // xlf: hot — the whole point of the index is an allocation-free pick.
   template <class Visit>
   void for_each_head(Visit&& visit) const {
     for (std::uint32_t v = 0; v < buckets_.size(); ++v) {

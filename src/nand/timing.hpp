@@ -86,7 +86,9 @@ class NandTiming {
   // an entry is computed exactly once. The mutex makes NandTiming
   // non-copyable — callers that used to clone private instances as a
   // thread-safety workaround (the explore sweep) share one instead.
-  mutable std::mutex cache_mutex_;
+  // Predates the lock-order rule: a pure memo cache, never held across
+  // a call out of this class, so no ordering can form around it.
+  mutable std::mutex cache_mutex_;  // xlf-lint: allow(lock-order)
   mutable std::map<std::tuple<int, int, long>, IsppTrace> cache_;
 };
 

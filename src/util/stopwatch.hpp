@@ -1,0 +1,35 @@
+// The one sanctioned wall-clock site in src/. Everything the
+// simulator reports is driven by simulated time (EventQueue seconds,
+// FTL logical clock) and must be byte-identical across runs; the only
+// legitimate reason to read the host's clock is a throughput read-out
+// ABOUT the simulator — how many simulated commands per wall second —
+// reported beside, never inside, the deterministic rows.
+//
+// Wrapping that read here keeps the no-wall-clock allow-list at
+// exactly one line: callers use Stopwatch and never touch
+// std::chrono clocks, so a new `steady_clock::now()` anywhere else in
+// src/ is always a finding.
+#pragma once
+
+#include <chrono>
+
+namespace xlf {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  // Wall seconds since construction or the last reset().
+  double elapsed_seconds() const {
+    const std::chrono::duration<double> wall = Clock::now() - start_;
+    return wall.count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;  // xlf-lint: allow(no-wall-clock)
+  Clock::time_point start_;
+};
+
+}  // namespace xlf

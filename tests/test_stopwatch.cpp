@@ -1,0 +1,39 @@
+// xlf::Stopwatch — the repo's single sanctioned wall-clock reader
+// (src/util/stopwatch.hpp). The interesting property is not precision
+// but monotonicity and the reset contract: elapsed time never goes
+// negative, never shrinks while the watch runs, and reset() restarts
+// the measurement from (near) zero.
+#include "src/util/stopwatch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xlf {
+namespace {
+
+TEST(Stopwatch, ElapsedIsNonNegativeAndMonotonic) {
+  const Stopwatch watch;
+  const double first = watch.elapsed_seconds();
+  EXPECT_GE(first, 0.0);
+  // Burn a little time; steady_clock guarantees the second read is not
+  // earlier than the first.
+  volatile unsigned sink = 0;
+  for (unsigned i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(watch.elapsed_seconds(), first);
+}
+
+TEST(Stopwatch, ResetRestartsTheMeasurement) {
+  const Stopwatch outer;
+  Stopwatch watch;
+  volatile unsigned sink = 0;
+  for (unsigned i = 0; i < 100000; ++i) sink = sink + i;
+  watch.reset();
+  // `watch` now measures from a later origin than `outer`, and `outer`
+  // is read after `watch`: its reading must be at least as large, no
+  // matter how the scheduler stretches the gaps.
+  const double after = watch.elapsed_seconds();
+  EXPECT_GE(after, 0.0);
+  EXPECT_GE(outer.elapsed_seconds(), after);
+}
+
+}  // namespace
+}  // namespace xlf

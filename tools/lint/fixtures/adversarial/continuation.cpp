@@ -1,0 +1,24 @@
+// Adversarial fixture: backslash line continuations. A // comment
+// whose physical line ends in a backslash logically continues onto
+// the next line, and a string literal can be spliced the same way.
+// The PR 7 stripper reset its comment/string state at every newline,
+// so both continuations below leaked banned tokens into the code
+// view. The token lexer must keep the comment/string state across
+// the splice and report exactly ONE finding in this file: the
+// genuine rand() in the last function.
+
+// this whole comment continues onto the next physical line \
+rand(); srand(7); std::random_device ghost; time(nullptr);
+
+const char* kSpliced = "a string spliced across physical lines \
+still a string: rand() time(nullptr) steady_clock";
+
+#define XLF_FIXTURE_MACRO(x) \
+  do {                       \
+    (void)(x);               \
+  } while (0)
+
+int real_finding_after_continuations() {
+  XLF_FIXTURE_MACRO(0);
+  return rand();
+}

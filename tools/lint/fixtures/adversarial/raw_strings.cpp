@@ -1,0 +1,28 @@
+// Adversarial fixture: raw string literals spanning physical lines.
+// The PR 7 line-based stripper processed each line independently with
+// no R"..." awareness, so every banned token inside these literals
+// leaked into the code view (and the unbalanced quotes corrupted the
+// stripping of the lines that followed). The token lexer must blank
+// the whole literal — including across newlines and through a custom
+// delimiter containing a quote — and report exactly ONE finding in
+// this file: the genuine rand() in the last function.
+#include <string>
+
+const char* kBait = R"(
+  std::random_device rd;
+  time(nullptr);
+  rand();
+  srand(42);
+  std::chrono::steady_clock::now();
+  reinterpret_cast<std::uintptr_t>(nullptr);
+  assert(banned tokens inside a raw string are never findings);
+)";
+
+const char* kDelimited = R"delim(
+  an embedded "quote" and an embedded )" do not end this literal;
+  gettimeofday(&tv, nullptr);
+)delim";
+
+int real_finding_after_raw_strings() {
+  return rand();
+}

@@ -1,0 +1,7 @@
+// Pin fixture: the emitter-TU rule (stem starts with "report") — an
+// unordered container here is a finding, std::map is not.
+#include <map>
+#include <unordered_map>
+
+std::unordered_map<int, int> histogram;  // finding: no-unordered-emit
+std::map<int, int> ordered_histogram;

@@ -1,0 +1,8 @@
+// Pin fixture: layering hits. ftl may see util but not explore (an
+// upward include) and never a sibling outside its closure.
+#include "src/util/ok.hpp"
+#include "src/explore/report_bait.hpp"
+// xlf-lint: allow(layering)
+#include "src/explore/report_bait.hpp"
+
+void touch();

@@ -1,0 +1,38 @@
+// Pin fixture: one hit per determinism rule plus the constructs that
+// must stay clean (comments, strings, static_assert, allow escapes).
+#include <cstdint>
+
+int seeded_stream();
+
+int ambient() {
+  std::random_device rd;  // finding: no-ambient-random
+  int r = rand();         // finding: no-ambient-random
+  return static_cast<int>(rd()) + r;
+}
+
+double wall() {
+  auto t0 = std::chrono::steady_clock::now();  // finding: no-wall-clock
+  return static_cast<double>(time(nullptr));   // finding: no-wall-clock
+}
+
+// rand() and time() in a comment are not findings.
+const char* msg = "rand() and steady_clock in a string are fine";
+
+double sim_time(int events);  // a name ending in time( is not the C time()
+
+void contracts(int level) {
+  assert(level < 4);  // finding: raw-assert
+  static_assert(sizeof(int) == 4, "static_assert stays clean");
+}
+
+void escaped() {
+  int r = rand();  // xlf-lint: allow(no-ambient-random)
+  // xlf-lint: allow(raw-assert)
+  assert(r >= 0);
+  (void)r;
+}
+
+void ptr_order() {
+  auto key = reinterpret_cast<std::uintptr_t>(msg);  // finding: no-ptr-order
+  (void)key;
+}

@@ -4,10 +4,15 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <ostream>
 #include <regex>
+#include <set>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "tools/lint/lexer.hpp"
 
 namespace xlf::lint {
 namespace {
@@ -20,6 +25,8 @@ constexpr const char* kNoWallClock = "no-wall-clock";
 constexpr const char* kNoUnorderedEmit = "no-unordered-emit";
 constexpr const char* kNoPtrOrder = "no-ptr-order";
 constexpr const char* kRawAssert = "raw-assert";
+constexpr const char* kHotAlloc = "hot-alloc";
+constexpr const char* kLockOrder = "lock-order";
 
 const std::vector<RuleInfo> kRules = {
     {kLayering,
@@ -40,62 +47,20 @@ const std::vector<RuleInfo> kRules = {
     {kRawAssert,
      "raw assert() compiles out under NDEBUG; use XLF_EXPECT / "
      "XLF_EXPECT_MSG / XLF_ENSURE from src/util/expect.hpp"},
+    {kHotAlloc,
+     "allocation reachable from a '// xlf: hot' function: hot paths must "
+     "run allocation-free after warm-up (arena and pool reuse only)"},
+    {kLockOrder,
+     "lock discipline: no nested mutex acquisition, no inconsistent "
+     "cross-TU lock ordering, no new locks in src/nand or src/sim "
+     "(determinism comes from ordering, not locking)"},
 };
 
-// Lines of a file with comments and string/char literals blanked out
-// (same length, same line count), so a banned token inside a comment
-// or a log string is never a finding. Raw line text is kept alongside
-// for the allow-comment scan.
-struct FileView {
-  std::vector<std::string> raw;
-  std::vector<std::string> code;  // literals/comments replaced by spaces
-};
-
-FileView strip(const std::string& contents) {
-  FileView view;
-  std::string line;
-  std::istringstream stream(contents);
-  bool in_block_comment = false;
-  while (std::getline(stream, line)) {
-    std::string code(line.size(), ' ');
-    bool in_string = false;
-    bool in_char = false;
-    for (std::size_t i = 0; i < line.size(); ++i) {
-      const char c = line[i];
-      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
-      if (in_block_comment) {
-        if (c == '*' && next == '/') {
-          in_block_comment = false;
-          ++i;
-        }
-      } else if (in_string || in_char) {
-        if (c == '\\') {
-          ++i;  // escaped char stays blanked
-        } else if (in_string && c == '"') {
-          in_string = false;
-        } else if (in_char && c == '\'') {
-          in_char = false;
-        }
-      } else if (c == '/' && next == '/') {
-        break;  // rest of the line is a comment
-      } else if (c == '/' && next == '*') {
-        in_block_comment = true;
-        ++i;
-      } else if (c == '"') {
-        in_string = true;
-        code[i] = c;  // keep the delimiters: #include "..." stays visible
-      } else if (c == '\'') {
-        in_char = true;
-      } else {
-        code[i] = c;
-      }
-    }
-    // Unterminated string literals do not span lines in this codebase;
-    // reset so one stray quote cannot blank the rest of the file.
-    view.raw.push_back(line);
-    view.code.push_back(std::move(code));
+int rule_index(const std::string& rule) {
+  for (std::size_t i = 0; i < kRules.size(); ++i) {
+    if (rule == kRules[i].name) return static_cast<int>(i);
   }
-  return view;
+  return static_cast<int>(kRules.size());
 }
 
 // `// xlf-lint: allow(rule)` (comma-separated rules accepted) on the
@@ -116,11 +81,12 @@ bool allow_matches(const std::string& raw_line, const std::string& rule) {
   return false;
 }
 
-bool is_allowed(const FileView& view, std::size_t line_index,
+bool is_allowed(const std::vector<std::string>& raw, std::size_t line_index,
                 const std::string& rule) {
-  if (allow_matches(view.raw[line_index], rule)) return true;
+  if (line_index >= raw.size()) return false;
+  if (allow_matches(raw[line_index], rule)) return true;
   if (line_index > 0) {
-    const std::string& above = view.raw[line_index - 1];
+    const std::string& above = raw[line_index - 1];
     // Only a line that is nothing but the allow comment arms the next
     // line; an allow trailing other code covers that code alone.
     const auto first = above.find_first_not_of(" \t");
@@ -142,6 +108,474 @@ const std::regex kUnorderedRe(R"(\bunordered_(map|set|multimap|multiset)\b)");
 const std::regex kPtrOrderRe(
     R"(std::(less|greater)\s*<[^<>;]*\*[^<>;]*>|reinterpret_cast<\s*(std::)?uintptr_t\s*>)");
 const std::regex kAssertRe(R"(\bassert\s*\()");
+const std::regex kHotMarkRe(R"(\bxlf:\s*hot\b)");
+
+// ------------------------------------------------ structural analysis
+//
+// The hot-alloc and lock-order families work on the token stream, not
+// on line patterns. The unit of analysis is an approximate function
+// definition: an identifier followed by a balanced parameter list, an
+// optional qualifier/ctor-init tail, and a braced body. Lambdas are
+// deliberately NOT functions here — their tokens belong to the
+// enclosing definition, so an allocation inside an event closure is
+// charged to the function that builds the closure.
+
+struct FnDef {
+  std::string name;
+  int name_line = 0;           // line of the name token
+  int open_line = 0;           // line of the body '{'
+  std::size_t open_tok = 0;    // index of '{' in the code-token vector
+  std::size_t close_tok = 0;   // index of the matching '}'
+  bool marked = false;         // carries a '// xlf: hot' annotation
+  int root = -1;               // index of the hot root that reaches it
+};
+
+struct TuAnalysis {
+  std::string path;
+  std::string layer;
+  bool emitter = false;
+  LexedFile lx;
+  std::vector<Token> code;      // structural tokens: no comments, no pp
+  std::vector<Token> comments;  // comments, for the hot-marker scan
+  std::vector<FnDef> defs;
+};
+
+// Names that look like `name(` but never open a function definition —
+// control flow, operators spelled as words, and expression keywords.
+bool never_a_function(const std::string& name) {
+  static const std::set<std::string> kNames = {
+      "if",       "for",      "while",   "switch",   "catch",
+      "return",   "sizeof",   "alignof", "alignas",  "decltype",
+      "typeid",   "throw",    "case",    "goto",     "operator",
+      "and",      "or",       "not",     "defined",  "static_assert",
+      "co_await", "co_return", "co_yield", "requires", "new",
+      "delete"};
+  return kNames.count(name) != 0;
+}
+
+// Index of the punct matching `open_text` at `open` (which must hold
+// an `open_text` token), or npos when unbalanced.
+std::size_t match_punct(const std::vector<Token>& code, std::size_t open,
+                        const char* open_text, const char* close_text) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i].kind != TokKind::kPunct) continue;
+    if (code[i].text == open_text) {
+      ++depth;
+    } else if (code[i].text == close_text) {
+      if (--depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+// Walk the tokens after a candidate's closing ')' looking for the
+// body '{'. Accepts qualifier identifiers (const, noexcept, ...),
+// trailing return types, and ctor-init lists; anything that proves
+// the candidate is a call or declaration (';', '=', '?', ...) rejects
+// it. Returns the '{' index or npos.
+std::size_t find_body_open(const std::vector<Token>& code,
+                           std::size_t after_params) {
+  bool seen_colon = false;
+  std::size_t k = after_params;
+  while (k < code.size()) {
+    const Token& t = code[k];
+    if (t.kind != TokKind::kPunct) {  // qualifiers, return types, names
+      ++k;
+      continue;
+    }
+    const std::string& s = t.text;
+    if (s == "{") {
+      // After a ctor-init colon, `name{args}` is a member init brace,
+      // not the body; the body brace follows ')' or '}'.
+      if (seen_colon && k > after_params &&
+          code[k - 1].kind == TokKind::kIdentifier) {
+        const std::size_t close = match_punct(code, k, "{", "}");
+        if (close == std::string::npos) return std::string::npos;
+        k = close + 1;
+        continue;
+      }
+      return k;
+    }
+    if (s == ":") {
+      seen_colon = true;
+      ++k;
+      continue;
+    }
+    if (s == "(") {
+      // Parens here only make sense inside a ctor-init list or a
+      // noexcept(...) clause; a second call's argument list rejects.
+      const bool after_noexcept =
+          k > after_params && code[k - 1].text == "noexcept";
+      if (!seen_colon && !after_noexcept) return std::string::npos;
+      const std::size_t close = match_punct(code, k, "(", ")");
+      if (close == std::string::npos) return std::string::npos;
+      k = close + 1;
+      continue;
+    }
+    if (s == "::" || s == "<" || s == ">" || s == "," || s == "&" ||
+        s == "*" || s == "->" || s == "...") {
+      ++k;
+      continue;
+    }
+    return std::string::npos;  // ';' '=' '?' '}' '.' — not a definition
+  }
+  return std::string::npos;
+}
+
+std::vector<FnDef> find_defs(const std::vector<Token>& code,
+                             const std::vector<Token>& comments) {
+  std::vector<FnDef> defs;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    const bool candidate =
+        code[i].kind == TokKind::kIdentifier && !never_a_function(code[i].text) &&
+        i + 1 < code.size() && code[i + 1].text == "(" &&
+        (i == 0 || (code[i - 1].text != "." && code[i - 1].text != "->"));
+    if (!candidate) {
+      ++i;
+      continue;
+    }
+    const std::size_t params_close = match_punct(code, i + 1, "(", ")");
+    if (params_close == std::string::npos) {
+      ++i;
+      continue;
+    }
+    const std::size_t open = find_body_open(code, params_close + 1);
+    if (open == std::string::npos) {
+      ++i;
+      continue;
+    }
+    const std::size_t close = match_punct(code, open, "{", "}");
+    if (close == std::string::npos) {
+      ++i;
+      continue;
+    }
+    FnDef def;
+    def.name = code[i].text;
+    def.name_line = code[i].line;
+    def.open_line = code[open].line;
+    def.open_tok = open;
+    def.close_tok = close;
+    defs.push_back(std::move(def));
+    i = close + 1;  // definitions do not nest; skip the body
+  }
+  // A definition is a hot root when a `// xlf: hot` comment sits on
+  // the signature: up to three lines above the name (multi-line
+  // return types) through the line of the opening brace (trailing
+  // same-line markers).
+  for (FnDef& def : defs) {
+    for (const Token& c : comments) {
+      if (c.line < def.name_line - 3 || c.line > def.open_line) continue;
+      if (std::regex_search(c.text, kHotMarkRe)) {
+        def.marked = true;
+        break;
+      }
+    }
+  }
+  return defs;
+}
+
+// Hot reachability: BFS from the marked definitions along intra-TU
+// call edges, matched by name (every same-named overload is reached —
+// over-approximate on purpose).
+void propagate_hot(TuAnalysis& tu) {
+  std::multimap<std::string, std::size_t> by_name;
+  for (std::size_t d = 0; d < tu.defs.size(); ++d) {
+    by_name.emplace(tu.defs[d].name, d);
+  }
+  std::vector<std::size_t> queue;
+  for (std::size_t d = 0; d < tu.defs.size(); ++d) {
+    if (tu.defs[d].marked) {
+      tu.defs[d].root = static_cast<int>(d);
+      queue.push_back(d);
+    }
+  }
+  while (!queue.empty()) {
+    const std::size_t d = queue.front();
+    queue.erase(queue.begin());
+    const FnDef& def = tu.defs[d];
+    for (std::size_t t = def.open_tok + 1; t < def.close_tok; ++t) {
+      const Token& tok = tu.code[t];
+      if (tok.kind != TokKind::kIdentifier || never_a_function(tok.text)) {
+        continue;
+      }
+      if (t + 1 >= def.close_tok || tu.code[t + 1].text != "(") continue;
+      const auto [begin, end] = by_name.equal_range(tok.text);
+      for (auto it = begin; it != end; ++it) {
+        FnDef& callee = tu.defs[it->second];
+        if (callee.root != -1) continue;
+        callee.root = tu.defs[d].root;
+        queue.push_back(it->second);
+      }
+    }
+  }
+}
+
+// The allocation ban-list scanned inside hot bodies. Returns the
+// construct's display name, or "" when the token is harmless.
+std::string hot_banned(const std::vector<Token>& code, std::size_t t,
+                       std::size_t limit) {
+  const Token& tok = code[t];
+  if (tok.kind != TokKind::kIdentifier) return "";
+  const std::string& s = tok.text;
+  const bool called = t + 1 < limit && code[t + 1].text == "(";
+  const bool std_qualified = t >= 2 && code[t - 1].text == "::" &&
+                             code[t - 2].text == "std";
+  if (s == "new") return "new";
+  if ((s == "malloc" || s == "calloc" || s == "realloc" || s == "strdup") &&
+      called) {
+    return s + "()";
+  }
+  if (s == "make_unique" || s == "make_shared") return "std::" + s;
+  if ((s == "push_back" || s == "emplace_back" || s == "resize" ||
+       s == "reserve") &&
+      called) {
+    return s + "()";
+  }
+  if (s == "function" && std_qualified) return "std::function";
+  if (s == "string" && std_qualified) return "std::string";
+  if (s == "to_string" && called && std_qualified) return "std::to_string";
+  return "";
+}
+
+void scan_hot_allocs(const TuAnalysis& tu, std::vector<Finding>& findings) {
+  for (const FnDef& def : tu.defs) {
+    if (def.root < 0) continue;
+    const std::string& root = tu.defs[def.root].name;
+    for (std::size_t t = def.open_tok + 1; t < def.close_tok; ++t) {
+      const std::string what = hot_banned(tu.code, t, def.close_tok);
+      if (what.empty()) continue;
+      const std::size_t line_index = tu.code[t].line - 1;
+      if (is_allowed(tu.lx.raw, line_index, kHotAlloc)) continue;
+      findings.push_back(Finding{
+          tu.path, tu.code[t].line, kHotAlloc,
+          "'" + what + "' in '" + def.name + "' (hot via '" + root +
+              "'): hot paths must not allocate after warm-up; hoist the "
+              "allocation into setup/arena code, or mark a documented "
+              "arena-growth site with // xlf-lint: allow(hot-alloc)"});
+    }
+  }
+}
+
+// ------------------------------------------------------ lock discipline
+
+// One mutex acquisition inside some function body.
+struct HeldLock {
+  std::string mutex;
+  int depth = 0;  // brace depth at the acquisition, for scope-exit pops
+};
+
+// A `first before second` ordering observed at file/line; collected
+// across every TU of a lint_files() call for the inversion check.
+struct OrderSite {
+  std::size_t file = 0;
+  int line = 0;
+};
+using OrderMap =
+    std::map<std::pair<std::string, std::string>, std::vector<OrderSite>>;
+
+bool lock_class(const std::string& s) {
+  return s == "lock_guard" || s == "unique_lock" || s == "scoped_lock" ||
+         s == "shared_lock";
+}
+
+bool mutex_class(const std::string& s) {
+  return s == "mutex" || s == "shared_mutex" || s == "recursive_mutex" ||
+         s == "timed_mutex" || s == "recursive_timed_mutex" ||
+         s == "shared_timed_mutex";
+}
+
+// Split a guard's constructor arguments at top-level commas and name
+// each acquired mutex by the last identifier of its expression
+// (`state_.big_mutex` and `*big_mutex` both name `big_mutex`). An
+// argument list mentioning defer_lock / try_to_lock means the guard
+// does not acquire here; adopt_lock means the lock is already held.
+std::vector<std::string> guard_mutexes(const std::vector<Token>& code,
+                                       std::size_t args_open,
+                                       std::size_t args_close) {
+  std::vector<std::string> names;
+  std::string last_ident;
+  int depth = 0;
+  for (std::size_t t = args_open + 1; t <= args_close; ++t) {
+    const Token& tok = code[t];
+    const bool top_comma =
+        t == args_close ||
+        (tok.kind == TokKind::kPunct && tok.text == "," && depth == 0);
+    if (top_comma) {
+      if (!last_ident.empty()) names.push_back(last_ident);
+      last_ident.clear();
+      continue;
+    }
+    if (tok.kind == TokKind::kPunct) {
+      if (tok.text == "(" || tok.text == "<" || tok.text == "{") ++depth;
+      if (tok.text == ")" || tok.text == ">" || tok.text == "}") --depth;
+      continue;
+    }
+    if (tok.kind == TokKind::kIdentifier) {
+      if (tok.text == "defer_lock" || tok.text == "try_to_lock" ||
+          tok.text == "adopt_lock") {
+        return {};
+      }
+      last_ident = tok.text;
+    }
+  }
+  return names;
+}
+
+void analyze_locks(const TuAnalysis& tu, std::size_t file_index,
+                   OrderMap& order, std::vector<Finding>& findings) {
+  const auto report_nested = [&](const std::string& outer,
+                                 const std::string& inner, int line,
+                                 const std::string& fn) {
+    const std::size_t line_index = line - 1;
+    if (is_allowed(tu.lx.raw, line_index, kLockOrder)) return;
+    findings.push_back(Finding{
+        tu.path, line, kLockOrder,
+        "mutex '" + inner + "' acquired while '" + outer +
+            "' is already held in '" + fn +
+            "'; nested acquisition invites deadlock — narrow the critical "
+            "section to one lock, or justify with // xlf-lint: "
+            "allow(lock-order)"});
+  };
+
+  for (const FnDef& def : tu.defs) {
+    std::vector<HeldLock> held;
+    int depth = 0;
+    for (std::size_t t = def.open_tok + 1; t < def.close_tok; ++t) {
+      const Token& tok = tu.code[t];
+      if (tok.kind == TokKind::kPunct) {
+        if (tok.text == "{") ++depth;
+        if (tok.text == "}") {
+          --depth;
+          while (!held.empty() && held.back().depth > depth) held.pop_back();
+        }
+        continue;
+      }
+      if (tok.kind != TokKind::kIdentifier) continue;
+
+      // RAII guards: std::lock_guard<...> name(m) / std::scoped_lock
+      // name(a, b) / brace-init variants.
+      if (lock_class(tok.text)) {
+        std::size_t k = t + 1;
+        if (k < def.close_tok && tu.code[k].text == "<") {
+          int angles = 0;
+          for (; k < def.close_tok; ++k) {
+            if (tu.code[k].text == "<") ++angles;
+            if (tu.code[k].text == ">" && --angles == 0) break;
+          }
+          ++k;
+        }
+        if (k < def.close_tok && tu.code[k].kind == TokKind::kIdentifier) {
+          ++k;  // the guard variable's name
+        }
+        if (k >= def.close_tok ||
+            (tu.code[k].text != "(" && tu.code[k].text != "{")) {
+          continue;  // a type mention, not a construction
+        }
+        const bool brace = tu.code[k].text == "{";
+        const std::size_t close = match_punct(tu.code, k, brace ? "{" : "(",
+                                              brace ? "}" : ")");
+        if (close == std::string::npos || close > def.close_tok) continue;
+        for (const std::string& m : guard_mutexes(tu.code, k, close)) {
+          if (!held.empty()) {
+            for (const HeldLock& outer : held) {
+              order[{outer.mutex, m}].push_back(
+                  OrderSite{file_index, tok.line});
+            }
+            report_nested(held.back().mutex, m, tok.line, def.name);
+          }
+          held.push_back(HeldLock{m, depth});
+        }
+        t = close;
+        continue;
+      }
+
+      // Manual m.lock() / m->lock() and the matching unlock().
+      if ((tok.text == "lock" || tok.text == "unlock") && t >= 2 &&
+          (tu.code[t - 1].text == "." || tu.code[t - 1].text == "->") &&
+          tu.code[t - 2].kind == TokKind::kIdentifier &&
+          t + 1 < def.close_tok && tu.code[t + 1].text == "(") {
+        const std::string m = tu.code[t - 2].text;
+        if (tok.text == "unlock") {
+          for (auto it = held.rbegin(); it != held.rend(); ++it) {
+            if (it->mutex == m) {
+              held.erase(std::next(it).base());
+              break;
+            }
+          }
+          continue;
+        }
+        if (!held.empty()) {
+          for (const HeldLock& outer : held) {
+            order[{outer.mutex, m}].push_back(OrderSite{file_index, tok.line});
+          }
+          report_nested(held.back().mutex, m, tok.line, def.name);
+        }
+        held.push_back(HeldLock{m, depth});
+        continue;
+      }
+    }
+  }
+
+  // New locks in the replayed layers are suspect by default: the data
+  // plane is sharded so every piece of state has one owner, and a
+  // mutex usually papers over a missing ordering.
+  if (tu.layer == "nand" || tu.layer == "sim") {
+    for (std::size_t t = 0; t < tu.code.size(); ++t) {
+      if (!mutex_class(tu.code[t].text) ||
+          tu.code[t].kind != TokKind::kIdentifier) {
+        continue;
+      }
+      if (t + 1 >= tu.code.size() ||
+          tu.code[t + 1].kind != TokKind::kIdentifier) {
+        continue;  // template argument or parameter type, not a member
+      }
+      const std::size_t line_index = tu.code[t].line - 1;
+      if (is_allowed(tu.lx.raw, line_index, kLockOrder)) continue;
+      findings.push_back(Finding{
+          tu.path, tu.code[t].line, kLockOrder,
+          "new std::" + tu.code[t].text + " '" + tu.code[t + 1].text +
+              "' declared in layer '" + tu.layer +
+              "': nand/sim stay lock-free by design (determinism comes "
+              "from event ordering); move synchronization to the host "
+              "boundary or justify with // xlf-lint: allow(lock-order)"});
+    }
+  }
+}
+
+void report_inversions(const std::vector<TuAnalysis>& tus,
+                       const OrderMap& order,
+                       std::vector<Finding>& findings) {
+  const auto first_unallowed = [&](const std::vector<OrderSite>& sites)
+      -> const OrderSite* {
+    for (const OrderSite& s : sites) {
+      if (!is_allowed(tus[s.file].lx.raw, s.line - 1, kLockOrder)) return &s;
+    }
+    return nullptr;
+  };
+  for (const auto& [pair, sites] : order) {
+    const auto& [a, b] = pair;
+    if (a >= b) continue;  // handle each unordered pair once, via (a, b)
+    const auto rev = order.find({b, a});
+    if (rev == order.end()) continue;
+    const OrderSite* fwd_site = first_unallowed(sites);
+    const OrderSite* rev_site = first_unallowed(rev->second);
+    const auto report = [&](const OrderSite* site, const std::string& outer,
+                            const std::string& inner,
+                            const OrderSite& other) {
+      if (site == nullptr) return;
+      findings.push_back(Finding{
+          tus[site->file].path, site->line, kLockOrder,
+          "lock order inverted: '" + inner + "' is acquired under '" +
+              outer + "' here but the opposite order appears at " +
+              tus[other.file].path + ":" + std::to_string(other.line) +
+              "; pick one global acquisition order"});
+    };
+    report(fwd_site, a, b, rev->second.front());
+    report(rev_site, b, a, sites.front());
+  }
+}
 
 }  // namespace
 
@@ -263,32 +697,31 @@ bool is_emitter_tu(const std::string& path) {
          stem.find("_json") != std::string::npos;
 }
 
-std::vector<Finding> lint_file(const std::string& path,
-                               const std::string& contents,
-                               const LayerGraph& graph) {
-  const FileView view = strip(contents);
-  const std::string layer = layer_of(path);
-  const bool emitter = is_emitter_tu(path);
-  std::vector<Finding> findings;
+namespace {
+
+// The six PR 7 line rules, verbatim, over the lexer's stripped view.
+// Their findings are pinned byte-identical by fixtures/pin.
+void lint_lines(const TuAnalysis& tu, const LayerGraph& graph,
+                std::vector<Finding>& findings) {
   const auto report = [&](std::size_t index, const char* rule,
                           std::string message) {
-    if (is_allowed(view, index, rule)) return;
-    findings.push_back(Finding{path, static_cast<int>(index + 1), rule,
+    if (is_allowed(tu.lx.raw, index, rule)) return;
+    findings.push_back(Finding{tu.path, static_cast<int>(index + 1), rule,
                                std::move(message)});
   };
 
-  for (std::size_t i = 0; i < view.code.size(); ++i) {
-    const std::string& code = view.code[i];
+  for (std::size_t i = 0; i < tu.lx.code.size(); ++i) {
+    const std::string& code = tu.lx.code[i];
     std::smatch match;
 
-    // Includes are matched on the RAW line: the stripper blanks string
+    // Includes are matched on the RAW line: the lexer blanks string
     // literals, and the include path is lexically one.
-    if (!layer.empty() && graph.has_layer(layer) &&
-        std::regex_search(view.raw[i], match, kIncludeRe)) {
+    if (!tu.layer.empty() && graph.has_layer(tu.layer) &&
+        std::regex_search(tu.lx.raw[i], match, kIncludeRe)) {
       const std::string target = match[1].str();
-      if (graph.allowed(layer).count(target) == 0) {
+      if (graph.allowed(tu.layer).count(target) == 0) {
         report(i, kLayering,
-               "layer '" + layer + "' must not include \"src/" + target +
+               "layer '" + tu.layer + "' must not include \"src/" + target +
                    "/...\": '" + target +
                    "' is not in its dependency closure (see "
                    "tools/lint/layers.txt); move the shared code to a lower "
@@ -307,7 +740,7 @@ std::vector<Finding> lint_file(const std::string& path,
              "simulated clock (EventQueue time, FTL logical clock) or take "
              "the timestamp as a parameter");
     }
-    if (emitter && std::regex_search(code, kUnorderedRe)) {
+    if (tu.emitter && std::regex_search(code, kUnorderedRe)) {
       report(i, kNoUnorderedEmit,
              "emitter TUs must not touch unordered containers: hash "
              "iteration order varies across libstdc++ versions and seeds; "
@@ -326,7 +759,53 @@ std::vector<Finding> lint_file(const std::string& path,
              "holds");
     }
   }
+}
+
+}  // namespace
+
+std::vector<Finding> lint_files(const std::vector<FileInput>& files,
+                                const LayerGraph& graph) {
+  std::vector<TuAnalysis> tus;
+  tus.reserve(files.size());
+  std::vector<Finding> findings;
+  OrderMap order;
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    TuAnalysis tu;
+    tu.path = files[fi].path;
+    tu.layer = layer_of(tu.path);
+    tu.emitter = is_emitter_tu(tu.path);
+    tu.lx = lex(files[fi].contents);
+    for (const Token& tok : tu.lx.tokens) {
+      if (tok.kind == TokKind::kComment) {
+        tu.comments.push_back(tok);
+      } else if (!tok.preprocessor) {
+        tu.code.push_back(tok);
+      }
+    }
+    lint_lines(tu, graph, findings);
+    tu.defs = find_defs(tu.code, tu.comments);
+    propagate_hot(tu);
+    scan_hot_allocs(tu, findings);
+    analyze_locks(tu, fi, order, findings);
+    tus.push_back(std::move(tu));
+  }
+  report_inversions(tus, order, findings);
+  // One global order regardless of which analysis produced a finding:
+  // by file, then line, then the rule's --list-rules position. This
+  // reproduces the PR 7 per-line rule order exactly.
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return rule_index(a.rule) < rule_index(b.rule);
+                   });
   return findings;
+}
+
+std::vector<Finding> lint_file(const std::string& path,
+                               const std::string& contents,
+                               const LayerGraph& graph) {
+  return lint_files({FileInput{path, contents}}, graph);
 }
 
 std::vector<Finding> lint_tree(const std::string& root,
@@ -350,7 +829,8 @@ std::vector<Finding> lint_tree(const std::string& root,
   } else {
     paths.push_back(root);
   }
-  std::vector<Finding> findings;
+  std::vector<FileInput> inputs;
+  inputs.reserve(paths.size());
   for (const std::string& path : paths) {
     std::ifstream file(path);
     if (!file) {
@@ -358,13 +838,9 @@ std::vector<Finding> lint_tree(const std::string& root,
     }
     std::ostringstream contents;
     contents << file.rdbuf();
-    std::vector<Finding> file_findings =
-        lint_file(path, contents.str(), graph);
-    findings.insert(findings.end(),
-                    std::make_move_iterator(file_findings.begin()),
-                    std::make_move_iterator(file_findings.end()));
+    inputs.push_back(FileInput{path, contents.str()});
   }
-  return findings;
+  return lint_files(inputs, graph);
 }
 
 // ------------------------------------------------------------------ CLI

@@ -1,11 +1,13 @@
 // xlf_lint — in-repo static analyzer for the repo's machine-checkable
-// invariants. Three rule families:
+// invariants. Five rule families:
 //
 //  * layering       — the include-layer DAG. src/<layer>/ may include
 //                     itself plus the transitive closure of its direct
 //                     dependencies as declared in tools/lint/layers.txt
 //                     (cross-checked against the CMake link edges by a
-//                     ctest, so the two can never drift).
+//                     ctest, so the two can never drift; the link-time
+//                     half of the check is xlf_sym_audit, see
+//                     tools/lint/sym_audit.hpp).
 //  * determinism    — ban-list of nondeterminism sources: ambient
 //                     randomness (std::random_device, rand), wall-clock
 //                     time (time(), C clocks, std::chrono clocks),
@@ -18,15 +20,32 @@
 //                     NDEBUG; contracts must use XLF_EXPECT /
 //                     XLF_EXPECT_MSG / XLF_ENSURE (src/util/expect.hpp)
 //                     so they hold in Release builds too.
+//  * hot-alloc      — allocation-freedom on hot paths. A function
+//                     annotated `// xlf: hot` on its signature, and
+//                     everything it reaches through the approximate
+//                     intra-TU call graph, must not allocate: new,
+//                     malloc, make_unique/make_shared, vector growth
+//                     (push_back/emplace_back/resize/reserve),
+//                     std::function and std::string construction are
+//                     findings. Documented arena-growth sites escape
+//                     with `// xlf-lint: allow(hot-alloc)`.
+//  * lock-order     — lock discipline: nested mutex acquisition,
+//                     inconsistent cross-TU acquisition order for the
+//                     same mutex pair, and any new mutex declared in
+//                     src/nand or src/sim (the replayed layers are
+//                     lock-free by design — determinism comes from
+//                     event ordering, not locking) are findings.
 //
 // Escape hatch: a `// xlf-lint: allow(<rule>)` comment on the same
 // line (or alone on the line directly above) suppresses that one rule
 // at that one site. There is no file- or tree-wide suppression on
 // purpose.
 //
-// The analysis is line-based over a comment- and string-stripped view
-// of each file: a banned construct mentioned in a comment or a string
-// literal is not a finding.
+// The line-pattern rules run over the stripped code view produced by
+// the token lexer (tools/lint/lexer.hpp): a banned construct in a
+// comment, a string literal, a raw string spanning lines, or behind a
+// backslash continuation is never a finding. The structural rules
+// (hot-alloc, lock-order) run over the token stream itself.
 #pragma once
 
 #include <iosfwd>
@@ -92,6 +111,18 @@ bool is_emitter_tu(const std::string& path);
 std::vector<Finding> lint_file(const std::string& path,
                                const std::string& contents,
                                const LayerGraph& graph);
+
+// Lint a set of files as one analysis scope. Per-file rules behave
+// exactly as lint_file; the cross-TU half of lock-order (inconsistent
+// acquisition order for the same mutex pair in different TUs) only
+// exists at this granularity. Findings are globally sorted by
+// (file, line, rule position).
+struct FileInput {
+  std::string path;
+  std::string contents;
+};
+std::vector<Finding> lint_files(const std::vector<FileInput>& files,
+                                const LayerGraph& graph);
 
 // Recursively lint every .hpp/.cpp under `root` in sorted path order.
 // Throws std::runtime_error if root does not exist.

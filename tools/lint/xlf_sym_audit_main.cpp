@@ -1,0 +1,14 @@
+// xlf_sym_audit CLI — the link-time layering audit; see
+// tools/lint/sym_audit.hpp for the contract (0 clean, 1 violations,
+// 2 usage/I/O error). All behavior lives in run_sym_audit_cli so it
+// is unit-testable.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/sym_audit.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return xlf::lint::run_sym_audit_cli(args, std::cout, std::cerr);
+}
