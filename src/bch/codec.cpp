@@ -25,6 +25,9 @@ CodeParams AdaptiveBchCodec::current_params() const {
   return CodeParams{config_.m, config_.k, t_};
 }
 
+// xlf: cold — stage-cache fill: the encoder/decoder pair for each
+// correction strength t is built once on first use (warm-up) and
+// reused for every later page.
 AdaptiveBchCodec::Stage& AdaptiveBchCodec::stage_for(unsigned t) {
   auto it = stages_.find(t);
   if (it == stages_.end()) {

@@ -156,7 +156,8 @@ std::vector<std::uint32_t> Decoder::chien_search(
     gf::Element sum = 0;
     for (std::size_t j = 0; j <= deg; ++j) sum ^= terms[j];
     if (sum == 0) {
-      roots.push_back(i);
+      // Bounded by deg <= t error locations per codeword.
+      roots.push_back(i);  // xlf-lint: allow(hot-alloc)
       if (roots.size() == deg) break;  // all error locations found
     }
     for (std::size_t j = 1; j <= deg; ++j) {

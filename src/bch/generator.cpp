@@ -7,6 +7,8 @@
 
 namespace xlf::bch {
 
+// xlf: cold — generator construction runs once per codec stage
+// build (warm-up), never per page.
 std::vector<gf::Gf2Poly> generator_factors(const gf::Gf2m& field, unsigned t) {
   XLF_EXPECT(t >= 1);
   XLF_EXPECT(2 * t < field.order());

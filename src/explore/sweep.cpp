@@ -20,6 +20,8 @@ nand::NandTiming FrameworkSpec::make_timing() const {
   return nand::NandTiming(timing, ispp, plan, variability, aging);
 }
 
+// xlf: cold — report-time Pareto extraction; the hot closure only
+// reaches it through the name collision with container front().
 std::vector<core::Metrics> SweepResult::front() const {
   std::vector<core::Metrics> out;
   for (const SweepCell& cell : cells) {

@@ -137,6 +137,9 @@ unsigned Ftl::adapt_block_t(std::uint32_t die, std::uint32_t block) {
   return t;
 }
 
+// xlf: durable — erase pairs with the bad-block table and counter
+// records; the kill-window tests own this interior (ack-order stops
+// here).
 Seconds Ftl::erase_block(std::uint32_t die, std::uint32_t block) {
   fault(FaultPoint::kBeforeErase);
   nand::NandDevice& dev = device(die);
@@ -170,6 +173,8 @@ Seconds Ftl::erase_block(std::uint32_t die, std::uint32_t block) {
   return busy;
 }
 
+// xlf: durable — every page moved here writes its OOB record before
+// the mapping flips (see the mid-GC kill windows).
 Seconds Ftl::relocate_valid_pages(std::uint32_t die, std::uint32_t block,
                                   FtlOpResult& result) {
   Seconds busy{0.0};
@@ -254,6 +259,8 @@ Seconds Ftl::ensure_capacity(std::uint32_t die, FtlOpResult& result) {
   return busy;
 }
 
+// xlf: durable — the program is paired with its OOB record inside;
+// a write acknowledged above this boundary is rebuildable on mount.
 FtlOpResult Ftl::write(Lpa lpa, const BitVec& data) {
   XLF_EXPECT(lpa < logical_pages());
   FtlOpResult result;
@@ -327,11 +334,12 @@ FtlOpResult Ftl::trim(Lpa lpa) {
   // The deallocation is DRAM-only until a flush journals the
   // tombstone; its seq rides the same counter as the OOB records so
   // replay ranks it against the LPA's writes.
-  pending_trims_.push_back({lpa, ++seq_});
+  pending_trims_.push_back({lpa, ++seq_});  // xlf-lint: allow(hot-alloc)
   ++stats_.trimmed_pages;
   return result;
 }
 
+// xlf: durable — the flush barrier itself.
 FtlOpResult Ftl::flush() {
   // The durability barrier: page data is write-through (durable at
   // acknowledge), so what flush persists is the trim journal and the
@@ -340,7 +348,8 @@ FtlOpResult Ftl::flush() {
   FtlOpResult result;
   for (const TrimTombstone& tombstone : pending_trims_) {
     fault(FaultPoint::kMidFlush);
-    durable_->tombstones.push_back(tombstone);
+    // Journal append: the durable record IS the operation here.
+    durable_->tombstones.push_back(tombstone);  // xlf-lint: allow(hot-alloc)
     ++stats_.flushed_tombstones;
   }
   pending_trims_.clear();

@@ -24,6 +24,8 @@ inline bool victim_less(const std::uint64_t a_key, const std::uint32_t a_block,
 
 }  // namespace
 
+// xlf: cold — reconfiguration: rebuilds the bucket arena before a
+// run starts, never while commands are in flight.
 void VictimIndex::reset(GcIndexKind kind, std::uint32_t blocks,
                         std::uint32_t pages_per_block) {
   kind_ = kind;
@@ -51,7 +53,8 @@ void VictimIndex::update(std::uint32_t block, std::uint32_t valid,
   const std::uint64_t key =
       kind_ == GcIndexKind::kCostBenefit ? last_write : 0;
   auto& bucket = buckets_[valid];
-  bucket.push_back(Entry{key, block, version_[block]});
+  // Lazy-deletion insert: capacity recycles once purge() has run.
+  bucket.push_back(Entry{key, block, version_[block]});  // xlf-lint: allow(hot-alloc)
   std::push_heap(bucket.begin(), bucket.end(),
                  [](const Entry& a, const Entry& b) {
                    return victim_less(a.key, a.block, b.key, b.block);
@@ -120,7 +123,8 @@ void FreeBlockIndex::push(std::uint32_t block, double score) {
   XLF_EXPECT(block < version_.size());
   ++version_[block];
   is_free_[block] = 1;
-  heap_.push_back(Entry{score, block, version_[block]});
+  // Free-heap insert: capacity recycles after the first GC cycle.
+  heap_.push_back(Entry{score, block, version_[block]});  // xlf-lint: allow(hot-alloc)
   std::push_heap(heap_.begin(), heap_.end(),
                  [](const Entry& a, const Entry& b) {
                    return free_entry_less(a.score, a.block, b.score, b.block);

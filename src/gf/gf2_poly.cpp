@@ -10,7 +10,8 @@ constexpr std::size_t kBits = 64;
 }
 
 Gf2Poly::Gf2Poly(std::uint64_t bits) {
-  if (bits != 0) words_.push_back(bits);
+  // Single-word polynomial temporary; pooling tracked in ROADMAP.
+  if (bits != 0) words_.push_back(bits);  // xlf-lint: allow(hot-alloc)
 }
 
 Gf2Poly Gf2Poly::monomial(std::size_t e) {
@@ -169,6 +170,8 @@ void Gf2Poly::reserve_degree(std::size_t deg) {
   if (words_.size() < need) words_.resize(need, 0);
 }
 
+// xlf: cold — diagnostics only; reached by the hot closure through
+// unrelated .to_string() receivers.
 std::string Gf2Poly::to_string() const {
   if (is_zero()) return "0";
   std::string out;

@@ -32,7 +32,8 @@ void GfpPoly::set_coeff(std::size_t i, Element value) {
 GfpPoly GfpPoly::add(const Gf2m&, const GfpPoly& other) const {
   GfpPoly result = *this;
   if (other.coeffs_.size() > result.coeffs_.size()) {
-    result.coeffs_.resize(other.coeffs_.size(), 0);
+    // Bounded by 2t syndrome/locator coefficients.
+    result.coeffs_.resize(other.coeffs_.size(), 0);  // xlf-lint: allow(hot-alloc)
   }
   for (std::size_t i = 0; i < other.coeffs_.size(); ++i) {
     result.coeffs_[i] ^= other.coeffs_[i];
@@ -94,6 +95,7 @@ bool GfpPoly::equals(const GfpPoly& other) const {
   return true;
 }
 
+// xlf: cold — diagnostics only.
 std::string GfpPoly::to_string() const {
   if (is_zero()) return "0";
   std::string out;

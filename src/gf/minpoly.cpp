@@ -7,6 +7,8 @@
 
 namespace xlf::gf {
 
+// xlf: cold — minimal-polynomial construction: codec stage build
+// only (warm-up).
 std::vector<std::uint32_t> cyclotomic_coset(const Gf2m& field, std::uint32_t i) {
   const std::uint32_t n = field.order();
   XLF_EXPECT(i < n);

@@ -176,10 +176,14 @@ void HostInterface::note_scheduled_completion(std::uint32_t q,
       std::max(states_[q].last_completion, completion);
 }
 
+// xlf: ack — the host-visible acknowledgement: once the completion
+// posts here the operation is promised durable (ack-order audits
+// every NAND mutation reachable past this point).
 void HostInterface::complete(const Completion& entry) {
   XLF_EXPECT(entry.queue < states_.size());
   QueueState& s = states_[entry.queue];
-  if (record_completions_) s.completion.push_back(entry);
+  // Trace capture only: gated off in perf runs.
+  if (record_completions_) s.completion.push_back(entry);  // xlf-lint: allow(hot-alloc)
   const double latency = entry.latency().value();
   switch (entry.type) {
     case CmdType::kRead:

@@ -128,7 +128,7 @@ class HostInterface {
     // recycle through the free list, so the steady-state submit/pop
     // cycle touches no allocator (the deque this replaces paid node
     // churn on every command — BM_HostSubmissionPath is the guard).
-    std::vector<SubmissionSlot> slots;
+    std::vector<SubmissionSlot> slots;  // xlf: arena(grows)
     std::uint32_t free_head = kNilSlot;  // recycled slots
     std::uint32_t head = kNilSlot;       // FIFO front (next pop)
     std::uint32_t tail = kNilSlot;

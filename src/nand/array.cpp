@@ -48,11 +48,14 @@ void NandArray::erase_block(std::uint32_t block) {
     PageState& state = pages_[block * config_.geometry.pages_per_block + p];
     state.programmed = false;
     state.cells.clear();
-    state.cells.reserve(config_.geometry.cells_per_page());
+    // Erase rebuilds the page's cell population in place; clear()
+    // keeps capacity, so this recycles after the first cycle.
+    state.cells.reserve(config_.geometry.cells_per_page());  // xlf-lint: allow(hot-alloc)
     for (std::uint32_t i = 0; i < config_.geometry.cells_per_page(); ++i) {
       const Volts erased = variability_.sample_erased(
           rng_, config_.plan.erased_mean, config_.plan.erased_sigma);
-      state.cells.emplace_back(erased, variability_.sample(rng_, wear_now));
+      state.cells.emplace_back(  // xlf-lint: allow(hot-alloc)
+          erased, variability_.sample(rng_, wear_now));
     }
   }
 }

@@ -25,7 +25,8 @@ class DataPlaneQueue {
  public:
   using Job = std::function<void()>;
 
-  void push(Job job) { jobs_.push_back(std::move(job)); }
+  // Deferred batch: drained every flush, capacity recycles.
+  void push(Job job) { jobs_.push_back(std::move(job)); }  // xlf-lint: allow(hot-alloc)
 
   bool pending() const { return !jobs_.empty(); }
   std::size_t pending_jobs() const { return jobs_.size(); }

@@ -59,6 +59,8 @@ Volts RberModel::placement_offset(ProgramAlgorithm algo) const {
   return Volts{effective_final_step(algo).value() / 2.0};
 }
 
+// xlf: cold — placement-cache fill on miss (warm-up), outside the
+// hot allocation budget.
 double RberModel::measure_placement_sigma(ProgramAlgorithm algo) const {
   // Program a beginning-of-life sample population through the real
   // ISPP engine, interference included, and pool the deviations of the

@@ -23,6 +23,8 @@ Seconds NandTiming::io_transfer_time(std::size_t bytes) const {
   return Seconds{static_cast<double>(bytes) / config_.io_bandwidth.value()};
 }
 
+// xlf: cold — characterization-cache fill: runs on a cache miss
+// during warm-up, never in the steady-state event loop.
 IsppTrace NandTiming::characterize(ProgramAlgorithm algo, double pe_cycles,
                                    std::optional<Level> pattern) const {
   // Average a few independent sample populations: the page program

@@ -85,6 +85,7 @@ class PolicyRegistry {
 
   // Registers `factory` under `name`; a second registration of the
   // same name is a programming error and throws.
+  // xlf: cold — registration runs at startup, before any command.
   void add(const std::string& name, Factory factory) {
     if (name.empty()) {
       throw std::invalid_argument(std::string(kind()) +

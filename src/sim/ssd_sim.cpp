@@ -187,6 +187,9 @@ std::uint32_t SsdSimulator::acquire_inflight() {
 
 // xlf: hot — the completion event, once per command; everything it
 // reaches (try_issue, issue, the inflight arena) recycles storage.
+// xlf: ack — this is where a command is acknowledged to the host;
+// no NAND mutation may be reachable from here without a durable
+// commit on the path (ack-order).
 void SsdSimulator::complete_slot(std::uint32_t slot) {
   // Copy out before recycling: try_issue below reuses the slot, and a
   // pool grow would invalidate a reference into it.

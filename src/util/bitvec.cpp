@@ -47,7 +47,8 @@ std::vector<std::size_t> BitVec::set_positions() const {
     std::uint64_t word = words_[w];
     while (word != 0) {
       const int bit = std::countr_zero(word);
-      out.push_back(w * 64 + static_cast<std::size_t>(bit));
+      // Bounded by the popcount of the (page-sized) vector.
+      out.push_back(w * 64 + static_cast<std::size_t>(bit));  // xlf-lint: allow(hot-alloc)
       word &= word - 1;
     }
   }

@@ -24,6 +24,8 @@ const char* JsonValue::to_string(Type type) {
   return "?";
 }
 
+// xlf: cold — config-parse error path; throws, never returns to the
+// event loop.
 void JsonValue::require(Type type) const {
   if (type_ != type) {
     throw std::invalid_argument(std::string("JSON value is ") +
@@ -93,6 +95,7 @@ class JsonParser {
   }
 
  private:
+  // xlf: cold — parse-error path, [[noreturn]].
   [[noreturn]] void fail(const std::string& what) const {
     std::size_t line = 1, column = 1;
     for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {

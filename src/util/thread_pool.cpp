@@ -88,7 +88,8 @@ void ThreadPool::parallel_for(std::size_t count,
     if (error) std::rethrow_exception(error);
     return;
   }
-  auto job = std::make_shared<Job>();
+  // One control block per parallel batch, not per item.
+  auto job = std::make_shared<Job>();  // xlf-lint: allow(hot-alloc)
   job->body = &body;
   job->count = count;
   {

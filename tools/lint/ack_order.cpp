@@ -1,0 +1,96 @@
+// ack-order: the static half of PR 6's crash-consistency invariant.
+//
+// The runtime contract: a completion must never be acknowledged to
+// the host while the NAND mutation it reports is not yet paired with
+// its durable record (OOB write / DurableMeta journal append) — a
+// power cut in that window would un-happen an acknowledged write.
+// The torture matrix proves the shipped paths; this rule keeps NEW
+// paths honest: starting from every `// xlf: ack` definition (the
+// completion-posting sites), walk the cross-TU call graph, STOP at
+// `// xlf: durable` definitions (commit sites whose interiors the
+// kill-window tests own), and report any NAND-mutation call token —
+// program_page, erase_block, write_page_meta — in the remaining
+// closure. A mutation behind a durable node is fine; a mutation an
+// ack site can reach around every durable node is a finding.
+//
+// Soundness caveats (documented in ARCHITECTURE §9): resolution is
+// name-level, so the closure over-approximates through same-named
+// defs; function pointers, virtual calls into externally-defined
+// code, and macro-generated bodies are invisible; and `durable` is a
+// trust boundary — annotating a function that does not actually
+// commit its mutations durably silences the rule for everything
+// behind it.
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.hpp"
+#include "tools/lint/rules.hpp"
+
+namespace xlf::lint {
+namespace {
+
+const std::regex kAckMarkRe(R"(\bxlf:\s*ack\b)");
+const std::regex kDurableMarkRe(R"(\bxlf:\s*durable\b)");
+
+bool mutation_name(const std::string& s) {
+  return s == "program_page" || s == "erase_block" || s == "write_page_meta";
+}
+
+// The ack -> ... -> def call chain, for the message.
+std::string chain_of(const CallGraph& graph, const CallGraph::Reach& reach,
+                     std::size_t def) {
+  std::vector<std::size_t> path{def};
+  while (reach.parent[path.back()] != path.back()) {
+    path.push_back(reach.parent[path.back()]);
+  }
+  std::string out;
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    if (!out.empty()) out += " -> ";
+    out += graph.defs()[*it].qual;
+  }
+  return out;
+}
+
+}  // namespace
+
+void check_ack_order(const std::vector<TuView>& tus, const CallGraph& graph,
+                     const AllowFn& allowed, std::vector<Finding>& findings) {
+  const std::vector<Def>& defs = graph.defs();
+  std::vector<std::size_t> acks;
+  std::vector<char> durable(defs.size(), 0);
+  for (std::size_t d = 0; d < defs.size(); ++d) {
+    const std::vector<Token>& comments = *tus[defs[d].tu].comments;
+    if (def_has_marker(defs[d], comments, kDurableMarkRe)) durable[d] = 1;
+    if (def_has_marker(defs[d], comments, kAckMarkRe)) acks.push_back(d);
+  }
+  if (acks.empty()) return;
+
+  const CallGraph::Reach reach = graph.reach(acks, &durable);
+  for (std::size_t d = 0; d < defs.size(); ++d) {
+    if (reach.parent[d] == CallGraph::npos) continue;
+    const Def& def = defs[d];
+    const TuView& tu = tus[def.tu];
+    for (std::size_t t = def.open_tok + 1; t < def.close_tok; ++t) {
+      const Token& tok = (*tu.code)[t];
+      if (tok.kind != TokKind::kIdentifier || !mutation_name(tok.text)) {
+        continue;
+      }
+      if (t + 1 >= def.close_tok || (*tu.code)[t + 1].text != "(") continue;
+      const std::size_t line_index = static_cast<std::size_t>(tok.line) - 1;
+      if (allowed(def.tu, line_index, "ack-order")) continue;
+      findings.push_back(Finding{
+          *tu.path, tok.line, "ack-order",
+          "NAND mutation '" + tok.text + "()' is reachable from ack site '" +
+              graph.defs()[reach.root[d]].qual +
+              "' with no durable commit on the path (" +
+              chain_of(graph, reach, d) +
+              "): a power cut here un-happens an acknowledged operation; "
+              "route the mutation through a '// xlf: durable' commit "
+              "function, or justify with // xlf-lint: allow(ack-order)"});
+    }
+  }
+}
+
+}  // namespace xlf::lint

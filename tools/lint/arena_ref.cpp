@@ -1,0 +1,218 @@
+// arena-ref: the static half of PR 8's slot-lifetime hazard.
+//
+// The hot-path arenas (host submission slots, the in-flight
+// Completion pool, the victim-index heaps) grow: a reference,
+// pointer, or iterator bound to an element dangles the moment a
+// growing call reallocates the backing store. PR 8 documents the
+// safe pattern — copy the element out before anything that can grow
+// the arena — in prose; this rule checks it.
+//
+// Contract: a declaration annotated `// xlf: arena(grows)` (same
+// line, or alone on the line directly above; the declared name is
+// the last identifier before the initializer/terminator on the
+// declaration line) names an arena. Inside every definition, a
+// binding of the forms
+//
+//   T& r = ...arena...;   T* p = ...arena...;           (reference)
+//   auto it = arena.begin() / end() / data() / ...      (iterator)
+//   for (auto& e : arena)                               (range-for)
+//
+// is a finding when, between the binding and the bound name's last
+// use, the same arena takes a potentially-growing call (push_back /
+// emplace_back / resize on the arena, or any try_issue / grow call —
+// those grow arenas behind interfaces). Matching is token-level and
+// name-level: any same-named member anywhere aliases the annotated
+// arena, and a ref obtained through a helper function is invisible —
+// over- and under-approximations documented in ARCHITECTURE §9. The
+// escape hatch is `// xlf-lint: allow(arena-ref)` on the growing
+// call's line.
+#include <algorithm>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.hpp"
+#include "tools/lint/rules.hpp"
+
+namespace xlf::lint {
+namespace {
+
+const std::regex kArenaMarkRe(R"(\bxlf:\s*arena\(grows\))");
+
+bool arena_grower(const std::string& s) {
+  return s == "push_back" || s == "emplace_back" || s == "resize";
+}
+bool global_grower(const std::string& s) {
+  return s == "try_issue" || s == "grow";
+}
+bool element_accessor(const std::string& s) {
+  return s == "begin" || s == "end" || s == "rbegin" || s == "rend" ||
+         s == "cbegin" || s == "cend" || s == "data";
+}
+
+struct ArenaDecl {
+  std::string name;
+  std::string where;  // "path:line" of the declaration, for messages
+};
+
+// Declared arena names across the whole lint set (an arena annotated
+// in a header is referenced from the TUs that include it).
+std::vector<ArenaDecl> collect_arenas(const std::vector<TuView>& tus) {
+  std::vector<ArenaDecl> arenas;
+  for (const TuView& tu : tus) {
+    for (const Token& c : *tu.comments) {
+      if (!std::regex_search(c.text, kArenaMarkRe)) continue;
+      // The declaration line: the comment's own line when it carries
+      // code, else the next line holding any structural token.
+      int decl_line = 0;
+      for (int l = c.line; l <= c.line + 3 && decl_line == 0; ++l) {
+        for (const Token& t : *tu.code) {
+          if (t.line == l) {
+            decl_line = l;
+            break;
+          }
+        }
+        if (l == c.line && decl_line == l) {
+          // Tokens on the comment's line that sit BEFORE the comment
+          // are the declaration; after it there is nothing (a // xlf
+          // marker runs to end of line).
+          break;
+        }
+      }
+      if (decl_line == 0) continue;
+      std::string name;
+      for (const Token& t : *tu.code) {
+        if (t.line != decl_line) continue;
+        if (t.kind == TokKind::kIdentifier) {
+          name = t.text;
+        } else if (t.kind == TokKind::kPunct &&
+                   (t.text == ";" || t.text == "=" || t.text == "{" ||
+                    t.text == "(")) {
+          break;
+        }
+      }
+      if (name.empty()) continue;
+      arenas.push_back(ArenaDecl{
+          name, *tu.path + ":" + std::to_string(decl_line)});
+    }
+  }
+  return arenas;
+}
+
+struct Binding {
+  std::string name;        // the bound reference/pointer/iterator
+  std::size_t arena = 0;   // index into the arena list
+  std::size_t end = 0;     // token index just past the binding stmt
+  int line = 0;            // line of the binding, for the message
+};
+
+}  // namespace
+
+void check_arena_ref(const std::vector<TuView>& tus, const AllowFn& allowed,
+                     std::vector<Finding>& findings) {
+  const std::vector<ArenaDecl> arenas = collect_arenas(tus);
+  if (arenas.empty()) return;
+  std::set<std::string> arena_names;
+  for (const ArenaDecl& a : arenas) arena_names.insert(a.name);
+
+  for (std::size_t ti = 0; ti < tus.size(); ++ti) {
+    const TuView& tu = tus[ti];
+    const std::vector<Token>& code = *tu.code;
+    const std::vector<Def> defs = find_defs_scoped(code, ti);
+    for (const Def& def : defs) {
+      // Statement segmentation: boundaries at ';', '{', '}' outside
+      // parentheses (a for-head's semicolons stay inside their stmt).
+      std::vector<Binding> bindings;
+      std::size_t stmt_begin = def.open_tok + 1;
+      int paren = 0;
+      for (std::size_t t = def.open_tok + 1; t <= def.close_tok; ++t) {
+        const Token& tok = code[t];
+        if (tok.kind == TokKind::kPunct) {
+          if (tok.text == "(") ++paren;
+          if (tok.text == ")" && paren > 0) --paren;
+        }
+        const bool boundary =
+            t == def.close_tok ||
+            (tok.kind == TokKind::kPunct && paren == 0 &&
+             (tok.text == ";" || tok.text == "{" || tok.text == "}"));
+        if (!boundary) continue;
+
+        // Bindings inside [stmt_begin, t).
+        for (std::size_t j = stmt_begin + 1; j + 1 < t; ++j) {
+          if (code[j].kind != TokKind::kIdentifier) continue;
+          const bool ref_decl =
+              code[j - 1].kind == TokKind::kPunct &&
+              (code[j - 1].text == "&" || code[j - 1].text == "*");
+          const bool assigned = code[j + 1].text == "=";
+          const bool range_for = code[j + 1].text == ":";
+          if (!((ref_decl && (assigned || range_for)) || assigned)) continue;
+          // The arena on the right-hand side / range expression.
+          for (std::size_t r = j + 2; r < t; ++r) {
+            if (code[r].kind != TokKind::kIdentifier ||
+                arena_names.count(code[r].text) == 0) {
+              continue;
+            }
+            // A plain `x = arena[i]` copy is safe; only reference/
+            // pointer declarations — or iterators/raw storage from an
+            // accessor call — bind into the arena's storage.
+            bool binds = ref_decl && (assigned || range_for);
+            if (!binds && r + 2 < t &&
+                (code[r + 1].text == "." || code[r + 1].text == "->") &&
+                element_accessor(code[r + 2].text)) {
+              binds = true;
+            }
+            if (!binds) continue;
+            std::size_t arena_index = 0;
+            for (std::size_t a = 0; a < arenas.size(); ++a) {
+              if (arenas[a].name == code[r].text) {
+                arena_index = a;
+                break;
+              }
+            }
+            bindings.push_back(
+                Binding{code[j].text, arena_index, t + 1, code[j].line});
+            break;
+          }
+        }
+        stmt_begin = t + 1;
+      }
+
+      for (const Binding& b : bindings) {
+        const ArenaDecl& arena = arenas[b.arena];
+        std::size_t last_use = 0;
+        for (std::size_t t = b.end; t < def.close_tok; ++t) {
+          if (code[t].kind == TokKind::kIdentifier && code[t].text == b.name) {
+            last_use = t;
+          }
+        }
+        if (last_use == 0) continue;  // never touched again
+        for (std::size_t g = b.end; g < last_use; ++g) {
+          if (code[g].kind != TokKind::kIdentifier) continue;
+          if (g + 1 >= def.close_tok || code[g + 1].text != "(") continue;
+          const bool on_arena =
+              arena_grower(code[g].text) && g >= 2 &&
+              (code[g - 1].text == "." || code[g - 1].text == "->") &&
+              code[g - 2].text == arena.name;
+          if (!on_arena && !global_grower(code[g].text)) continue;
+          const std::size_t line_index =
+              static_cast<std::size_t>(code[g].line) - 1;
+          if (allowed(ti, line_index, "arena-ref")) continue;
+          findings.push_back(Finding{
+              *tu.path, code[g].line, "arena-ref",
+              "'" + b.name + "' (bound into arena '" + arena.name +
+                  "', declared " + arena.where + ", at line " +
+                  std::to_string(b.line) + ") is used after '" +
+                  code[g].text +
+                  "()' may grow the arena: growth reallocates the backing "
+                  "store and dangles the binding; copy the element out "
+                  "before the growing call, or justify with // xlf-lint: "
+                  "allow(arena-ref)"});
+          break;  // one finding per binding: the first growing call
+        }
+      }
+    }
+  }
+}
+
+}  // namespace xlf::lint

@@ -1,0 +1,31 @@
+// Adversarial fixture: banned tokens hidden behind preprocessor
+// conditionals. Everything inside the literal-false regions must be
+// invisible to every rule; the single genuine construct at the end is
+// the only permitted finding.
+#include <cstdlib>
+
+#if 0
+// A whole dead block of violations: none may be reported.
+int dead_a = rand();
+std::mt19937 dead_rng;
+auto dead_t = std::chrono::steady_clock::now();
+#endif
+
+#if 1
+int live_clean = 42;  // the taken arm is ordinary, clean code
+#else
+int dead_b = rand();  // dead #else arm of a taken #if 1
+#endif
+
+#if 0
+#ifdef NESTED_MACRO
+int dead_c = rand();  // nested conditional inside a dead region
+#endif
+int dead_d = time(nullptr);
+#endif
+
+#ifdef SOME_FEATURE
+int both_arms_live_clean = 1;  // unknown condition: kept live, clean
+#endif
+
+int genuine = rand();  // the one real finding in this file

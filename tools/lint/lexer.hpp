@@ -24,6 +24,14 @@
 // Tokens lexed inside a preprocessor directive (from the introducing
 // `#` to the unspliced end of line) are flagged so structural rules
 // can skip macro bodies and header names.
+//
+// Preprocessor conditionals are tracked: a region disabled by a
+// literal `#if 0` / `#if false` (or the `#else` arm of `#if 1`)
+// emits no tokens, stays blank in the code view, and is marked dead
+// in the per-line `live` map. Conditions the lexer cannot evaluate
+// (`#ifdef`, `#if defined(...)`, macro expressions) keep BOTH arms
+// live — over-approximate on purpose, so a rule can miss a finding
+// only in code that provably never compiles.
 #pragma once
 
 #include <string>
@@ -56,6 +64,10 @@ struct LexedFile {
   std::vector<std::string> raw;   // physical lines, as read
   std::vector<std::string> code;  // stripped view, same line count and
                                   // per-line length as `raw`
+  // live[i] == 0 when physical line i sits inside a preprocessor-
+  // disabled region (`#if 0`, the dead arm of `#if 1`): no tokens, no
+  // code view, and rules that look at raw lines must skip it too.
+  std::vector<unsigned char> live;
 };
 
 LexedFile lex(const std::string& contents);

@@ -10,9 +10,13 @@
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
 #include <utility>
 
+#include "tools/lint/callgraph.hpp"
 #include "tools/lint/lexer.hpp"
+#include "tools/lint/rules.hpp"
+#include "tools/lint/sarif.hpp"
 
 namespace xlf::lint {
 namespace {
@@ -27,6 +31,9 @@ constexpr const char* kNoPtrOrder = "no-ptr-order";
 constexpr const char* kRawAssert = "raw-assert";
 constexpr const char* kHotAlloc = "hot-alloc";
 constexpr const char* kLockOrder = "lock-order";
+constexpr const char* kAckOrder = "ack-order";
+constexpr const char* kArenaRef = "arena-ref";
+constexpr const char* kUnusedAllow = "unused-allow";
 
 const std::vector<RuleInfo> kRules = {
     {kLayering,
@@ -54,6 +61,20 @@ const std::vector<RuleInfo> kRules = {
      "lock discipline: no nested mutex acquisition, no inconsistent "
      "cross-TU lock ordering, no new locks in src/nand or src/sim "
      "(determinism comes from ordering, not locking)"},
+    {kAckOrder,
+     "crash-ack ordering: no path from a '// xlf: ack' completion site "
+     "may reach a NAND mutation (program_page / erase_block / "
+     "write_page_meta) without passing a '// xlf: durable' commit "
+     "function on the cross-TU call graph"},
+    {kArenaRef,
+     "arena element lifetime: a reference/pointer/iterator bound into a "
+     "'// xlf: arena(grows)' declaration must not be used across a "
+     "potentially-growing call (try_issue / push_back / emplace_back / "
+     "resize / grow) on that arena"},
+    {kUnusedAllow,
+     "stale suppression: an '// xlf-lint: allow(...)' comment that "
+     "suppresses nothing, or names an unknown rule, hides nothing and "
+     "rots; reported under --report-unused-allows"},
 };
 
 int rule_index(const std::string& rule) {
@@ -81,10 +102,33 @@ bool allow_matches(const std::string& raw_line, const std::string& rule) {
   return false;
 }
 
-bool is_allowed(const std::vector<std::string>& raw, std::size_t line_index,
+// One lexed, split TU of a lint_files() call.
+struct TuAnalysis {
+  std::string path;
+  std::string layer;
+  bool emitter = false;
+  LexedFile lx;
+  std::vector<Token> code;      // structural tokens: no comments, no pp
+  std::vector<Token> comments;  // comments, for the marker scans
+};
+
+// Shared state of one lint_files() call: every TU, plus the record of
+// which allow comments actually suppressed a finding — keyed by
+// (tu, 0-based line of the comment, rule) — so the
+// --report-unused-allows pass can report the rest as stale.
+struct LintState {
+  std::vector<TuAnalysis> tus;
+  std::set<std::tuple<std::size_t, std::size_t, std::string>> used_allows;
+};
+
+bool is_allowed(LintState& st, std::size_t tu, std::size_t line_index,
                 const std::string& rule) {
+  const std::vector<std::string>& raw = st.tus[tu].lx.raw;
   if (line_index >= raw.size()) return false;
-  if (allow_matches(raw[line_index], rule)) return true;
+  if (allow_matches(raw[line_index], rule)) {
+    st.used_allows.emplace(tu, line_index, rule);
+    return true;
+  }
   if (line_index > 0) {
     const std::string& above = raw[line_index - 1];
     // Only a line that is nothing but the allow comment arms the next
@@ -92,6 +136,7 @@ bool is_allowed(const std::vector<std::string>& raw, std::size_t line_index,
     const auto first = above.find_first_not_of(" \t");
     if (first != std::string::npos && above.compare(first, 2, "//") == 0 &&
         allow_matches(above, rule)) {
+      st.used_allows.emplace(tu, line_index - 1, rule);
       return true;
     }
   }
@@ -109,208 +154,25 @@ const std::regex kPtrOrderRe(
     R"(std::(less|greater)\s*<[^<>;]*\*[^<>;]*>|reinterpret_cast<\s*(std::)?uintptr_t\s*>)");
 const std::regex kAssertRe(R"(\bassert\s*\()");
 const std::regex kHotMarkRe(R"(\bxlf:\s*hot\b)");
+// The hot closure's barrier: a definition annotated `// xlf: cold` is
+// setup/reconfiguration/error-path code by reviewed contract, so the
+// hot BFS treats it as absent (like `durable` for ack-order). Without
+// it, name-level resolution drags report and warm-up code into the
+// closure through collisions on common member names (front, add,
+// require, to_string).
+const std::regex kColdMarkRe(R"(\bxlf:\s*cold\b)");
 
 // ------------------------------------------------ structural analysis
 //
-// The hot-alloc and lock-order families work on the token stream, not
-// on line patterns. The unit of analysis is an approximate function
-// definition: an identifier followed by a balanced parameter list, an
-// optional qualifier/ctor-init tail, and a braced body. Lambdas are
-// deliberately NOT functions here — their tokens belong to the
-// enclosing definition, so an allocation inside an event closure is
-// charged to the function that builds the closure.
-
-struct FnDef {
-  std::string name;
-  int name_line = 0;           // line of the name token
-  int open_line = 0;           // line of the body '{'
-  std::size_t open_tok = 0;    // index of '{' in the code-token vector
-  std::size_t close_tok = 0;   // index of the matching '}'
-  bool marked = false;         // carries a '// xlf: hot' annotation
-  int root = -1;               // index of the hot root that reaches it
-};
-
-struct TuAnalysis {
-  std::string path;
-  std::string layer;
-  bool emitter = false;
-  LexedFile lx;
-  std::vector<Token> code;      // structural tokens: no comments, no pp
-  std::vector<Token> comments;  // comments, for the hot-marker scan
-  std::vector<FnDef> defs;
-};
-
-// Names that look like `name(` but never open a function definition —
-// control flow, operators spelled as words, and expression keywords.
-bool never_a_function(const std::string& name) {
-  static const std::set<std::string> kNames = {
-      "if",       "for",      "while",   "switch",   "catch",
-      "return",   "sizeof",   "alignof", "alignas",  "decltype",
-      "typeid",   "throw",    "case",    "goto",     "operator",
-      "and",      "or",       "not",     "defined",  "static_assert",
-      "co_await", "co_return", "co_yield", "requires", "new",
-      "delete"};
-  return kNames.count(name) != 0;
-}
-
-// Index of the punct matching `open_text` at `open` (which must hold
-// an `open_text` token), or npos when unbalanced.
-std::size_t match_punct(const std::vector<Token>& code, std::size_t open,
-                        const char* open_text, const char* close_text) {
-  int depth = 0;
-  for (std::size_t i = open; i < code.size(); ++i) {
-    if (code[i].kind != TokKind::kPunct) continue;
-    if (code[i].text == open_text) {
-      ++depth;
-    } else if (code[i].text == close_text) {
-      if (--depth == 0) return i;
-    }
-  }
-  return std::string::npos;
-}
-
-// Walk the tokens after a candidate's closing ')' looking for the
-// body '{'. Accepts qualifier identifiers (const, noexcept, ...),
-// trailing return types, and ctor-init lists; anything that proves
-// the candidate is a call or declaration (';', '=', '?', ...) rejects
-// it. Returns the '{' index or npos.
-std::size_t find_body_open(const std::vector<Token>& code,
-                           std::size_t after_params) {
-  bool seen_colon = false;
-  std::size_t k = after_params;
-  while (k < code.size()) {
-    const Token& t = code[k];
-    if (t.kind != TokKind::kPunct) {  // qualifiers, return types, names
-      ++k;
-      continue;
-    }
-    const std::string& s = t.text;
-    if (s == "{") {
-      // After a ctor-init colon, `name{args}` is a member init brace,
-      // not the body; the body brace follows ')' or '}'.
-      if (seen_colon && k > after_params &&
-          code[k - 1].kind == TokKind::kIdentifier) {
-        const std::size_t close = match_punct(code, k, "{", "}");
-        if (close == std::string::npos) return std::string::npos;
-        k = close + 1;
-        continue;
-      }
-      return k;
-    }
-    if (s == ":") {
-      seen_colon = true;
-      ++k;
-      continue;
-    }
-    if (s == "(") {
-      // Parens here only make sense inside a ctor-init list or a
-      // noexcept(...) clause; a second call's argument list rejects.
-      const bool after_noexcept =
-          k > after_params && code[k - 1].text == "noexcept";
-      if (!seen_colon && !after_noexcept) return std::string::npos;
-      const std::size_t close = match_punct(code, k, "(", ")");
-      if (close == std::string::npos) return std::string::npos;
-      k = close + 1;
-      continue;
-    }
-    if (s == "::" || s == "<" || s == ">" || s == "," || s == "&" ||
-        s == "*" || s == "->" || s == "...") {
-      ++k;
-      continue;
-    }
-    return std::string::npos;  // ';' '=' '?' '}' '.' — not a definition
-  }
-  return std::string::npos;
-}
-
-std::vector<FnDef> find_defs(const std::vector<Token>& code,
-                             const std::vector<Token>& comments) {
-  std::vector<FnDef> defs;
-  std::size_t i = 0;
-  while (i < code.size()) {
-    const bool candidate =
-        code[i].kind == TokKind::kIdentifier && !never_a_function(code[i].text) &&
-        i + 1 < code.size() && code[i + 1].text == "(" &&
-        (i == 0 || (code[i - 1].text != "." && code[i - 1].text != "->"));
-    if (!candidate) {
-      ++i;
-      continue;
-    }
-    const std::size_t params_close = match_punct(code, i + 1, "(", ")");
-    if (params_close == std::string::npos) {
-      ++i;
-      continue;
-    }
-    const std::size_t open = find_body_open(code, params_close + 1);
-    if (open == std::string::npos) {
-      ++i;
-      continue;
-    }
-    const std::size_t close = match_punct(code, open, "{", "}");
-    if (close == std::string::npos) {
-      ++i;
-      continue;
-    }
-    FnDef def;
-    def.name = code[i].text;
-    def.name_line = code[i].line;
-    def.open_line = code[open].line;
-    def.open_tok = open;
-    def.close_tok = close;
-    defs.push_back(std::move(def));
-    i = close + 1;  // definitions do not nest; skip the body
-  }
-  // A definition is a hot root when a `// xlf: hot` comment sits on
-  // the signature: up to three lines above the name (multi-line
-  // return types) through the line of the opening brace (trailing
-  // same-line markers).
-  for (FnDef& def : defs) {
-    for (const Token& c : comments) {
-      if (c.line < def.name_line - 3 || c.line > def.open_line) continue;
-      if (std::regex_search(c.text, kHotMarkRe)) {
-        def.marked = true;
-        break;
-      }
-    }
-  }
-  return defs;
-}
-
-// Hot reachability: BFS from the marked definitions along intra-TU
-// call edges, matched by name (every same-named overload is reached —
-// over-approximate on purpose).
-void propagate_hot(TuAnalysis& tu) {
-  std::multimap<std::string, std::size_t> by_name;
-  for (std::size_t d = 0; d < tu.defs.size(); ++d) {
-    by_name.emplace(tu.defs[d].name, d);
-  }
-  std::vector<std::size_t> queue;
-  for (std::size_t d = 0; d < tu.defs.size(); ++d) {
-    if (tu.defs[d].marked) {
-      tu.defs[d].root = static_cast<int>(d);
-      queue.push_back(d);
-    }
-  }
-  while (!queue.empty()) {
-    const std::size_t d = queue.front();
-    queue.erase(queue.begin());
-    const FnDef& def = tu.defs[d];
-    for (std::size_t t = def.open_tok + 1; t < def.close_tok; ++t) {
-      const Token& tok = tu.code[t];
-      if (tok.kind != TokKind::kIdentifier || never_a_function(tok.text)) {
-        continue;
-      }
-      if (t + 1 >= def.close_tok || tu.code[t + 1].text != "(") continue;
-      const auto [begin, end] = by_name.equal_range(tok.text);
-      for (auto it = begin; it != end; ++it) {
-        FnDef& callee = tu.defs[it->second];
-        if (callee.root != -1) continue;
-        callee.root = tu.defs[d].root;
-        queue.push_back(it->second);
-      }
-    }
-  }
-}
+// The hot-alloc, lock-order, ack-order, and arena-ref families work
+// on the token stream, not on line patterns. The unit of analysis is
+// the scope-qualified function definition from the whole-program call
+// graph (tools/lint/callgraph.hpp); lambdas are deliberately NOT
+// definitions — their tokens belong to the enclosing definition, so
+// an allocation inside an event closure is charged to the function
+// that builds the closure. Hot reachability is cross-TU: BFS from the
+// `// xlf: hot` definitions over resolved edges, so a hot caller in
+// src/sim taints the FTL entry points it calls in src/ftl.
 
 // The allocation ban-list scanned inside hot bodies. Returns the
 // construct's display name, or "" when the token is harmless.
@@ -339,18 +201,23 @@ std::string hot_banned(const std::vector<Token>& code, std::size_t t,
   return "";
 }
 
-void scan_hot_allocs(const TuAnalysis& tu, std::vector<Finding>& findings) {
-  for (const FnDef& def : tu.defs) {
-    if (def.root < 0) continue;
-    const std::string& root = tu.defs[def.root].name;
+void scan_hot_allocs(LintState& st, const CallGraph& graph,
+                     const CallGraph::Reach& reach,
+                     std::vector<Finding>& findings) {
+  const std::vector<Def>& defs = graph.defs();
+  for (std::size_t d = 0; d < defs.size(); ++d) {
+    if (reach.parent[d] == CallGraph::npos) continue;
+    const Def& def = defs[d];
+    const TuAnalysis& tu = st.tus[def.tu];
+    const std::string& root = defs[reach.root[d]].qual;
     for (std::size_t t = def.open_tok + 1; t < def.close_tok; ++t) {
       const std::string what = hot_banned(tu.code, t, def.close_tok);
       if (what.empty()) continue;
       const std::size_t line_index = tu.code[t].line - 1;
-      if (is_allowed(tu.lx.raw, line_index, kHotAlloc)) continue;
+      if (is_allowed(st, def.tu, line_index, kHotAlloc)) continue;
       findings.push_back(Finding{
           tu.path, tu.code[t].line, kHotAlloc,
-          "'" + what + "' in '" + def.name + "' (hot via '" + root +
+          "'" + what + "' in '" + def.qual + "' (hot via '" + root +
               "'): hot paths must not allocate after warm-up; hoist the "
               "allocation into setup/arena code, or mark a documented "
               "arena-growth site with // xlf-lint: allow(hot-alloc)"});
@@ -423,13 +290,15 @@ std::vector<std::string> guard_mutexes(const std::vector<Token>& code,
   return names;
 }
 
-void analyze_locks(const TuAnalysis& tu, std::size_t file_index,
-                   OrderMap& order, std::vector<Finding>& findings) {
+void analyze_locks(LintState& st, std::size_t file_index,
+                   const CallGraph& graph, OrderMap& order,
+                   std::vector<Finding>& findings) {
+  const TuAnalysis& tu = st.tus[file_index];
   const auto report_nested = [&](const std::string& outer,
                                  const std::string& inner, int line,
                                  const std::string& fn) {
     const std::size_t line_index = line - 1;
-    if (is_allowed(tu.lx.raw, line_index, kLockOrder)) return;
+    if (is_allowed(st, file_index, line_index, kLockOrder)) return;
     findings.push_back(Finding{
         tu.path, line, kLockOrder,
         "mutex '" + inner + "' acquired while '" + outer +
@@ -439,7 +308,8 @@ void analyze_locks(const TuAnalysis& tu, std::size_t file_index,
             "allow(lock-order)"});
   };
 
-  for (const FnDef& def : tu.defs) {
+  for (const Def& def : graph.defs()) {
+    if (def.tu != file_index) continue;
     std::vector<HeldLock> held;
     int depth = 0;
     for (std::size_t t = def.open_tok + 1; t < def.close_tok; ++t) {
@@ -532,7 +402,7 @@ void analyze_locks(const TuAnalysis& tu, std::size_t file_index,
         continue;  // template argument or parameter type, not a member
       }
       const std::size_t line_index = tu.code[t].line - 1;
-      if (is_allowed(tu.lx.raw, line_index, kLockOrder)) continue;
+      if (is_allowed(st, file_index, line_index, kLockOrder)) continue;
       findings.push_back(Finding{
           tu.path, tu.code[t].line, kLockOrder,
           "new std::" + tu.code[t].text + " '" + tu.code[t + 1].text +
@@ -544,13 +414,13 @@ void analyze_locks(const TuAnalysis& tu, std::size_t file_index,
   }
 }
 
-void report_inversions(const std::vector<TuAnalysis>& tus,
-                       const OrderMap& order,
+void report_inversions(LintState& st, const OrderMap& order,
                        std::vector<Finding>& findings) {
+  const std::vector<TuAnalysis>& tus = st.tus;
   const auto first_unallowed = [&](const std::vector<OrderSite>& sites)
       -> const OrderSite* {
     for (const OrderSite& s : sites) {
-      if (!is_allowed(tus[s.file].lx.raw, s.line - 1, kLockOrder)) return &s;
+      if (!is_allowed(st, s.file, s.line - 1, kLockOrder)) return &s;
     }
     return nullptr;
   };
@@ -574,6 +444,46 @@ void report_inversions(const std::vector<TuAnalysis>& tus,
     };
     report(fwd_site, a, b, rev->second.front());
     report(rev_site, b, a, sites.front());
+  }
+}
+
+// --report-unused-allows: every `// xlf-lint: allow(...)` comment must
+// have suppressed at least one finding in this run (recorded by
+// is_allowed), and every name in its list must be a real rule. Runs
+// LAST so all analyses have had their chance to consume suppressions;
+// its own findings are deliberately not suppressible — deleting the
+// stale comment is the fix.
+void scan_unused_allows(const LintState& st, std::vector<Finding>& findings) {
+  for (std::size_t ti = 0; ti < st.tus.size(); ++ti) {
+    const std::vector<std::string>& raw = st.tus[ti].lx.raw;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      std::smatch match;
+      if (!std::regex_search(raw[i], match, kAllowRe)) continue;
+      std::istringstream list(match[1].str());
+      std::string name;
+      while (std::getline(list, name, ',')) {
+        const auto begin = name.find_first_not_of(" \t");
+        if (begin == std::string::npos) continue;
+        const auto end = name.find_last_not_of(" \t");
+        name = name.substr(begin, end - begin + 1);
+        if (!is_rule_name(name)) {
+          findings.push_back(Finding{
+              st.tus[ti].path, static_cast<int>(i + 1), kUnusedAllow,
+              "allow list names unknown rule '" + name +
+                  "': the suppression is a no-op (see --list-rules for "
+                  "valid names); fix the spelling or delete it"});
+          continue;
+        }
+        if (st.used_allows.count({ti, i, name}) == 0) {
+          findings.push_back(Finding{
+              st.tus[ti].path, static_cast<int>(i + 1), kUnusedAllow,
+              "stale suppression: allow(" + name +
+                  ") matched no finding in this run; the code it excused "
+                  "has moved or been fixed — delete the comment so future "
+                  "findings are not silently absorbed"});
+        }
+      }
+    }
   }
 }
 
@@ -701,11 +611,12 @@ namespace {
 
 // The six PR 7 line rules, verbatim, over the lexer's stripped view.
 // Their findings are pinned byte-identical by fixtures/pin.
-void lint_lines(const TuAnalysis& tu, const LayerGraph& graph,
+void lint_lines(LintState& st, std::size_t tu_index, const LayerGraph& graph,
                 std::vector<Finding>& findings) {
+  const TuAnalysis& tu = st.tus[tu_index];
   const auto report = [&](std::size_t index, const char* rule,
                           std::string message) {
-    if (is_allowed(tu.lx.raw, index, rule)) return;
+    if (is_allowed(st, tu_index, index, rule)) return;
     findings.push_back(Finding{tu.path, static_cast<int>(index + 1), rule,
                                std::move(message)});
   };
@@ -715,8 +626,10 @@ void lint_lines(const TuAnalysis& tu, const LayerGraph& graph,
     std::smatch match;
 
     // Includes are matched on the RAW line: the lexer blanks string
-    // literals, and the include path is lexically one.
-    if (!tu.layer.empty() && graph.has_layer(tu.layer) &&
+    // literals, and the include path is lexically one. The live[] gate
+    // keeps includes inside `#if 0` regions out (the code view is
+    // already blank there; the raw line is not).
+    if (!tu.layer.empty() && graph.has_layer(tu.layer) && tu.lx.live[i] &&
         std::regex_search(tu.lx.raw[i], match, kIncludeRe)) {
       const std::string target = match[1].str();
       if (graph.allowed(tu.layer).count(target) == 0) {
@@ -764,11 +677,11 @@ void lint_lines(const TuAnalysis& tu, const LayerGraph& graph,
 }  // namespace
 
 std::vector<Finding> lint_files(const std::vector<FileInput>& files,
-                                const LayerGraph& graph) {
-  std::vector<TuAnalysis> tus;
-  tus.reserve(files.size());
+                                const LayerGraph& graph,
+                                const LintOptions& options) {
+  LintState st;
+  st.tus.reserve(files.size());
   std::vector<Finding> findings;
-  OrderMap order;
   for (std::size_t fi = 0; fi < files.size(); ++fi) {
     TuAnalysis tu;
     tu.path = files[fi].path;
@@ -782,14 +695,51 @@ std::vector<Finding> lint_files(const std::vector<FileInput>& files,
         tu.code.push_back(tok);
       }
     }
-    lint_lines(tu, graph, findings);
-    tu.defs = find_defs(tu.code, tu.comments);
-    propagate_hot(tu);
-    scan_hot_allocs(tu, findings);
-    analyze_locks(tu, fi, order, findings);
-    tus.push_back(std::move(tu));
+    st.tus.push_back(std::move(tu));
   }
-  report_inversions(tus, order, findings);
+
+  for (std::size_t fi = 0; fi < st.tus.size(); ++fi) {
+    lint_lines(st, fi, graph, findings);
+  }
+
+  // The whole-program passes: one call graph over every TU at once.
+  std::vector<const std::vector<Token>*> codes;
+  codes.reserve(st.tus.size());
+  for (const TuAnalysis& tu : st.tus) codes.push_back(&tu.code);
+  const CallGraph cg = CallGraph::build(codes);
+
+  std::vector<std::size_t> hot_roots;
+  std::vector<char> cold(cg.defs().size(), 0);
+  for (std::size_t d = 0; d < cg.defs().size(); ++d) {
+    const Def& def = cg.defs()[d];
+    if (def_has_marker(def, st.tus[def.tu].comments, kColdMarkRe)) {
+      cold[d] = 1;
+    } else if (def_has_marker(def, st.tus[def.tu].comments, kHotMarkRe)) {
+      hot_roots.push_back(d);
+    }
+  }
+  scan_hot_allocs(st, cg, cg.reach(hot_roots, &cold), findings);
+
+  OrderMap order;
+  for (std::size_t fi = 0; fi < st.tus.size(); ++fi) {
+    analyze_locks(st, fi, cg, order, findings);
+  }
+  report_inversions(st, order, findings);
+
+  std::vector<TuView> views;
+  views.reserve(st.tus.size());
+  for (const TuAnalysis& tu : st.tus) {
+    views.push_back(TuView{&tu.path, &tu.lx, &tu.code, &tu.comments});
+  }
+  const AllowFn allowed = [&st](std::size_t tu, std::size_t line,
+                                const std::string& rule) {
+    return is_allowed(st, tu, line, rule);
+  };
+  check_ack_order(views, cg, allowed, findings);
+  check_arena_ref(views, allowed, findings);
+
+  if (options.report_unused_allows) scan_unused_allows(st, findings);
+
   // One global order regardless of which analysis produced a finding:
   // by file, then line, then the rule's --list-rules position. This
   // reproduces the PR 7 per-line rule order exactly.
@@ -802,6 +752,11 @@ std::vector<Finding> lint_files(const std::vector<FileInput>& files,
   return findings;
 }
 
+std::vector<Finding> lint_files(const std::vector<FileInput>& files,
+                                const LayerGraph& graph) {
+  return lint_files(files, graph, LintOptions{});
+}
+
 std::vector<Finding> lint_file(const std::string& path,
                                const std::string& contents,
                                const LayerGraph& graph) {
@@ -809,7 +764,8 @@ std::vector<Finding> lint_file(const std::string& path,
 }
 
 std::vector<Finding> lint_tree(const std::string& root,
-                               const LayerGraph& graph) {
+                               const LayerGraph& graph,
+                               const LintOptions& options) {
   namespace fs = std::filesystem;
   if (!fs::exists(root)) {
     throw std::runtime_error("no such file or directory: " + root);
@@ -840,7 +796,12 @@ std::vector<Finding> lint_tree(const std::string& root,
     contents << file.rdbuf();
     inputs.push_back(FileInput{path, contents.str()});
   }
-  return lint_files(inputs, graph);
+  return lint_files(inputs, graph, options);
+}
+
+std::vector<Finding> lint_tree(const std::string& root,
+                               const LayerGraph& graph) {
+  return lint_tree(root, graph, LintOptions{});
 }
 
 // ------------------------------------------------------------------ CLI
@@ -848,12 +809,20 @@ std::vector<Finding> lint_tree(const std::string& root,
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
   std::string layers_path = "tools/lint/layers.txt";
+  std::string sarif_path;
+  LintOptions options;
   std::vector<std::string> targets;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--help" || arg == "-h") {
-      out << "usage: xlf_lint [--layers FILE] [--list-rules] PATH...\n"
+      out << "usage: xlf_lint [--layers FILE] [--sarif FILE]\n"
+             "                [--report-unused-allows] [--list-rules] "
+             "PATH...\n"
              "  --layers FILE   layer DAG (default tools/lint/layers.txt)\n"
+             "  --sarif FILE    also write findings as SARIF 2.1.0 to FILE\n"
+             "  --report-unused-allows\n"
+             "                  report stale or unknown-rule allow() "
+             "comments\n"
              "  --list-rules    print every rule with its summary and exit\n"
              "  PATH            files or directories (typically src/)\n"
              "exit codes: 0 clean, 1 findings, 2 usage or I/O error\n"
@@ -874,6 +843,18 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       layers_path = args[++i];
       continue;
     }
+    if (arg == "--sarif") {
+      if (i + 1 >= args.size()) {
+        err << "xlf_lint: missing value for --sarif\n";
+        return 2;
+      }
+      sarif_path = args[++i];
+      continue;
+    }
+    if (arg == "--report-unused-allows") {
+      options.report_unused_allows = true;
+      continue;
+    }
     if (arg.rfind("--", 0) == 0) {
       err << "xlf_lint: unknown flag '" << arg << "' (try --help)\n";
       return 2;
@@ -888,12 +869,20 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     const LayerGraph graph = LayerGraph::parse_file(layers_path);
     std::vector<Finding> findings;
     for (const std::string& target : targets) {
-      std::vector<Finding> tree = lint_tree(target, graph);
+      std::vector<Finding> tree = lint_tree(target, graph, options);
       findings.insert(findings.end(), std::make_move_iterator(tree.begin()),
                       std::make_move_iterator(tree.end()));
     }
     for (const Finding& finding : findings) {
       out << format_finding(finding) << "\n";
+    }
+    if (!sarif_path.empty()) {
+      std::ofstream sarif(sarif_path);
+      if (!sarif) {
+        err << "xlf_lint: cannot write " << sarif_path << "\n";
+        return 2;
+      }
+      sarif << to_sarif(findings);
     }
     if (!findings.empty()) {
       err << "xlf_lint: " << findings.size() << " finding"

@@ -1,5 +1,5 @@
 // xlf_lint — in-repo static analyzer for the repo's machine-checkable
-// invariants. Five rule families:
+// invariants. Eight rule families:
 //
 //  * layering       — the include-layer DAG. src/<layer>/ may include
 //                     itself plus the transitive closure of its direct
@@ -22,9 +22,10 @@
 //                     so they hold in Release builds too.
 //  * hot-alloc      — allocation-freedom on hot paths. A function
 //                     annotated `// xlf: hot` on its signature, and
-//                     everything it reaches through the approximate
-//                     intra-TU call graph, must not allocate: new,
-//                     malloc, make_unique/make_shared, vector growth
+//                     everything it reaches through the whole-program
+//                     cross-TU call graph (tools/lint/callgraph.hpp),
+//                     must not allocate: new, malloc,
+//                     make_unique/make_shared, vector growth
 //                     (push_back/emplace_back/resize/reserve),
 //                     std::function and std::string construction are
 //                     findings. Documented arena-growth sites escape
@@ -35,6 +36,24 @@
 //                     src/nand or src/sim (the replayed layers are
 //                     lock-free by design — determinism comes from
 //                     event ordering, not locking) are findings.
+//  * ack-order      — crash-ack ordering: no path from a `// xlf: ack`
+//                     completion site may reach a NAND mutation
+//                     (program_page / erase_block / write_page_meta)
+//                     on the call graph without passing a
+//                     `// xlf: durable` commit function. The static
+//                     half of the PR 6 durability contract; see
+//                     tools/lint/ack_order.cpp.
+//  * arena-ref      — arena element lifetime: a reference, pointer, or
+//                     iterator bound into a declaration annotated
+//                     `// xlf: arena(grows)` must not be used across a
+//                     potentially-growing call (try_issue / push_back /
+//                     emplace_back / resize / grow) on that arena. The
+//                     static half of the PR 8 slot-lifetime hazard; see
+//                     tools/lint/arena_ref.cpp.
+//  * unused-allow   — stale-suppression audit, opt-in via
+//                     --report-unused-allows: every allow() comment
+//                     must have suppressed at least one finding in the
+//                     run, and every listed name must be a real rule.
 //
 // Escape hatch: a `// xlf-lint: allow(<rule>)` comment on the same
 // line (or alone on the line directly above) suppresses that one rule
@@ -113,21 +132,34 @@ std::vector<Finding> lint_file(const std::string& path,
                                const LayerGraph& graph);
 
 // Lint a set of files as one analysis scope. Per-file rules behave
-// exactly as lint_file; the cross-TU half of lock-order (inconsistent
-// acquisition order for the same mutex pair in different TUs) only
-// exists at this granularity. Findings are globally sorted by
-// (file, line, rule position).
+// exactly as lint_file; the cross-TU analyses — the whole-program call
+// graph behind hot-alloc and ack-order, the lock-order inversion
+// check, arena-ref's annotation set — only exist at this granularity.
+// Findings are globally sorted by (file, line, rule position).
 struct FileInput {
   std::string path;
   std::string contents;
 };
+
+struct LintOptions {
+  // Report `// xlf-lint: allow(...)` comments that suppressed nothing
+  // in this run, or that name unknown rules (rule: unused-allow).
+  bool report_unused_allows = false;
+};
+
 std::vector<Finding> lint_files(const std::vector<FileInput>& files,
                                 const LayerGraph& graph);
+std::vector<Finding> lint_files(const std::vector<FileInput>& files,
+                                const LayerGraph& graph,
+                                const LintOptions& options);
 
 // Recursively lint every .hpp/.cpp under `root` in sorted path order.
 // Throws std::runtime_error if root does not exist.
 std::vector<Finding> lint_tree(const std::string& root,
                                const LayerGraph& graph);
+std::vector<Finding> lint_tree(const std::string& root,
+                               const LayerGraph& graph,
+                               const LintOptions& options);
 
 // Full CLI (main() is a one-liner around this so the exit-code
 // contract is unit-testable). Exit codes: 0 = clean, 1 = findings,

@@ -1,0 +1,96 @@
+#include "tools/lint/sarif.hpp"
+
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.hpp"
+
+namespace xlf::lint {
+namespace {
+
+// JSON string escaping per RFC 8259: the two mandatory escapes plus
+// \uXXXX for control characters. Finding messages are ASCII today,
+// but paths and quoted source tokens flow through here verbatim.
+std::string json_escape(const std::string& s) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (u < 0x20) {
+          out += "\\u00";
+          out += kHex[u >> 4];
+          out += kHex[u & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"xlf_lint\",\n"
+      "          \"informationUri\": "
+      "\"https://example.invalid/xlf/tools/lint\",\n"
+      "          \"rules\": [\n";
+  const std::vector<RuleInfo>& rules = rule_infos();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out += "            {\"id\": \"" + json_escape(rules[i].name) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           json_escape(rules[i].summary) + "\"}}";
+    out += (i + 1 < rules.size()) ? ",\n" : "\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "        {\"ruleId\": \"" + json_escape(f.rule) +
+           "\", \"level\": \"error\", \"message\": {\"text\": \"" +
+           json_escape(f.message) +
+           "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           json_escape(f.file) + "\"}, \"region\": {\"startLine\": " +
+           std::to_string(f.line) + "}}}]}";
+    out += (i + 1 < findings.size()) ? ",\n" : "\n";
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace xlf::lint

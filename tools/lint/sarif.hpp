@@ -1,0 +1,19 @@
+// SARIF 2.1.0 emission for xlf_lint (`--sarif <file>`): the same
+// findings the CLI prints, as a minimal static-analysis log the
+// GitHub code-scanning upload action ingests. One run, one driver
+// ("xlf_lint") carrying every rule from rule_infos(), one result per
+// finding in the CLI's deterministic (file, line, rule) order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xlf::lint {
+
+struct Finding;
+
+// The serialized SARIF document, ending in a newline. Deterministic:
+// byte-identical output for identical findings.
+std::string to_sarif(const std::vector<Finding>& findings);
+
+}  // namespace xlf::lint

@@ -1,9 +1,12 @@
 // Unit suite for xlf_lint: rule hits, the allow-comment escape hatch,
 // DAG parsing/violations, and the CLI exit-code contract (0 clean,
 // 1 findings, 2 usage/I-O error) — the contract CI leans on. Also
-// covers the token lexer, the hot-alloc and lock-order structural
-// rules, the cross-implementation pin against the PR 7 line-based
-// linter (fixtures/pin), and the xlf_sym_audit link-time audit.
+// covers the token lexer (incl. preprocessor-conditional liveness),
+// the cross-TU call graph and its scope-qualified resolution, the
+// hot-alloc / lock-order / ack-order / arena-ref structural rules,
+// the stale-allow audit, SARIF emission, the cross-implementation
+// pin against the PR 7 line-based linter (fixtures/pin), and the
+// xlf_sym_audit link-time audit.
 #include "tools/lint/lint.hpp"
 
 #include <gtest/gtest.h>
@@ -16,7 +19,9 @@
 #include <string>
 #include <vector>
 
+#include "tools/lint/callgraph.hpp"
 #include "tools/lint/lexer.hpp"
+#include "tools/lint/sarif.hpp"
 #include "tools/lint/sym_audit.hpp"
 
 namespace xlf::lint {
@@ -49,11 +54,11 @@ std::vector<std::string> rules_of(const std::vector<Finding>& findings) {
 
 TEST(Rules, ListCoversEveryRuleFamily) {
   const std::vector<RuleInfo>& rules = rule_infos();
-  ASSERT_EQ(rules.size(), 8u);
+  ASSERT_EQ(rules.size(), 11u);
   for (const char* name :
        {"layering", "no-ambient-random", "no-wall-clock",
         "no-unordered-emit", "no-ptr-order", "raw-assert", "hot-alloc",
-        "lock-order"}) {
+        "lock-order", "ack-order", "arena-ref", "unused-allow"}) {
     EXPECT_TRUE(is_rule_name(name)) << name;
   }
   EXPECT_FALSE(is_rule_name("no-such-rule"));
@@ -262,6 +267,93 @@ TEST(Lexer, PreprocessorTokensAreFlagged) {
   EXPECT_FALSE(lx.tokens.back().preprocessor);  // the ';' after `int x`
 }
 
+TEST(Lexer, IfZeroRegionEmitsNoTokensAndIsMarkedDead) {
+  const LexedFile lx = lex(
+      "int before = 1;\n"
+      "#if 0\n"
+      "int dead = rand();\n"
+      "#endif\n"
+      "int after = rand();\n");
+  // Nothing from the disabled region reaches the token stream or the
+  // code view; the live map pins down exactly which lines died.
+  EXPECT_EQ(lx.code[2].find("rand"), std::string::npos);
+  EXPECT_NE(lx.code[4].find("rand"), std::string::npos);
+  ASSERT_EQ(lx.live.size(), 5u);
+  EXPECT_EQ(lx.live[0], 1);  // int before
+  EXPECT_EQ(lx.live[2], 0);  // int dead
+  EXPECT_EQ(lx.live[4], 1);  // int after
+  for (const Token& tok : lx.tokens) {
+    EXPECT_NE(tok.text, "dead") << "token leaked from a dead region";
+  }
+}
+
+TEST(Lexer, ElseArmOfIfOneIsDeadAndOfIfZeroIsLive) {
+  const LexedFile lx = lex(
+      "#if 1\n"
+      "int live_arm;\n"
+      "#else\n"
+      "int dead_arm;\n"
+      "#endif\n"
+      "#if 0\n"
+      "int dead_arm2;\n"
+      "#else\n"
+      "int live_arm2;\n"
+      "#endif\n");
+  EXPECT_EQ(lx.live[1], 1);  // live_arm
+  EXPECT_EQ(lx.live[3], 0);  // dead_arm
+  EXPECT_EQ(lx.live[6], 0);  // dead_arm2
+  EXPECT_EQ(lx.live[8], 1);  // live_arm2
+}
+
+TEST(Lexer, IfdefKeepsBothArmsLive) {
+  // The lexer cannot evaluate macro state: both arms stay live, so a
+  // rule over-reports rather than misses (see file comment).
+  const LexedFile lx = lex(
+      "#ifdef SOME_MACRO\n"
+      "int arm_a = rand();\n"
+      "#else\n"
+      "int arm_b = rand();\n"
+      "#endif\n");
+  EXPECT_EQ(lx.live[1], 1);
+  EXPECT_EQ(lx.live[3], 1);
+  EXPECT_NE(lx.code[1].find("rand"), std::string::npos);
+  EXPECT_NE(lx.code[3].find("rand"), std::string::npos);
+}
+
+TEST(Lexer, NestedConditionalsInsideDeadRegionStayDead) {
+  const LexedFile lx = lex(
+      "#if 0\n"
+      "#if 1\n"
+      "int nested_dead;\n"
+      "#endif\n"
+      "#ifdef ANY\n"
+      "int also_dead;\n"
+      "#endif\n"
+      "#endif\n"
+      "int live_tail;\n");
+  EXPECT_EQ(lx.live[2], 0);
+  EXPECT_EQ(lx.live[5], 0);
+  EXPECT_EQ(lx.live[8], 1);
+  for (const Token& tok : lx.tokens) {
+    EXPECT_NE(tok.text, "nested_dead");
+    EXPECT_NE(tok.text, "also_dead");
+  }
+}
+
+TEST(Lexer, DisabledRegionHidesBannedTokensFromRules) {
+  // End-to-end: a banned construct inside `#if 0` is not a finding,
+  // the same construct after `#endif` is.
+  const auto findings = lint_file("src/util/pp.cpp",
+                                  "#if 0\n"
+                                  "int a = rand();\n"
+                                  "#endif\n"
+                                  "int b = rand();\n",
+                                  mini_graph());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-ambient-random");
+  EXPECT_EQ(findings[0].line, 4);
+}
+
 // ------------------------------------- fixtures: pin and adversarial
 
 #ifdef XLF_LINT_FIXTURE_DIR
@@ -314,6 +406,16 @@ TEST(Adversarial, BackslashContinuationsHideBannedTokens) {
   ASSERT_EQ(findings.size(), 1u) << format_finding(findings.front());
   EXPECT_EQ(findings[0].rule, "no-ambient-random");
   EXPECT_EQ(findings[0].line, 23);
+}
+
+TEST(Adversarial, PreprocessorDisabledRegionsHideBannedTokens) {
+  const fs::path file =
+      fs::path(XLF_LINT_FIXTURE_DIR) / "adversarial" / "preprocessor.cpp";
+  const auto findings =
+      lint_file("src/util/preprocessor.cpp", read_file(file), mini_graph());
+  ASSERT_EQ(findings.size(), 1u) << format_finding(findings.front());
+  EXPECT_EQ(findings[0].rule, "no-ambient-random");
+  EXPECT_EQ(findings[0].line, 31);  // `int genuine = rand();`
 }
 
 #endif  // XLF_LINT_FIXTURE_DIR
@@ -404,6 +506,76 @@ TEST(HotAlloc, LambdaBodyBelongsToTheEnclosingFunction) {
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule, "hot-alloc");
   EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(HotAlloc, CrossTuCalleeIsFlaggedThroughTheCallGraph) {
+  // The hot root and the allocating leaf live in different TUs; the
+  // PR 9 per-file propagation could not see this edge.
+  const std::vector<FileInput> inputs = {
+      {"src/ftl/root.cpp",
+       "// xlf: hot\n"
+       "void tick() { helper(); }\n"},
+      {"src/util/leaf.cpp",
+       "void helper() { int* p = new int; }\n"},
+  };
+  const auto findings = lint_files(inputs, mini_graph());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "hot-alloc");
+  EXPECT_EQ(findings[0].file, "src/util/leaf.cpp");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("'helper'"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("hot via 'tick'"), std::string::npos);
+}
+
+TEST(HotAlloc, ColdMarkerStopsPropagationThroughTheMarkedDef) {
+  // `// xlf: cold` is a reviewed contract barrier: the def and its
+  // whole closure leave the hot reach set.
+  // Blank lines keep each def's marker window (three lines above the
+  // name) from bleeding into its neighbours.
+  const std::string via_cold =
+      "void leaf() { buf.push_back(1); }\n"
+      "\n\n\n"
+      "// xlf: cold\n"
+      "void report() { leaf(); }\n"
+      "\n\n\n"
+      "// xlf: hot\n"
+      "void tick() { report(); }\n";
+  EXPECT_TRUE(lint_file("src/ftl/cold.cpp", via_cold, mini_graph()).empty());
+
+  // A second, unmarked path to the same leaf keeps it hot: cold cuts
+  // the marked node, not everything it happens to call.
+  const std::string two_paths = via_cold + "\n\n\n"
+                                           "void step() { leaf(); }\n"
+                                           "\n\n\n"
+                                           "// xlf: hot\n"
+                                           "void tock() { step(); }\n";
+  const auto findings = lint_file("src/ftl/cold.cpp", two_paths, mini_graph());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("hot via 'tock'"), std::string::npos);
+}
+
+TEST(HotAlloc, ColdMarkedHotRootIsNotARoot) {
+  // cold wins when both markers are present (a hot-marked def being
+  // demoted during triage should not need the hot mark removed first).
+  const auto findings = lint_file("src/ftl/both.cpp",
+                                  "// xlf: hot\n"
+                                  "// xlf: cold\n"
+                                  "void tick() { buf.push_back(1); }\n",
+                                  mini_graph());
+  EXPECT_TRUE(findings.empty()) << format_finding(findings.front());
+}
+
+TEST(HotAlloc, MemberDefinitionMessagesUseQualifiedNames) {
+  const auto findings = lint_file("src/ftl/member.cpp",
+                                  "namespace xlf::ftl {\n"
+                                  "// xlf: hot\n"
+                                  "void Ftl::tick() { buf.push_back(1); }\n"
+                                  "}\n",
+                                  mini_graph());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("'xlf::ftl::Ftl::tick'"),
+            std::string::npos)
+      << findings[0].message;
 }
 
 TEST(HotAlloc, BannedTokenInCommentOrStringIsNotAFinding) {
@@ -546,6 +718,427 @@ TEST(LockOrder, AllowEscapeSuppressesTheDeclarationFinding) {
       "std::mutex guard_;  // xlf-lint: allow(lock-order)\n",
       LayerGraph::parse("util:\nnand: util\n"));
   EXPECT_TRUE(findings.empty());
+}
+
+// ------------------------------------------------------------ callgraph
+
+// Structural tokens of one TU: comments and preprocessor tokens
+// stripped, exactly as lint_files feeds CallGraph::build.
+std::vector<Token> structural(const std::string& text) {
+  std::vector<Token> out;
+  for (const Token& tok : lex(text).tokens) {
+    if (tok.kind != TokKind::kComment && !tok.preprocessor) {
+      out.push_back(tok);
+    }
+  }
+  return out;
+}
+
+std::size_t def_index(const CallGraph& graph, const std::string& qual) {
+  for (std::size_t d = 0; d < graph.defs().size(); ++d) {
+    if (graph.defs()[d].qual == qual) return d;
+  }
+  ADD_FAILURE() << "no def with qual " << qual;
+  return CallGraph::npos;
+}
+
+TEST(CallGraphTest, NestedNamespacesQualifyDefinitions) {
+  const std::vector<Token> code = structural(
+      "namespace a { namespace b {\n"
+      "void f() {}\n"
+      "} }\n"
+      "namespace a::b::c {\n"
+      "void g() { f(); }\n"
+      "}\n");
+  const std::vector<const std::vector<Token>*> codes = {&code};
+  const CallGraph graph = CallGraph::build(codes);
+  ASSERT_EQ(graph.defs().size(), 2u);
+  EXPECT_EQ(graph.defs()[0].qual, "a::b::f");
+  EXPECT_EQ(graph.defs()[1].qual, "a::b::c::g");
+  // g's unqualified call binds to the bare name `f` wherever it is.
+  const std::size_t g = def_index(graph, "a::b::c::g");
+  ASSERT_EQ(graph.callees(g).size(), 1u);
+  EXPECT_EQ(graph.defs()[graph.callees(g)[0]].qual, "a::b::f");
+}
+
+TEST(CallGraphTest, OutOfLineMemberDefinitionCarriesTheWrittenChain) {
+  const std::vector<Token> code = structural(
+      "namespace xlf::ftl {\n"
+      "void Ftl::flush(std::uint32_t q) { commit(); }\n"
+      "}\n"
+      "void commit() {}\n");
+  const std::vector<const std::vector<Token>*> codes = {&code};
+  const CallGraph graph = CallGraph::build(codes);
+  const std::size_t flush = def_index(graph, "xlf::ftl::Ftl::flush");
+  EXPECT_EQ(graph.defs()[flush].name, "flush");
+  ASSERT_EQ(graph.callees(flush).size(), 1u);
+  EXPECT_EQ(graph.defs()[graph.callees(flush)[0]].qual, "commit");
+}
+
+TEST(CallGraphTest, QualifiedCallMatchesComponentSuffixOnly) {
+  const std::vector<Token> code = structural(
+      "namespace a { void f() {} }\n"
+      "namespace b { void f() {} }\n"
+      "void caller() { a::f(); }\n");
+  const std::vector<const std::vector<Token>*> codes = {&code};
+  const CallGraph graph = CallGraph::build(codes);
+  const std::size_t caller = def_index(graph, "caller");
+  ASSERT_EQ(graph.callees(caller).size(), 1u);
+  EXPECT_EQ(graph.defs()[graph.callees(caller)[0]].qual, "a::f");
+}
+
+TEST(CallGraphTest, UnqualifiedCallOverApproximatesAcrossOverloadSets) {
+  // Documented over-approximation: name-level resolution binds an
+  // unqualified (or member) call to EVERY same-named def — both
+  // overloads, and a same-named method of an unrelated class.
+  const std::vector<Token> a = structural(
+      "void handle(int x) {}\n"
+      "void handle(double x) {}\n");
+  const std::vector<Token> b = structural(
+      "struct Other { void handle(); };\n"
+      "void Other::handle() {}\n"
+      "void caller(Other& o) { o.handle(); }\n");
+  const std::vector<const std::vector<Token>*> codes = {&a, &b};
+  const CallGraph graph = CallGraph::build(codes);
+  const std::size_t caller = def_index(graph, "caller");
+  EXPECT_EQ(graph.callees(caller).size(), 3u);
+}
+
+TEST(CallGraphTest, AnonymousNamespaceDefsAreTuLocal) {
+  const std::vector<Token> a = structural(
+      "namespace { void local_helper() { int* p = new int; } }\n"
+      "void entry_a() { local_helper(); }\n");
+  const std::vector<Token> b = structural(
+      "void entry_b() { local_helper(); }\n");
+  const std::vector<const std::vector<Token>*> codes = {&a, &b};
+  const CallGraph graph = CallGraph::build(codes);
+  const std::size_t helper = def_index(graph, "local_helper");
+  EXPECT_TRUE(graph.defs()[helper].tu_local);
+  // Same-TU call binds; the other TU's call cannot see it.
+  EXPECT_EQ(graph.callees(def_index(graph, "entry_a")).size(), 1u);
+  EXPECT_TRUE(graph.callees(def_index(graph, "entry_b")).empty());
+}
+
+TEST(CallGraphTest, ReachStopsAtStopNodesAndRecordsParents) {
+  const std::vector<Token> code = structural(
+      "void leaf() {}\n"
+      "void barrier() { leaf(); }\n"
+      "void mid() { barrier(); }\n"
+      "void root() { mid(); leaf(); }\n");
+  const std::vector<const std::vector<Token>*> codes = {&code};
+  const CallGraph graph = CallGraph::build(codes);
+  const std::size_t leaf = def_index(graph, "leaf");
+  const std::size_t barrier = def_index(graph, "barrier");
+  const std::size_t root = def_index(graph, "root");
+
+  std::vector<char> stop(graph.defs().size(), 0);
+  stop[barrier] = 1;
+  const CallGraph::Reach reach = graph.reach({root}, &stop);
+  EXPECT_EQ(reach.parent[root], root);  // a root is its own parent
+  EXPECT_EQ(reach.root[root], root);
+  EXPECT_EQ(reach.parent[barrier], CallGraph::npos);  // never visited
+  // leaf is still reached — via root's direct call, not the barrier.
+  EXPECT_EQ(reach.parent[leaf], root);
+  EXPECT_EQ(reach.root[leaf], root);
+
+  // Without the stop set the same BFS walks straight through.
+  const CallGraph::Reach open = graph.reach({root});
+  EXPECT_NE(open.parent[barrier], CallGraph::npos);
+}
+
+// ------------------------------------------------------------- ack-order
+
+TEST(AckOrder, MutationReachableFromAckWithoutDurableIsFlagged) {
+  const std::vector<FileInput> inputs = {
+      {"src/ftl/complete.cpp",
+       "// xlf: ack\n"
+       "void complete_slot() { apply(); }\n"},
+      {"src/util/apply.cpp",
+       "void apply(Dev& dev) { dev.program_page(1); }\n"},
+  };
+  const auto findings = lint_files(inputs, mini_graph());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "ack-order");
+  EXPECT_EQ(findings[0].file, "src/util/apply.cpp");
+  EXPECT_EQ(findings[0].line, 1);
+  // The message names the ack root and the call chain to the site.
+  EXPECT_NE(findings[0].message.find("'program_page()'"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("'complete_slot'"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("complete_slot -> apply"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST(AckOrder, MutationBehindADurableCommitIsClean) {
+  const std::vector<FileInput> inputs = {
+      {"src/ftl/complete.cpp",
+       "// xlf: ack\n"
+       "void complete_slot() { commit(); }\n"},
+      {"src/ftl/commit.cpp",
+       "// xlf: durable\n"
+       "void commit(Dev& dev) { dev.program_page(1); }\n"},
+  };
+  const auto findings = lint_files(inputs, mini_graph());
+  EXPECT_TRUE(findings.empty()) << format_finding(findings.front());
+}
+
+TEST(AckOrder, EachMutationTokenIsCaught) {
+  for (const char* mutation :
+       {"program_page", "erase_block", "write_page_meta"}) {
+    const std::string body = std::string("// xlf: ack\n") +
+                             "void complete_slot(Dev& dev) { dev." +
+                             mutation + "(0); }\n";
+    const auto findings =
+        lint_file("src/ftl/complete.cpp", body, mini_graph());
+    ASSERT_EQ(findings.size(), 1u) << mutation;
+    EXPECT_EQ(findings[0].rule, "ack-order") << mutation;
+  }
+}
+
+TEST(AckOrder, AllowEscapeSuppressesTheMutationSite) {
+  const auto findings = lint_file(
+      "src/ftl/complete.cpp",
+      "// xlf: ack\n"
+      "void complete_slot(Dev& dev) {\n"
+      "  dev.program_page(0);  // xlf-lint: allow(ack-order)\n"
+      "}\n",
+      mini_graph());
+  EXPECT_TRUE(findings.empty()) << format_finding(findings.front());
+}
+
+TEST(AckOrder, UnreachableMutationIsNotAFinding) {
+  // A mutation in a function no ack site reaches is the normal write
+  // path — not this rule's business.
+  const auto findings = lint_file(
+      "src/ftl/write.cpp",
+      "void write_path(Dev& dev) { dev.program_page(0); }\n"
+      "// xlf: ack\n"
+      "void complete_slot() { post_stats(); }\n"
+      "void post_stats() {}\n",
+      mini_graph());
+  EXPECT_TRUE(findings.empty()) << format_finding(findings.front());
+}
+
+// ------------------------------------------------------------- arena-ref
+
+TEST(ArenaRef, ReferenceUsedAcrossGrowthIsFlagged) {
+  const auto findings = lint_file(
+      "src/ftl/arena.cpp",
+      "// xlf: arena(grows)\n"
+      "std::vector<int> slots;\n"
+      "int use() {\n"
+      "  int& slot = slots[0];\n"
+      "  slots.push_back(1);\n"
+      "  return slot;\n"
+      "}\n",
+      mini_graph());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "arena-ref");
+  EXPECT_EQ(findings[0].line, 5);  // reported at the growing call
+  EXPECT_NE(findings[0].message.find("'slot'"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("'push_back()'"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("arena 'slots'"), std::string::npos);
+}
+
+TEST(ArenaRef, TrailingAnnotationAndCrossTuUseAreCovered) {
+  // Header declares the arena (trailing marker); the .cpp holds the
+  // dangling use — the decl set is global across the lint set.
+  const std::vector<FileInput> inputs = {
+      {"src/ftl/arena.hpp",
+       "std::vector<Slot> pool_;  // xlf: arena(grows)\n"},
+      {"src/ftl/arena.cpp",
+       "void Ftl::grow_pool() {\n"
+       "  Slot* head = pool_.data();\n"
+       "  pool_.emplace_back();\n"
+       "  head->touch();\n"
+       "}\n"},
+  };
+  const auto findings = lint_files(inputs, mini_graph());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "arena-ref");
+  EXPECT_EQ(findings[0].file, "src/ftl/arena.cpp");
+  EXPECT_NE(findings[0].message.find("'emplace_back()'"), std::string::npos);
+}
+
+TEST(ArenaRef, ByValueCopyIsClean) {
+  const auto findings = lint_file(
+      "src/ftl/arena.cpp",
+      "// xlf: arena(grows)\n"
+      "std::vector<int> slots;\n"
+      "int use() {\n"
+      "  int slot = slots[0];\n"  // copy, not a reference
+      "  slots.push_back(1);\n"
+      "  return slot;\n"
+      "}\n",
+      mini_graph());
+  EXPECT_TRUE(findings.empty()) << format_finding(findings.front());
+}
+
+TEST(ArenaRef, GrowthAfterTheLastUseIsClean) {
+  const auto findings = lint_file(
+      "src/ftl/arena.cpp",
+      "// xlf: arena(grows)\n"
+      "std::vector<int> slots;\n"
+      "int use() {\n"
+      "  int& slot = slots[0];\n"
+      "  int copy = slot;\n"
+      "  slots.push_back(1);\n"
+      "  return copy;\n"
+      "}\n",
+      mini_graph());
+  EXPECT_TRUE(findings.empty()) << format_finding(findings.front());
+}
+
+TEST(ArenaRef, GrowthOfADifferentContainerIsClean) {
+  // Receiver matching: growing some other vector does not invalidate
+  // a binding into the arena.
+  const auto findings = lint_file(
+      "src/ftl/arena.cpp",
+      "// xlf: arena(grows)\n"
+      "std::vector<int> slots;\n"
+      "std::vector<int> log;\n"
+      "int use() {\n"
+      "  int& slot = slots[0];\n"
+      "  log.push_back(1);\n"
+      "  return slot;\n"
+      "}\n",
+      mini_graph());
+  EXPECT_TRUE(findings.empty()) << format_finding(findings.front());
+}
+
+TEST(ArenaRef, RangeForOverTheArenaAcrossGrowthIsFlagged) {
+  const auto findings = lint_file(
+      "src/ftl/arena.cpp",
+      "// xlf: arena(grows)\n"
+      "std::vector<int> slots;\n"
+      "void use() {\n"
+      "  for (int& slot : slots) {\n"
+      "    slots.push_back(slot);\n"
+      "  }\n"
+      "}\n",
+      mini_graph());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "arena-ref");
+}
+
+TEST(ArenaRef, AllowEscapeSuppressesTheBinding) {
+  const auto findings = lint_file(
+      "src/ftl/arena.cpp",
+      "// xlf: arena(grows)\n"
+      "std::vector<int> slots;\n"
+      "int use() {\n"
+      "  int& slot = slots[0];\n"
+      "  slots.push_back(1);  // xlf-lint: allow(arena-ref)\n"
+      "  return slot;\n"
+      "}\n",
+      mini_graph());
+  EXPECT_TRUE(findings.empty()) << format_finding(findings.front());
+}
+
+// ---------------------------------------------------------- unused-allow
+
+TEST(UnusedAllow, StaleAllowIsReportedOnlyUnderTheOption) {
+  const std::vector<FileInput> inputs = {
+      {"src/util/stale.hpp",
+       "// xlf-lint: allow(hot-alloc)\n"
+       "int fine();\n"},
+  };
+  // Default run: the stale comment is invisible (the pin fixture and
+  // every pre-PR-10 caller depend on that).
+  EXPECT_TRUE(lint_files(inputs, mini_graph()).empty());
+
+  LintOptions options;
+  options.report_unused_allows = true;
+  const auto findings = lint_files(inputs, mini_graph(), options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unused-allow");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("allow(hot-alloc)"), std::string::npos);
+}
+
+TEST(UnusedAllow, AllowThatSuppressesAFindingIsNotReported) {
+  const std::vector<FileInput> inputs = {
+      {"src/ftl/hot.cpp",
+       "// xlf: hot\n"
+       "void tick() {\n"
+       "  pool.push_back(1);  // xlf-lint: allow(hot-alloc)\n"
+       "}\n"},
+  };
+  LintOptions options;
+  options.report_unused_allows = true;
+  EXPECT_TRUE(lint_files(inputs, mini_graph(), options).empty());
+}
+
+TEST(UnusedAllow, UnknownRuleNameIsReported) {
+  const std::vector<FileInput> inputs = {
+      {"src/util/typo.hpp",
+       "int x = rand();  // xlf-lint: allow(no-ambient-randm)\n"},
+  };
+  LintOptions options;
+  options.report_unused_allows = true;
+  const auto findings = lint_files(inputs, mini_graph(), options);
+  // The typo'd allow suppresses nothing, so the original finding
+  // stands AND the stale suppression is called out as a typo.
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "no-ambient-random");
+  EXPECT_EQ(findings[1].rule, "unused-allow");
+  EXPECT_NE(findings[1].message.find("unknown rule 'no-ambient-randm'"),
+            std::string::npos)
+      << findings[1].message;
+}
+
+TEST(UnusedAllow, CommaListReportsOnlyTheStaleEntries) {
+  const std::vector<FileInput> inputs = {
+      {"src/ftl/hot.cpp",
+       "// xlf: hot\n"
+       "void tick() {\n"
+       "  pool.push_back(1);  // xlf-lint: allow(hot-alloc, lock-order)\n"
+       "}\n"},
+  };
+  LintOptions options;
+  options.report_unused_allows = true;
+  const auto findings = lint_files(inputs, mini_graph(), options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unused-allow");
+  EXPECT_NE(findings[0].message.find("allow(lock-order)"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- SARIF
+
+TEST(Sarif, EmptyRunStillCarriesTheToolAndRuleMetadata) {
+  const std::string doc = to_sarif({});
+  EXPECT_NE(doc.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(doc.find("sarif-2.1.0"), std::string::npos);
+  EXPECT_NE(doc.find("\"name\": \"xlf_lint\""), std::string::npos);
+  EXPECT_NE(doc.find("\"results\": ["), std::string::npos);
+  EXPECT_EQ(doc.find("\"ruleId\""), std::string::npos);  // no results
+  // Every rule family ships its metadata even with no findings.
+  for (const RuleInfo& rule : rule_infos()) {
+    EXPECT_NE(doc.find("\"id\": \"" + std::string(rule.name) + "\""),
+              std::string::npos)
+        << rule.name;
+  }
+}
+
+TEST(Sarif, FindingsBecomeResultsWithLocationsAndEscapedText) {
+  std::vector<Finding> findings;
+  findings.push_back(Finding{"src/ftl/a.cpp", 7, "hot-alloc",
+                             "uses \"quotes\" and a\ttab and a\\slash"});
+  const std::string doc = to_sarif(findings);
+  EXPECT_NE(doc.find("\"ruleId\": \"hot-alloc\""), std::string::npos);
+  EXPECT_NE(doc.find("\"startLine\": 7"), std::string::npos);
+  EXPECT_NE(doc.find("\"uri\": \"src/ftl/a.cpp\""), std::string::npos);
+  EXPECT_NE(doc.find("\"level\": \"error\""), std::string::npos);
+  // RFC 8259 escaping: quote, tab, backslash.
+  EXPECT_NE(doc.find("uses \\\"quotes\\\" and a\\ttab"), std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("a\\\\slash"), std::string::npos);
+}
+
+TEST(Sarif, OutputIsDeterministic) {
+  std::vector<Finding> findings;
+  findings.push_back(Finding{"src/util/x.hpp", 3, "layering", "message"});
+  EXPECT_EQ(to_sarif(findings), to_sarif(findings));
 }
 
 // ------------------------------------------------------------ sym-audit
@@ -726,6 +1319,45 @@ TEST_F(CliTest, ListRulesPrintsEveryRuleAndExitsZero) {
   for (const RuleInfo& rule : rule_infos()) {
     EXPECT_NE(out_.str().find(rule.name), std::string::npos) << rule.name;
   }
+}
+
+TEST_F(CliTest, SarifFileIsWrittenEvenWhenFindingsFailTheRun) {
+  write("src/util/scratch.hpp", "#include \"src/ftl/ok.hpp\"\n");
+  const fs::path sarif = root_ / "lint.sarif";
+  EXPECT_EQ(run({"--sarif", sarif.string(), (root_ / "src").string()}), 1);
+  const std::string doc = read_file(sarif);
+  EXPECT_NE(doc.find("sarif-2.1.0"), std::string::npos);
+  EXPECT_NE(doc.find("\"ruleId\": \"layering\""), std::string::npos);
+  EXPECT_NE(doc.find("scratch.hpp"), std::string::npos);
+}
+
+TEST_F(CliTest, SarifOnACleanTreeHoldsAnEmptyResultSet) {
+  const fs::path sarif = root_ / "lint.sarif";
+  EXPECT_EQ(run({"--sarif", sarif.string(), (root_ / "src").string()}), 0);
+  const std::string doc = read_file(sarif);
+  EXPECT_NE(doc.find("\"name\": \"xlf_lint\""), std::string::npos);
+  EXPECT_EQ(doc.find("\"ruleId\""), std::string::npos);
+}
+
+TEST_F(CliTest, SarifUsageAndIoErrorsExitTwo) {
+  EXPECT_EQ(run({"--sarif"}), 2);  // missing value
+  EXPECT_NE(err_.str().find("--sarif"), std::string::npos);
+  // Unwritable output path: I/O error, not silently dropped.
+  EXPECT_EQ(run({"--sarif", (root_ / "no-such-dir" / "x.sarif").string(),
+                 (root_ / "src").string()}),
+            2);
+}
+
+TEST_F(CliTest, ReportUnusedAllowsFlagSurfacesStaleSuppressions) {
+  write("src/util/stale.hpp",
+        "// xlf-lint: allow(hot-alloc)\nint fine();\n");
+  // Without the flag the stale comment is invisible...
+  EXPECT_EQ(run({(root_ / "src").string()}), 0) << out_.str();
+  // ...with it, the run fails and names the comment.
+  EXPECT_EQ(run({"--report-unused-allows", (root_ / "src").string()}), 1);
+  EXPECT_NE(out_.str().find("[unused-allow]"), std::string::npos)
+      << out_.str();
+  EXPECT_NE(out_.str().find("stale.hpp:1"), std::string::npos);
 }
 
 }  // namespace
